@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Combine Criteria Format Hbbp_analyzer Hbbp_core Hbbp_cpu Hbbp_workloads Lazy List Pipeline Pmu_model

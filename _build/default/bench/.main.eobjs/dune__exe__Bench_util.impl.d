@@ -1,0 +1,1 @@
+bench/bench_util.ml: Format Hashtbl Hbbp_analyzer Hbbp_core Hbbp_instrument Hbbp_workloads Lazy List Pipeline Printf String Training Workload

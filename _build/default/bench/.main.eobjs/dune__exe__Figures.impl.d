@@ -1,0 +1,1 @@
+bench/figures.ml: Array Bench_util Error Feature Format Hbbp_analyzer Hbbp_core Hbbp_isa Hbbp_mltree Hbbp_workloads Lazy List Option Pipeline Training

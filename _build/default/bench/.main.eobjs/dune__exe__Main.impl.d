@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Figures Format List Micro String Sys Tables

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bench_util Benchmark Format Hashtbl Hbbp_core Hbbp_cpu Hbbp_mltree Hbbp_program Hbbp_workloads Instance Lazy List Measure Printf Staged Test Time Toolkit

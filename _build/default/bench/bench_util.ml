@@ -1,0 +1,55 @@
+(* Shared infrastructure for the table/figure reproductions: profile
+   caching (each workload is simulated once per bench run) and the
+   formatting helpers the tables share. *)
+
+open Hbbp_core
+
+let clock_ghz = 3.0
+
+(* Simulated wall-clock seconds for a cycle count. *)
+let seconds cycles = float_of_int cycles /. (clock_ghz *. 1e9)
+
+let cache : (string, Pipeline.profile) Hashtbl.t = Hashtbl.create 64
+
+let profile ?(config = Pipeline.default_config) (w : Workload.t) =
+  let key = w.Workload.name in
+  match Hashtbl.find_opt cache key with
+  | Some p -> p
+  | None ->
+      let p = Pipeline.run ~config w in
+      Hashtbl.replace cache key p;
+      p
+
+(* x264ref is profiled with the buggy instrumentation configuration to
+   reproduce the paper's footnote 2. *)
+let profile_spec name =
+  let w = Hbbp_workloads.Spec.find name in
+  if String.equal name Hbbp_workloads.Spec.buggy_benchmark then
+    profile
+      ~config:
+        {
+          Pipeline.default_config with
+          sde =
+            {
+              Hbbp_instrument.Sde.default_config with
+              bug_mnemonic = Some Hbbp_workloads.Spec.bug_mnemonic;
+            };
+        }
+      w
+  else profile w
+
+let avg_weighted_error p bbec =
+  (Pipeline.error_report p bbec).Hbbp_core.Error.avg_weighted_error
+
+let hbbp_error p = avg_weighted_error p p.Pipeline.hbbp
+let lbr_error p = avg_weighted_error p p.Pipeline.lbr.Hbbp_analyzer.Lbr_estimator.bbec
+let ebs_error p = avg_weighted_error p p.Pipeline.ebs.Hbbp_analyzer.Ebs_estimator.bbec
+
+let pct v = Printf.sprintf "%.2f%%" (v *. 100.0)
+
+let header ppf title =
+  Format.fprintf ppf "@.==== %s ====@." title
+
+let training_profiles = lazy (List.map profile (Hbbp_workloads.Training_set.all ()))
+
+let trained = lazy (Training.train (Lazy.force training_profiles))

@@ -1,0 +1,116 @@
+(* Reproductions of the paper's Figures 1-4 as printed series. *)
+
+open Hbbp_core
+module U = Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the decision tree generated from HBBP training data.      *)
+
+let figure1 ppf =
+  U.header ppf "Figure 1: decision tree generated from HBBP training data";
+  let tree, dataset = Lazy.force U.trained in
+  Format.fprintf ppf "%s" (Hbbp_mltree.Render.ascii dataset tree);
+  (match Training.learned_cutoff tree with
+  | Some c ->
+      Format.fprintf ppf
+        "root split: block length, cutoff %.1f (paper: consistently close \
+         to 18)@."
+        c
+  | None -> Format.fprintf ppf "root split not on block length@.");
+  let importances =
+    Hbbp_mltree.Cart.feature_importances tree
+      ~n_features:(Array.length Feature.names)
+  in
+  Format.fprintf ppf "feature importances:@.";
+  Array.iteri
+    (fun k v -> Format.fprintf ppf "  %-20s %.3f@." Feature.names.(k) v)
+    importances;
+  Format.fprintf ppf "training corpus: %d basic blocks (paper: ~1,100)@."
+    (Hbbp_workloads.Training_set.total_static_blocks ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: SPEC overheads and per-benchmark weighted errors.         *)
+
+let figure2 ppf =
+  U.header ppf
+    "Figure 2: SDE/HBBP overhead and HBBP/LBR/EBS errors on the SPEC-like \
+     suite";
+  Format.fprintf ppf "%-12s %9s %10s | %8s %8s %8s@." "benchmark" "SDE"
+    "HBBP ovh" "HBBP" "LBR" "EBS";
+  let excluded = ref [] in
+  let sum_h = ref 0.0 and sum_l = ref 0.0 and sum_e = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun name ->
+      let p = U.profile_spec name in
+      let h = U.hbbp_error p and l = U.lbr_error p and e = U.ebs_error p in
+      (* The paper's footnote 2: benchmarks whose instrumentation result
+         fails the PMU cross-check are excluded from the average. *)
+      let bad_reference = Pipeline.sde_pmu_discrepancy p > 0.01 in
+      if bad_reference then excluded := name :: !excluded
+      else begin
+        sum_h := !sum_h +. h;
+        sum_l := !sum_l +. l;
+        sum_e := !sum_e +. e;
+        incr n
+      end;
+      Format.fprintf ppf "%-12s %8.2fx %9.2f%% | %8s %8s %8s%s@." name
+        p.sde_slowdown
+        (p.collection_overhead *. 100.0)
+        (U.pct h) (U.pct l) (U.pct e)
+        (if bad_reference then "  [excluded: SDE fails PMU cross-check]"
+         else ""))
+    Hbbp_workloads.Spec.names;
+  let avg v = v /. float_of_int !n in
+  Format.fprintf ppf
+    "overall avg weighted error: HBBP %s | LBR %s | EBS %s  (paper: 1.83%% \
+     / 3.15%% / 4.43%%)@."
+    (U.pct (avg !sum_h)) (U.pct (avg !sum_l)) (U.pct (avg !sum_e));
+  List.iter
+    (fun name ->
+      Format.fprintf ppf
+        "%s excluded from averages (instrumentation bug caught by PMU \
+         counts, as the paper's footnote 2 reports for x264ref)@."
+        name)
+    !excluded
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: Test40 top-20 mnemonics.                           *)
+
+let test40_top20 () =
+  let p = U.profile (Hbbp_workloads.Test40.workload ()) in
+  let report = Pipeline.error_report p p.Pipeline.hbbp in
+  let lbr_report = Pipeline.error_report p p.Pipeline.lbr.Hbbp_analyzer.Lbr_estimator.bbec in
+  let ebs_report = Pipeline.error_report p p.Pipeline.ebs.Hbbp_analyzer.Ebs_estimator.bbec in
+  (p, report, lbr_report, ebs_report)
+
+let figure3 ppf =
+  U.header ppf
+    "Figure 3: Test40 instruction counts and HBBP errors (top 20 mnemonics)";
+  let _, report, _, _ = test40_top20 () in
+  Format.fprintf ppf "%-12s %14s %10s@." "mnemonic" "executions" "HBBP err";
+  List.iteri
+    (fun k (e : Error.per_mnemonic) ->
+      if k < 20 then
+        Format.fprintf ppf "%-12s %14.0f %9.2f%%@."
+          (Hbbp_isa.Mnemonic.to_string e.mnemonic)
+          e.reference (e.error *. 100.0))
+    report.Error.per_mnemonic
+
+let figure4 ppf =
+  U.header ppf
+    "Figure 4: Test40 per-mnemonic errors, HBBP vs LBR vs EBS (top 20)";
+  let _, hbbp_r, lbr_r, ebs_r = test40_top20 () in
+  Format.fprintf ppf "%-12s %10s %10s %10s@." "mnemonic" "HBBP" "LBR" "EBS";
+  List.iteri
+    (fun k (e : Error.per_mnemonic) ->
+      if k < 20 then begin
+        let find (r : Error.report) =
+          Option.value ~default:0.0 (Error.error_for r e.mnemonic)
+        in
+        Format.fprintf ppf "%-12s %9.2f%% %9.2f%% %9.2f%%@."
+          (Hbbp_isa.Mnemonic.to_string e.mnemonic)
+          (e.error *. 100.0)
+          (find lbr_r *. 100.0)
+          (find ebs_r *. 100.0)
+      end)
+    hbbp_r.Error.per_mnemonic

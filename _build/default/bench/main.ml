@@ -1,0 +1,43 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section from the simulated system, plus bechamel
+   microbenchmarks of the library itself.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table3 figure2 micro
+*)
+
+let all : (string * (Format.formatter -> unit)) list =
+  [
+    ("table1", Tables.table1);
+    ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("table5", Tables.table5);
+    ("table6", Tables.table6);
+    ("table7", Tables.table7);
+    ("table8", Tables.table8);
+    ("figure1", Figures.figure1);
+    ("figure2", Figures.figure2);
+    ("figure3", Figures.figure3);
+    ("figure4", Figures.figure4);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let ppf = Format.std_formatter in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ppf
+      | None ->
+          Format.fprintf ppf "unknown bench %S; available: %s@." name
+            (String.concat ", " (List.map fst all)))
+    requested;
+  Format.pp_print_flush ppf ()

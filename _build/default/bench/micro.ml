@@ -1,0 +1,76 @@
+(* Bechamel microbenchmarks of the library's hot components: one
+   Test.make per table/figure driver plus the core primitives they rest
+   on (decode, execution, estimation, tree training). *)
+
+open Bechamel
+open Toolkit
+
+let fitter_image =
+  lazy
+    (let w = Hbbp_workloads.Fitter.workload Hbbp_workloads.Fitter.Sse in
+     List.hd (Hbbp_program.Process.images w.Hbbp_core.Workload.live_process))
+
+let encode_decode () =
+  let img = Lazy.force fitter_image in
+  match Hbbp_program.Disasm.image img with
+  | Ok decoded -> Array.length decoded
+  | Error _ -> 0
+
+let bb_map () =
+  let img = Lazy.force fitter_image in
+  Hbbp_program.Bb_map.block_count (Hbbp_program.Bb_map.of_image_exn img)
+
+let small_run () =
+  let w = Hbbp_workloads.Clforward.workload Hbbp_workloads.Clforward.After in
+  let machine =
+    Hbbp_cpu.Machine.create ~process:w.Hbbp_core.Workload.live_process ()
+  in
+  (Hbbp_cpu.Machine.run machine ~entry:w.Hbbp_core.Workload.entry ()).retired
+
+let training_data =
+  lazy
+    (let prng = Hbbp_cpu.Prng.create ~seed:7L in
+     let n = 2000 in
+     let features =
+       Array.init n (fun _ ->
+           Array.init 6 (fun _ -> Hbbp_cpu.Prng.float prng))
+     in
+     let labels =
+       Array.map (fun f -> if f.(0) +. f.(3) > 1.0 then 1 else 0) features
+     in
+     Hbbp_mltree.Dataset.create
+       ~feature_names:(Array.init 6 (Printf.sprintf "f%d"))
+       ~class_names:[| "a"; "b" |] ~features ~labels
+       ~weights:(Array.make n 1.0))
+
+let cart_train () =
+  Hbbp_mltree.Cart.leaf_count
+    (Hbbp_mltree.Cart.train (Lazy.force training_data))
+
+let tests =
+  Test.make_grouped ~name:"hbbp"
+    [
+      Test.make ~name:"disassemble-fitter" (Staged.stage encode_decode);
+      Test.make ~name:"bb-map-fitter" (Staged.stage bb_map);
+      Test.make ~name:"simulate-clforward" (Staged.stage small_run);
+      Test.make ~name:"cart-train-2k" (Staged.stage cart_train);
+    ]
+
+let run ppf =
+  Bench_util.header ppf "Microbenchmarks (bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          Format.fprintf ppf "%-28s %12.2f us/run@." name (est /. 1e3)
+      | Some _ | None -> Format.fprintf ppf "%-28s (no estimate)@." name)
+    results

@@ -1,0 +1,284 @@
+(* hbbp — the HBBP instruction-mix tool over the simulated system.
+
+   Mirrors the paper's tool structure: a collector (dual-LBR PMU
+   session) and an analyzer (BBEC reconstruction + pivot-table mixes),
+   wrapped in one CLI:
+
+     hbbp list
+     hbbp profile fitter-sse
+     hbbp mix test40 --by mnemonic --method hbbp --top 25
+     hbbp mix hello --by symbol --rings
+     hbbp bias fitter-sse
+     hbbp train
+     hbbp capabilities
+*)
+
+open Cmdliner
+open Hbbp_core
+open Hbbp_analyzer
+
+let profile_of name =
+  Pipeline.run (Hbbp_workloads.Registry.find name)
+
+(* ---- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter print_endline Hbbp_workloads.Registry.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads")
+    Term.(const run $ const ())
+
+(* ---- profile ------------------------------------------------------- *)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,hbbp list)).")
+
+let profile_cmd =
+  let run name =
+    let p = profile_of name in
+    Format.printf "%a@.@." Report.summary p;
+    Report.method_comparison Format.std_formatter p;
+    Format.printf "@.Top mnemonics (HBBP):@.";
+    Pivot.render Format.std_formatter
+      (Views.top_mnemonics 15 (Pipeline.full_mix_of p p.Pipeline.hbbp));
+    Format.printf "@.Per-mnemonic errors vs instrumentation:@.";
+    Report.error_table Format.std_formatter ~top:15 p p.Pipeline.hbbp
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a workload end to end and report accuracy/overheads")
+    Term.(const run $ workload_arg)
+
+(* ---- mix ----------------------------------------------------------- *)
+
+let dimension_conv =
+  let parse = function
+    | "mnemonic" -> Ok Pivot.Mnem
+    | "symbol" | "function" -> Ok Pivot.Symbol
+    | "module" -> Ok Pivot.Image
+    | "block" -> Ok Pivot.Block
+    | "isa" -> Ok Pivot.Isa_set
+    | "category" -> Ok Pivot.Category
+    | "packing" -> Ok Pivot.Packing
+    | "ring" -> Ok Pivot.Ring_level
+    | s -> Error (`Msg (Printf.sprintf "unknown dimension %S" s))
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Pivot.dimension_to_string d))
+
+let method_conv =
+  let parse = function
+    | "hbbp" -> Ok `Hbbp
+    | "ebs" -> Ok `Ebs
+    | "lbr" -> Ok `Lbr
+    | "sde" | "reference" -> Ok `Sde
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with `Hbbp -> "hbbp" | `Ebs -> "ebs" | `Lbr -> "lbr" | `Sde -> "sde") )
+
+let mix_cmd =
+  let by =
+    Arg.(
+      value
+      & opt_all dimension_conv [ Pivot.Mnem ]
+      & info [ "by" ] ~docv:"DIM"
+          ~doc:
+            "Pivot dimension(s): mnemonic, symbol, module, block, isa, \
+             category, packing, ring. Repeatable.")
+  in
+  let method_ =
+    Arg.(
+      value
+      & opt method_conv `Hbbp
+      & info [ "method" ] ~docv:"METHOD" ~doc:"BBEC source: hbbp, ebs, lbr, sde.")
+  in
+  let top =
+    Arg.(value & opt int 30 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
+  in
+  let user_only =
+    Arg.(
+      value & flag
+      & info [ "user-only" ] ~doc:"Restrict to ring-3 code (like PIN/SDE).")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run name by method_ top user_only csv =
+    let p = profile_of name in
+    let bbec =
+      match method_ with
+      | `Hbbp -> p.Pipeline.hbbp
+      | `Ebs -> p.Pipeline.ebs.Ebs_estimator.bbec
+      | `Lbr -> p.Pipeline.lbr.Lbr_estimator.bbec
+      | `Sde -> p.Pipeline.reference
+    in
+    let mix =
+      if user_only then Pipeline.mix_of p bbec else Pipeline.full_mix_of p bbec
+    in
+    let table = Pivot.top top (Pivot.pivot ~dims:by mix) in
+    if csv then print_string (Pivot.to_csv table)
+    else Pivot.render Format.std_formatter table
+  in
+  Cmd.v
+    (Cmd.info "mix" ~doc:"Print a pivot-table instruction mix")
+    Term.(const run $ workload_arg $ by $ method_ $ top $ user_only $ csv)
+
+(* ---- bias ---------------------------------------------------------- *)
+
+let bias_cmd =
+  let run name =
+    let p = profile_of name in
+    Format.printf "%d snapshots, %d flagged blocks@." p.Pipeline.bias.Bias.snapshots
+      (List.length (Bias.flagged_blocks p.Pipeline.bias));
+    Format.printf "%-12s %8s %8s %10s %10s %9s %8s@." "branch" "entry0" "deep"
+      "e0 share" "deep share" "adjacent" "failed";
+    List.iteri
+      (fun k (s : Bias.branch_stat) ->
+        if k < 20 then
+          Format.printf "%#-12x %8d %8d %9.3f%% %9.3f%% %9d %8d@." s.src
+            s.entry0_count s.deep_count (100.0 *. s.entry0_share)
+            (100.0 *. s.deep_share) s.adjacent_streams s.failed_streams)
+      p.Pipeline.bias.Bias.stats
+  in
+  Cmd.v
+    (Cmd.info "bias" ~doc:"Show LBR entry[0] bias statistics per branch")
+    Term.(const run $ workload_arg)
+
+(* ---- train --------------------------------------------------------- *)
+
+let train_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz instead of ASCII.")
+  in
+  let run dot =
+    let profiles =
+      List.map Pipeline.run (Hbbp_workloads.Training_set.all ())
+    in
+    let tree, dataset = Training.train profiles in
+    if dot then print_string (Hbbp_mltree.Render.dot dataset tree)
+    else begin
+      print_string (Hbbp_mltree.Render.ascii dataset tree);
+      (match Training.learned_cutoff tree with
+      | Some c -> Printf.printf "learned block-length cutoff: %.1f\n" c
+      | None -> print_endline "root split not on block length");
+      let imp =
+        Hbbp_mltree.Cart.feature_importances tree
+          ~n_features:(Array.length Feature.names)
+      in
+      Array.iteri
+        (fun k v -> Printf.printf "importance %-20s %.3f\n" Feature.names.(k) v)
+        imp
+    end
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Run the HBBP criteria search on the training corpus")
+    Term.(const run $ dot)
+
+(* ---- collect / analyze --------------------------------------------- *)
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "perf.hbbp"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Archive path.")
+
+let collect_cmd =
+  let run name output =
+    let archive =
+      Pipeline.collect_archive (Hbbp_workloads.Registry.find name)
+    in
+    Hbbp_collector.Perf_data.save archive ~path:output;
+    Format.printf "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@."
+      output
+      (List.length archive.Hbbp_collector.Perf_data.records)
+      (List.length archive.Hbbp_collector.Perf_data.analysis_images)
+      archive.Hbbp_collector.Perf_data.ebs_period
+      archive.Hbbp_collector.Perf_data.lbr_period
+  in
+  Cmd.v
+    (Cmd.info "collect"
+       ~doc:
+         "Run only the collection side (no instrumentation) and write a           portable perf.data-style archive")
+    Term.(const run $ workload_arg $ output_arg)
+
+let archive_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Archive written by $(b,hbbp collect).")
+
+let analyze_cmd =
+  let top =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
+  in
+  let run path top =
+    match Hbbp_collector.Perf_data.load ~path with
+    | Error e ->
+        Format.eprintf "%s: %a@." path Hbbp_collector.Perf_data.pp_error e;
+        exit 1
+    | Ok archive ->
+        let r = Pipeline.analyze_archive archive in
+        Format.printf "workload %s: %d blocks, %d LBR snapshots, %d flagged@."
+          archive.Hbbp_collector.Perf_data.workload_name
+          (Static.total_blocks r.Pipeline.r_static)
+          r.Pipeline.r_lbr.Lbr_estimator.snapshots
+          (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
+        Format.printf "@.Instruction mix (HBBP):@.";
+        Pivot.render Format.std_formatter
+          (Views.top_mnemonics top
+             (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze an archive offline (no re-run needed)")
+    Term.(const run $ archive_arg $ top)
+
+(* ---- loops ---------------------------------------------------------- *)
+
+let loops_cmd =
+  let run name =
+    let p = profile_of name in
+    Loop_view.render Format.std_formatter
+      (Loop_view.report p.Pipeline.static p.Pipeline.hbbp)
+  in
+  Cmd.v
+    (Cmd.info "loops"
+       ~doc:"Natural loops with composition and estimated trip counts")
+    Term.(const run $ workload_arg)
+
+(* ---- capabilities --------------------------------------------------- *)
+
+let capabilities_cmd =
+  let run () =
+    let module C = Hbbp_collector.Capabilities in
+    List.iter
+      (fun gen ->
+        Printf.printf "%s (%d):\n" (C.generation_to_string gen) (C.year gen);
+        List.iter
+          (fun cls ->
+            Printf.printf "  %-14s %s\n"
+              (C.event_class_to_string cls)
+              (C.support_to_string (C.support gen cls)))
+          C.event_classes)
+      C.generations
+  in
+  Cmd.v
+    (Cmd.info "capabilities"
+       ~doc:"Show instruction-specific event support by PMU generation")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Low-overhead dynamic instruction mixes via Hybrid Basic Block Profiling" in
+  let info = Cmd.info "hbbp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; profile_cmd; mix_cmd; bias_cmd; train_cmd;
+            collect_cmd; analyze_cmd; loops_cmd; capabilities_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_taxonomy.ml: Format Hbbp_analyzer Hbbp_core Hbbp_isa Hbbp_workloads Instruction List Mix Mnemonic Pipeline Pivot Taxonomy Views

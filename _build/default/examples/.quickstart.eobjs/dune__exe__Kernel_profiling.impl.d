@@ -1,0 +1,1 @@
+examples/kernel_profiling.ml: Float Format Hbbp_analyzer Hbbp_collector Hbbp_core Hbbp_cpu Hbbp_workloads Lbr_estimator Mix Pipeline Pivot Sample_db String

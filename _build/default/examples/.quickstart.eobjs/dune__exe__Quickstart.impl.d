@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hbbp_analyzer Hbbp_core Hbbp_cpu Hbbp_isa Hbbp_program Mnemonic Operand Pipeline Report Ring Workload

@@ -1,0 +1,1 @@
+examples/vectorization_study.ml: Format Hbbp_analyzer Hbbp_core Hbbp_isa Hbbp_workloads List Mix Pipeline

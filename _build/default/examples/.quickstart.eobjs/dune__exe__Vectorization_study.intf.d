@@ -1,0 +1,1 @@
+examples/vectorization_study.mli:

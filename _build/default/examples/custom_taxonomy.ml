@@ -1,0 +1,55 @@
+(* Custom instruction taxonomies — paper section V.B: "a user-defined
+   instruction group called 'long latency instructions' would contain
+   instructions such as DIV, SQRT, XCHG R,M, or a group called
+   'synchronization instructions'...".
+
+   This example profiles a scientific workload and breaks its dynamic
+   mix down by user-defined groups, then drills into where the
+   long-latency instructions live.
+
+     dune exec examples/custom_taxonomy.exe
+*)
+
+open Hbbp_isa
+open Hbbp_core
+open Hbbp_analyzer
+
+(* A custom group beyond the built-ins: transcendental math only. *)
+let transcendentals =
+  Taxonomy.make "transcendentals" (fun (ins : Instruction.t) ->
+      match Mnemonic.category ins.mnemonic with
+      | Mnemonic.Transcendental -> true
+      | _ -> false)
+
+let groups =
+  [
+    Taxonomy.long_latency;
+    Taxonomy.synchronization;
+    Taxonomy.fp_math;
+    Taxonomy.vector_packed;
+    Taxonomy.memory_read;
+    Taxonomy.memory_write;
+    transcendentals;
+  ]
+
+let () =
+  let p = Pipeline.run (Hbbp_workloads.Spec.find "soplex") in
+  let mix = Pipeline.full_mix_of p p.Pipeline.hbbp in
+  let total = Mix.total mix in
+  Format.printf "workload: soplex — %.1fM dynamic instructions@.@."
+    (total /. 1e6);
+  Format.printf "%-28s %12s %8s@." "group" "executions" "share";
+  List.iter
+    (fun (name, count) ->
+      Format.printf "%-28s %12.0f %7.2f%%@." name count
+        (100.0 *. count /. total))
+    (Views.group_totals groups p.Pipeline.static p.Pipeline.hbbp);
+
+  (* Where do the long-latency instructions live?  Pivot the mix rows
+     that belong to the group by function. *)
+  Format.printf "@.Long-latency hotspots by function:@.";
+  let in_group (r : Mix.row) =
+    Taxonomy.long_latency.Taxonomy.matches (Instruction.make r.mnemonic [])
+  in
+  Pivot.render Format.std_formatter
+    (Pivot.top 5 (Pivot.pivot ~dims:[ Pivot.Symbol; Pivot.Mnem ] ~filter:in_group mix))

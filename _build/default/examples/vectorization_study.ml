@@ -1,0 +1,57 @@
+(* Vectorization study — the paper's Fitter case study (section VIII.C).
+
+   A track-fitting kernel exists in x87, SSE and AVX builds, plus an AVX
+   build where the compiler silently stopped inlining.  Instruction
+   mixes localise the regression: the vector-instruction counts look
+   fine, but CALLs explode.
+
+     dune exec examples/vectorization_study.exe
+*)
+
+open Hbbp_core
+open Hbbp_analyzer
+module F = Hbbp_workloads.Fitter
+
+let isa_counts mix =
+  List.map
+    (fun set ->
+      ( Hbbp_isa.Mnemonic.isa_set_to_string set,
+        List.fold_left
+          (fun acc (r : Mix.row) ->
+            if
+              Hbbp_isa.Mnemonic.equal_isa_set
+                (Hbbp_isa.Mnemonic.isa_set r.mnemonic)
+                set
+            then acc +. r.count
+            else acc)
+          0.0 mix.Mix.rows ))
+    [ Hbbp_isa.Mnemonic.X87; Hbbp_isa.Mnemonic.Sse; Hbbp_isa.Mnemonic.Avx ]
+
+let calls mix =
+  List.fold_left
+    (fun acc (r : Mix.row) ->
+      match Hbbp_isa.Mnemonic.category r.mnemonic with
+      | Hbbp_isa.Mnemonic.Call -> acc +. r.count
+      | _ -> acc)
+    0.0 mix.Mix.rows
+
+let () =
+  Format.printf "%-22s %10s %10s %10s %10s %12s@." "variant" "x87" "SSE" "AVX"
+    "CALLs" "time/track";
+  List.iter
+    (fun variant ->
+      let p = Pipeline.run (F.workload variant) in
+      let mix = Pipeline.mix_of p p.Pipeline.hbbp in
+      let by_isa = isa_counts mix in
+      Format.printf "%-22s %10.0f %10.0f %10.0f %10.0f %9.3f us@."
+        (F.variant_name variant)
+        (List.assoc "X87" by_isa) (List.assoc "Sse" by_isa)
+        (List.assoc "Avx" by_isa) (calls mix)
+        (float_of_int p.Pipeline.clean_cycles /. 3.0 /. float_of_int F.tracks
+        /. 1000.0))
+    F.all_variants;
+  Format.printf
+    "@.Diagnosis: the broken AVX build executes a normal number of vector@.\
+     instructions but ~7x the CALLs — an inlining regression, not an@.\
+     instruction-selection one.  (Paper section VIII.C reached the same@.\
+     conclusion for the real compiler bug.)@."

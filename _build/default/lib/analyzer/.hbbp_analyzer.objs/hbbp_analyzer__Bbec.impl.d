@@ -1,0 +1,1 @@
+lib/analyzer/bbec.ml: Array Hbbp_program List Static

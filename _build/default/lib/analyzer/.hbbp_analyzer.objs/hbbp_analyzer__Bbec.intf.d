@@ -1,0 +1,1 @@
+lib/analyzer/bbec.mli: Hbbp_program Static

@@ -1,0 +1,1 @@
+lib/analyzer/bias.ml: Array Hashtbl Hbbp_cpu Hbbp_program List Option Sample_db Static Stream_walk

@@ -1,0 +1,1 @@
+lib/analyzer/bias.mli: Sample_db Static

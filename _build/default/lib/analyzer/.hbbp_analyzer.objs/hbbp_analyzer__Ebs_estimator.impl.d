@@ -1,0 +1,1 @@
+lib/analyzer/ebs_estimator.ml: Array Bbec Hbbp_program Sample_db Static

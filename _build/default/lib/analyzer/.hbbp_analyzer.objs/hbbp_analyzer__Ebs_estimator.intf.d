@@ -1,0 +1,1 @@
+lib/analyzer/ebs_estimator.mli: Bbec Sample_db Static

@@ -1,0 +1,1 @@
+lib/analyzer/kernel_patch.ml: Hbbp_program Image List Process Ring Static

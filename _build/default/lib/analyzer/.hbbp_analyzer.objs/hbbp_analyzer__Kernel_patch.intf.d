@@ -1,0 +1,1 @@
+lib/analyzer/kernel_patch.mli: Hbbp_program Process Static

@@ -1,0 +1,1 @@
+lib/analyzer/lbr_estimator.ml: Array Bbec Hbbp_cpu List Sample_db Static Stream_walk

@@ -1,0 +1,1 @@
+lib/analyzer/lbr_estimator.mli: Bbec Sample_db Static

@@ -1,0 +1,1 @@
+lib/analyzer/loop_view.ml: Array Basic_block Bb_map Bbec Cfg Format Hbbp_program Image List Option Process Static Symbol

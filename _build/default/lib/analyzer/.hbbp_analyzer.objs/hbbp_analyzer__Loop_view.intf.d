@@ -1,0 +1,1 @@
+lib/analyzer/loop_view.mli: Bbec Format Static

@@ -1,0 +1,1 @@
+lib/analyzer/mix.ml: Array Basic_block Bbec Hashtbl Hbbp_isa Hbbp_program Image Instruction Int64 List Mnemonic Option Ring Static Symbol

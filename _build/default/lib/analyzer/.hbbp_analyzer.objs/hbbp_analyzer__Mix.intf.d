@@ -1,0 +1,1 @@
+lib/analyzer/mix.mli: Bbec Hbbp_isa Hbbp_program Mnemonic Ring Static

@@ -1,0 +1,1 @@
+lib/analyzer/pivot.ml: Buffer Format Hashtbl Hbbp_isa Hbbp_program List Mix Mnemonic Option Printf String

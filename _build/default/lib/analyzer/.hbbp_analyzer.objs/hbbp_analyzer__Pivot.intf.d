@@ -1,0 +1,1 @@
+lib/analyzer/pivot.mli: Format Mix

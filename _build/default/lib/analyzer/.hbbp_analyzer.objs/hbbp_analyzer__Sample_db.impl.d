@@ -1,0 +1,1 @@
+lib/analyzer/sample_db.ml: Array Hbbp_collector Hbbp_cpu Hbbp_program Lbr List Pmu_event Ring

@@ -1,0 +1,1 @@
+lib/analyzer/sample_db.mli: Hbbp_collector Hbbp_cpu Hbbp_program Lbr Ring

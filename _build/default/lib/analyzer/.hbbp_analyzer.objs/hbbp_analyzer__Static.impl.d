@@ -1,0 +1,1 @@
+lib/analyzer/static.ml: Array Basic_block Bb_map Disasm Format Hbbp_program Image List Option Process String

@@ -1,0 +1,1 @@
+lib/analyzer/static.mli: Basic_block Bb_map Disasm Hbbp_program Image Process

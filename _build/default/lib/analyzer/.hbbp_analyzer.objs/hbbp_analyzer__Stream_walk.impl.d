@@ -1,0 +1,1 @@
+lib/analyzer/stream_walk.ml: Basic_block Hbbp_program List Static

@@ -1,0 +1,1 @@
+lib/analyzer/stream_walk.mli: Static

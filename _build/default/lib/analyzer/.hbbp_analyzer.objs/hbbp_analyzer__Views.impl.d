@@ -1,0 +1,1 @@
+lib/analyzer/views.ml: Array Bbec Hbbp_isa Hbbp_program List Pivot Static Taxonomy

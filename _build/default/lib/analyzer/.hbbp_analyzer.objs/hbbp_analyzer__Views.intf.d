@@ -1,0 +1,1 @@
+lib/analyzer/views.mli: Bbec Hbbp_isa Mix Pivot Static

@@ -1,0 +1,33 @@
+type method_ = Ebs | Lbr | Hbbp | Reference
+type t = { method_ : method_; counts : float array }
+
+let method_to_string = function
+  | Ebs -> "EBS"
+  | Lbr -> "LBR"
+  | Hbbp -> "HBBP"
+  | Reference -> "SDE"
+
+let create method_ total = { method_; counts = Array.make total 0.0 }
+
+let of_block_counts static triples =
+  let t = create Reference (Static.total_blocks static) in
+  List.iter
+    (fun (map, block, count) ->
+      match Static.global_id static map block with
+      | Some gid -> t.counts.(gid) <- float_of_int count
+      | None -> ())
+    triples;
+  t
+
+let count t gid =
+  if gid >= 0 && gid < Array.length t.counts then t.counts.(gid) else 0.0
+
+let total_instructions static t =
+  let total = ref 0.0 in
+  Static.iter
+    (fun gid _ block ->
+      total :=
+        !total
+        +. (t.counts.(gid) *. float_of_int (Hbbp_program.Basic_block.length block)))
+    static;
+  !total

@@ -1,0 +1,22 @@
+(** Basic Block Execution Counts over a {!Static} view, indexed by global
+    block id. *)
+
+type method_ = Ebs | Lbr | Hbbp | Reference
+
+type t = { method_ : method_; counts : float array }
+
+val method_to_string : method_ -> string
+val create : method_ -> int -> t
+
+(** [of_block_counts static triples] — exact counts (e.g. from
+    instrumentation) projected onto the global numbering. *)
+val of_block_counts :
+  Static.t ->
+  (Hbbp_program.Bb_map.t * Hbbp_program.Basic_block.t * int) list ->
+  t
+
+(** [count t gid] — 0 for out-of-range ids. *)
+val count : t -> int -> float
+
+(** Total dynamic instructions implied by the counts. *)
+val total_instructions : Static.t -> t -> float

@@ -1,0 +1,191 @@
+type branch_stat = {
+  src : int;
+  entry0_count : int;
+  deep_count : int;
+  entry0_share : float;
+  deep_share : float;
+  adjacent_streams : int;
+  failed_streams : int;
+}
+
+type t = { flags : bool array; stats : branch_stat list; snapshots : int }
+
+type params = {
+  min_snapshots : int;
+  min_entry0 : int;
+  min_entry0_share : float;
+  share_factor : float;
+  min_failures : int;
+  failure_rate : float;
+}
+
+let default_params =
+  { min_snapshots = 30; min_entry0 = 8; min_entry0_share = 0.04;
+    share_factor = 1.25; min_failures = 12; failure_rate = 0.10 }
+
+let detect ?(params = default_params) static samples =
+  let entry0 = Hashtbl.create 256 in
+  let deep = Hashtbl.create 1024 in
+  let bump table key =
+    Hashtbl.replace table key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  in
+  let snapshots = ref 0 in
+  let deep_total = ref 0 in
+  (* Per branch: how many streams START at one of its records, and how
+     many of those cannot be walked.  A missing LBR record after a branch
+     merges the following stream, which then usually fails to walk — a
+     high failure rate is the observable signature of record loss. *)
+  let adjacent = Hashtbl.create 1024 in
+  let failed = Hashtbl.create 1024 in
+  Array.iter
+    (fun (s : Sample_db.lbr_sample) ->
+      let n = Array.length s.entries in
+      if n >= 2 then begin
+        incr snapshots;
+        bump entry0 s.entries.(0).Hbbp_cpu.Lbr.src;
+        for k = 1 to n - 1 do
+          bump deep s.entries.(k).Hbbp_cpu.Lbr.src;
+          incr deep_total;
+          let owner = s.entries.(k - 1).Hbbp_cpu.Lbr.src in
+          bump adjacent owner;
+          match
+            Stream_walk.walk static ~target:s.entries.(k - 1).Hbbp_cpu.Lbr.tgt
+              ~src:s.entries.(k).Hbbp_cpu.Lbr.src
+          with
+          | Stream_walk.Blocks _ -> ()
+          | Stream_walk.Inconsistent | Stream_walk.Bad -> bump failed owner
+        done
+      end)
+    samples;
+  let flags = Array.make (Static.total_blocks static) false in
+  let flagged_srcs = Hashtbl.create 16 in
+  let stats = ref [] in
+  if !snapshots >= params.min_snapshots then
+    Hashtbl.iter
+      (fun src entry0_count ->
+        let deep_count = Option.value ~default:0 (Hashtbl.find_opt deep src) in
+        let entry0_share = float_of_int entry0_count /. float_of_int !snapshots in
+        let deep_share =
+          if !deep_total = 0 then 0.0
+          else float_of_int deep_count /. float_of_int !deep_total
+        in
+        let adjacent_streams =
+          Option.value ~default:0 (Hashtbl.find_opt adjacent src)
+        in
+        let failed_streams =
+          Option.value ~default:0 (Hashtbl.find_opt failed src)
+        in
+        stats :=
+          { src; entry0_count; deep_count; entry0_share; deep_share;
+            adjacent_streams; failed_streams }
+          :: !stats;
+        let entry0_symptom =
+          entry0_count >= params.min_entry0
+          && entry0_share >= params.min_entry0_share
+          && entry0_share > params.share_factor *. deep_share
+        in
+        let failure_symptom =
+          failed_streams >= params.min_failures
+          && adjacent_streams > 0
+          && float_of_int failed_streams /. float_of_int adjacent_streams
+             > params.failure_rate
+        in
+        if entry0_symptom || failure_symptom then begin
+          Hashtbl.replace flagged_srcs src ();
+          match Static.find static src with
+          | Some gid -> flags.(gid) <- true
+          | None -> ()
+        end)
+      entry0;
+  (* Contamination spreads beyond the anomalous branch itself: every
+     count whose supporting stream is ADJACENT to a record of a flagged
+     branch (ends at its source, or starts at its target) is suspect.
+     Flag the blocks those streams visit, so HBBP can route the whole
+     neighbourhood away from LBR data. *)
+  if Hashtbl.length flagged_srcs > 0 then
+    Array.iter
+      (fun (s : Sample_db.lbr_sample) ->
+        let n = Array.length s.entries in
+        let flag_forward_from addr limit =
+          (* Flag the layout neighbourhood following [addr] — used when a
+             suspect stream cannot even be walked. *)
+          match Static.find_starting static addr with
+          | None -> ()
+          | Some gid0 ->
+              let rec go gid k =
+                if k < limit then begin
+                  flags.(gid) <- true;
+                  match Static.next_in_layout static gid with
+                  | Some next -> go next (k + 1)
+                  | None -> ()
+                end
+              in
+              go gid0 0
+        in
+        let flag_walk ~target ~src =
+          match Stream_walk.walk static ~target ~src with
+          | Stream_walk.Blocks gids ->
+              List.iter (fun gid -> flags.(gid) <- true) gids
+          | Stream_walk.Inconsistent | Stream_walk.Bad ->
+              flag_forward_from target 4;
+              Option.iter
+                (fun gid -> flags.(gid) <- true)
+                (Static.find static src)
+        in
+        for k = 0 to n - 1 do
+          if Hashtbl.mem flagged_srcs s.entries.(k).Hbbp_cpu.Lbr.src then begin
+            (* Stream ending at this record. *)
+            if k >= 1 then
+              flag_walk ~target:s.entries.(k - 1).Hbbp_cpu.Lbr.tgt
+                ~src:s.entries.(k).Hbbp_cpu.Lbr.src;
+            (* Stream starting at this record's target. *)
+            if k + 1 < n then
+              flag_walk ~target:s.entries.(k).Hbbp_cpu.Lbr.tgt
+                ~src:s.entries.(k + 1).Hbbp_cpu.Lbr.src
+          end
+        done)
+      samples;
+  (* One hop along static control flow: a suspect stream's distortion
+     spills onto the blocks its endpoints branch to. *)
+  if Hashtbl.length flagged_srcs > 0 then begin
+    let seed = Array.copy flags in
+    Array.iteri
+      (fun gid is_flagged ->
+        if is_flagged then begin
+          let _, _, block = Static.block static gid in
+          let flag_target addr =
+            Option.iter
+              (fun g -> flags.(g) <- true)
+              (Static.find_starting static addr)
+          in
+          match block.Hbbp_program.Basic_block.term with
+          | Hbbp_program.Basic_block.Term_jump a -> flag_target a
+          | Hbbp_program.Basic_block.Term_cond a ->
+              flag_target a;
+              Option.iter
+                (fun g -> flags.(g) <- true)
+                (Static.next_in_layout static gid)
+          | Hbbp_program.Basic_block.Term_fallthrough ->
+              Option.iter
+                (fun g -> flags.(g) <- true)
+                (Static.next_in_layout static gid)
+          | Hbbp_program.Basic_block.Term_call _
+          | Hbbp_program.Basic_block.Term_indirect_jump
+          | Hbbp_program.Basic_block.Term_ret
+          | Hbbp_program.Basic_block.Term_syscall
+          | Hbbp_program.Basic_block.Term_sysret
+          | Hbbp_program.Basic_block.Term_halt ->
+              ()
+        end)
+      seed
+  end;
+  let stats =
+    List.sort (fun a b -> compare b.entry0_share a.entry0_share) !stats
+  in
+  { flags; stats; snapshots = !snapshots }
+
+let flagged_blocks t =
+  let out = ref [] in
+  Array.iteri (fun gid f -> if f then out := gid :: !out) t.flags;
+  List.rev !out

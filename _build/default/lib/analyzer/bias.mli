@@ -1,0 +1,46 @@
+(** LBR bias detection (paper section III.C).
+
+    Some branches appear at entry[0] of the LBR stack a disproportionate
+    number of times (up to ~50%).  Since [source[0]] has no matching
+    [target[-1]], the stream ending there is unusable, and when a branch
+    monopolises that slot the blocks around it are systematically
+    mis-counted.  When the analyzer observes a branch over-represented at
+    entry[0] relative to its share of the deeper entries, it labels the
+    branch's basic block with a {b bias flag}: its LBR-based count is
+    suspect.  The flag is one of HBBP's classifier features. *)
+
+type branch_stat = {
+  src : int;  (** Branch source address. *)
+  entry0_count : int;
+  deep_count : int;  (** Appearances at entries 1..N-1. *)
+  entry0_share : float;
+  deep_share : float;
+  adjacent_streams : int;  (** Streams starting at this branch's records. *)
+  failed_streams : int;  (** Of those, how many could not be walked. *)
+}
+
+type t = {
+  flags : bool array;  (** Per global block id. *)
+  stats : branch_stat list;  (** Branches sorted by entry0 share. *)
+  snapshots : int;
+}
+
+type params = {
+  min_snapshots : int;  (** Below this, never flag (default 30). *)
+  min_entry0 : int;  (** Minimum absolute entry[0] sightings (default 8). *)
+  min_entry0_share : float;
+      (** Only branches hot enough to matter are flagged: their entry[0]
+          share must reach this floor (default 0.04). *)
+  share_factor : float;
+      (** Flag when entry0 share exceeds this multiple of the deep share
+          (default 1.25). *)
+  min_failures : int;
+      (** Second symptom — record loss: minimum failed adjacent streams
+          (default 12). *)
+  failure_rate : float;
+      (** ... and minimum failure rate among them (default 0.10). *)
+}
+
+val default_params : params
+val detect : ?params:params -> Static.t -> Sample_db.lbr_sample array -> t
+val flagged_blocks : t -> int list

@@ -1,0 +1,21 @@
+type t = { bbec : Bbec.t; raw : int array; unattributed : int; period : int }
+
+let estimate static ~period samples =
+  let total = Static.total_blocks static in
+  let raw = Array.make total 0 in
+  let unattributed = ref 0 in
+  Array.iter
+    (fun (s : Sample_db.ebs_sample) ->
+      match Static.find static s.ip with
+      | Some gid -> raw.(gid) <- raw.(gid) + 1
+      | None -> incr unattributed)
+    samples;
+  let bbec = Bbec.create Bbec.Ebs total in
+  Static.iter
+    (fun gid _ block ->
+      let len = Hbbp_program.Basic_block.length block in
+      if raw.(gid) > 0 && len > 0 then
+        bbec.Bbec.counts.(gid) <-
+          float_of_int raw.(gid) *. float_of_int period /. float_of_int len)
+    static;
+  { bbec; raw; unattributed = !unattributed; period }

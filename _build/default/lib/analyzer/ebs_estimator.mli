@@ -1,0 +1,18 @@
+(** BBEC estimation from EBS samples (paper section III.A).
+
+    Classic EBS attributes each IP sample to a single instruction; the
+    paper's enhancement applies every sample to {e all instructions of the
+    enclosing basic block} — if one instruction of the block retired, the
+    whole block did.  To convert to an execution count the per-block
+    sample tally is multiplied by the sampling period and divided by the
+    block's instruction length. *)
+
+type t = {
+  bbec : Bbec.t;
+  raw : int array;  (** Samples landing in each block. *)
+  unattributed : int;  (** IPs outside any known block (e.g. skid past a
+                           function end into padding, or unmapped). *)
+  period : int;
+}
+
+val estimate : Static.t -> period:int -> Sample_db.ebs_sample array -> t

@@ -1,0 +1,15 @@
+open Hbbp_program
+
+let patch_process ~analyzed ~live =
+  List.fold_left
+    (fun process (img : Image.t) ->
+      if Ring.equal img.ring Ring.Kernel then
+        match Process.find_image live img.name with
+        | Some live_img ->
+            Process.with_image process (Image.patch_code img ~from_image:live_img)
+        | None -> process
+      else process)
+    analyzed (Process.images analyzed)
+
+let patch_static static ~live =
+  Static.create_exn (patch_process ~analyzed:(Static.process static) ~live)

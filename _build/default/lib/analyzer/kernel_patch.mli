@@ -1,0 +1,14 @@
+(** The kernel self-modifying-code remedy (paper section III.C): "after
+    the run we patch the static kernel binary on disk with the .text
+    extracted from the live kernel image". *)
+
+open Hbbp_program
+
+(** [patch_process ~analyzed ~live] — every kernel image in [analyzed]
+    whose name also appears in [live] gets its code bytes replaced by the
+    live text. *)
+val patch_process : analyzed:Process.t -> live:Process.t -> Process.t
+
+(** [patch_static static ~live] — convenience: patch and rebuild the
+    static view. *)
+val patch_static : Static.t -> live:Process.t -> Static.t

@@ -1,0 +1,55 @@
+type t = {
+  bbec : Bbec.t;
+  weight : float array;
+  period : int;
+  snapshots : int;
+  usable_streams : int;
+  inconsistent_streams : int;
+  discarded_streams : int;
+}
+
+
+let estimate static ~period samples =
+  let total = Static.total_blocks static in
+  let weight = Array.make total 0.0 in
+  let usable = ref 0 and inconsistent = ref 0 and discarded = ref 0 in
+  Array.iter
+    (fun (s : Sample_db.lbr_sample) ->
+      let n = Array.length s.entries in
+      if n >= 2 then begin
+        (* Two passes: classify the snapshot's streams first, then
+           normalise the snapshot to one sample over its usable streams
+           (= 1/(N-1) when all N-1 are usable, the paper's weighting). *)
+        let walked = ref [] in
+        for idx = 1 to n - 1 do
+          let target = s.entries.(idx - 1).Hbbp_cpu.Lbr.tgt in
+          let src = s.entries.(idx).Hbbp_cpu.Lbr.src in
+          match Stream_walk.walk static ~target ~src with
+          | Stream_walk.Blocks gids ->
+              incr usable;
+              walked := gids :: !walked
+          | Stream_walk.Inconsistent -> incr inconsistent
+          | Stream_walk.Bad -> incr discarded
+        done;
+        match !walked with
+        | [] -> ()
+        | streams ->
+            let w = 1.0 /. float_of_int (List.length streams) in
+            List.iter
+              (List.iter (fun gid -> weight.(gid) <- weight.(gid) +. w))
+              streams
+      end)
+    samples;
+  let bbec = Bbec.create Bbec.Lbr total in
+  Array.iteri
+    (fun gid w -> bbec.Bbec.counts.(gid) <- w *. float_of_int period)
+    weight;
+  {
+    bbec;
+    weight;
+    period;
+    snapshots = Array.length samples;
+    usable_streams = !usable;
+    inconsistent_streams = !inconsistent;
+    discarded_streams = !discarded;
+  }

@@ -1,0 +1,31 @@
+(** BBEC estimation from LBR stacks (paper section III.B).
+
+    Each snapshot of depth N yields N-1 {e streams}: between
+    [Target[i-1]] and [Source[i]] no branch was taken, so every basic
+    block laid out between those addresses executed.  Streams are
+    weighted so that a whole snapshot counts as one sample — 1/(N-1) when
+    all N-1 streams are usable (the paper's weighting), 1/(usable)
+    otherwise — and multiplying a block's accumulated weight by the
+    sampling period estimates its execution count.
+
+    Streams are validated during the walk: a stream that would cross an
+    always-taken terminator (unconditional jump, call, return) is
+    {e inconsistent} — execution claims straight-line flow where the
+    static code says that is impossible.  This is exactly the symptom
+    self-modifying kernel code produces when the analyzer disassembles
+    the on-disk image (section III.C); such streams are dropped and
+    counted. *)
+
+type t = {
+  bbec : Bbec.t;
+  weight : float array;
+  period : int;
+  snapshots : int;
+  usable_streams : int;
+  inconsistent_streams : int;
+      (** Walk crossed an always-taken terminator. *)
+  discarded_streams : int;
+      (** Unresolvable endpoints, backwards ranges, or over-long walks. *)
+}
+
+val estimate : Static.t -> period:int -> Sample_db.lbr_sample array -> t

@@ -1,0 +1,86 @@
+open Hbbp_program
+
+type loop_stat = {
+  image : string;
+  symbol : string;
+  header_addr : int;
+  blocks : int;
+  static_instructions : int;
+  dynamic_instructions : float;
+  header_count : float;
+  trips_per_entry : float;
+}
+
+let report static bbec =
+  let stats = ref [] in
+  List.iter
+    (fun (img : Image.t) ->
+      match Static.map_of_image static img.name with
+      | None -> ()
+      | Some map ->
+          let cfg = Cfg.of_bb_map map in
+          let idom = Cfg.immediate_dominators cfg ~entry:0 in
+          List.iter
+            (fun (l : Cfg.loop) ->
+              let block id = Bb_map.block map id in
+              let gid id =
+                Option.get (Static.global_id static map (block id))
+              in
+              let header_block = block l.header in
+              let header_count = Bbec.count bbec (gid l.header) in
+              let static_instructions =
+                List.fold_left
+                  (fun acc id -> acc + Basic_block.length (block id))
+                  0 l.body
+              in
+              let dynamic_instructions =
+                List.fold_left
+                  (fun acc id ->
+                    acc
+                    +. (Bbec.count bbec (gid id)
+                       *. float_of_int (Basic_block.length (block id))))
+                  0.0 l.body
+              in
+              let trips_per_entry =
+                (* Preheader = the header's immediate dominator, provided
+                   it sits outside the loop. *)
+                let pre = idom.(l.header) in
+                if pre >= 0 && pre <> l.header && not (List.mem pre l.body)
+                then
+                  let pre_count = Bbec.count bbec (gid pre) in
+                  if pre_count > 0.0 then header_count /. pre_count else 0.0
+                else 0.0
+              in
+              let symbol =
+                match Image.symbol_at img header_block.Basic_block.addr with
+                | Some s -> s.Symbol.name
+                | None -> "<unknown>"
+              in
+              stats :=
+                {
+                  image = img.name;
+                  symbol;
+                  header_addr = header_block.Basic_block.addr;
+                  blocks = List.length l.body;
+                  static_instructions;
+                  dynamic_instructions;
+                  header_count;
+                  trips_per_entry;
+                }
+                :: !stats)
+            (Cfg.natural_loops cfg ~entry:0))
+    (Process.images (Static.process static));
+  List.sort
+    (fun a b -> compare b.dynamic_instructions a.dynamic_instructions)
+    !stats
+
+let render ppf ?(top = 15) stats =
+  Format.fprintf ppf "%-12s %-22s %10s %6s %8s %12s %10s@." "module" "function"
+    "header" "blocks" "instrs" "dyn instrs" "trips";
+  List.iteri
+    (fun k s ->
+      if k < top then
+        Format.fprintf ppf "%-12s %-22s %#10x %6d %8d %12.0f %10.1f@." s.image
+          s.symbol s.header_addr s.blocks s.static_instructions
+          s.dynamic_instructions s.trips_per_entry)
+    stats

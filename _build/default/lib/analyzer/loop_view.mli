@@ -1,0 +1,25 @@
+(** Loop composition and trip-count estimates.
+
+    The paper's motivation section calls this use out directly:
+    "instruction mixes can reveal not only estimated trip counts but also
+    loop composition and architectural efficiency".  This view joins the
+    static natural-loop structure (CFG dominators) with dynamic BBECs. *)
+
+type loop_stat = {
+  image : string;
+  symbol : string;  (** Function containing the loop header. *)
+  header_addr : int;
+  blocks : int;  (** Static blocks in the loop body. *)
+  static_instructions : int;
+  dynamic_instructions : float;  (** Executed inside the body. *)
+  header_count : float;  (** Executions of the header block. *)
+  trips_per_entry : float;
+      (** Estimated iterations per loop entry (header count over
+          preheader count; 0 when unknown). *)
+}
+
+(** [report static bbec] — all natural loops, sorted by dynamic
+    instructions, descending. *)
+val report : Static.t -> Bbec.t -> loop_stat list
+
+val render : Format.formatter -> ?top:int -> loop_stat list -> unit

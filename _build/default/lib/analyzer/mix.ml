@@ -1,0 +1,77 @@
+open Hbbp_isa
+open Hbbp_program
+
+type row = {
+  image : string;
+  ring : Ring.t;
+  symbol : string;
+  block_gid : int;
+  block_addr : int;
+  block_len : int;
+  mnemonic : Mnemonic.t;
+  count : float;
+}
+
+type t = { rows : row list }
+
+let of_bbec static (bbec : Bbec.t) =
+  let rows = ref [] in
+  Static.iter
+    (fun gid (image : Image.t) block ->
+      let count = Bbec.count bbec gid in
+      if count > 0.0 then begin
+        let symbol =
+          match Image.symbol_at image block.Basic_block.addr with
+          | Some s -> s.Symbol.name
+          | None -> "<unknown>"
+        in
+        (* Group the block's instructions by mnemonic. *)
+        let per_mnemonic = Hashtbl.create 8 in
+        Array.iter
+          (fun (instr : Instruction.t) ->
+            Hashtbl.replace per_mnemonic instr.mnemonic
+              (1
+              + Option.value ~default:0
+                  (Hashtbl.find_opt per_mnemonic instr.mnemonic)))
+          block.Basic_block.instrs;
+        Hashtbl.iter
+          (fun mnemonic occurrences ->
+            rows :=
+              {
+                image = image.Image.name;
+                ring = image.Image.ring;
+                symbol;
+                block_gid = gid;
+                block_addr = block.Basic_block.addr;
+                block_len = Basic_block.length block;
+                mnemonic;
+                count = count *. float_of_int occurrences;
+              }
+              :: !rows)
+          per_mnemonic
+      end)
+    static;
+  { rows = List.rev !rows }
+
+let filter f t = { rows = List.filter f t.rows }
+let user_only t = filter (fun r -> Ring.equal r.ring Ring.User) t
+let kernel_only t = filter (fun r -> Ring.equal r.ring Ring.Kernel) t
+
+let totals_by key t =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = key r in
+      Hashtbl.replace table k
+        (r.count +. Option.value ~default:0.0 (Hashtbl.find_opt table k)))
+    t.rows;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let mnemonic_totals t = totals_by (fun r -> r.mnemonic) t
+let symbol_totals t = totals_by (fun r -> (r.image, r.symbol)) t
+let total t = List.fold_left (fun acc r -> acc +. r.count) 0.0 t.rows
+
+let of_histogram h =
+  List.map (fun (m, c) -> (m, Int64.to_float c)) h
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

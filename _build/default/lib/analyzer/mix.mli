@@ -1,0 +1,43 @@
+(** Dynamic instruction mixes: BBECs joined with static disassembly
+    (paper section V.B).
+
+    A mix is a flat fact table — one row per (block, mnemonic) with a
+    dynamic execution count — annotated with every static attribute the
+    pivot layer can group by. *)
+
+open Hbbp_isa
+open Hbbp_program
+
+type row = {
+  image : string;
+  ring : Ring.t;
+  symbol : string;
+  block_gid : int;
+  block_addr : int;
+  block_len : int;
+  mnemonic : Mnemonic.t;
+  count : float;
+}
+
+type t = { rows : row list }
+
+(** [of_bbec static bbec] — expands each block's count over its
+    instructions. *)
+val of_bbec : Static.t -> Bbec.t -> t
+
+val filter : (row -> bool) -> t -> t
+val user_only : t -> t
+val kernel_only : t -> t
+
+(** Per-mnemonic totals, descending. *)
+val mnemonic_totals : t -> (Mnemonic.t * float) list
+
+(** Per-symbol totals (instructions executed per function), descending. *)
+val symbol_totals : t -> ((string * string) * float) list
+
+(** Total dynamic instructions. *)
+val total : t -> float
+
+(** [of_histogram h] — per-mnemonic totals from an exact instrumentation
+    histogram (the reference mix). *)
+val of_histogram : (Mnemonic.t * int64) list -> (Mnemonic.t * float) list

@@ -1,0 +1,100 @@
+open Hbbp_isa
+
+type dimension =
+  | Image
+  | Symbol
+  | Block
+  | Mnem
+  | Isa_set
+  | Category
+  | Packing
+  | Ring_level
+
+let dimension_to_string = function
+  | Image -> "module"
+  | Symbol -> "symbol"
+  | Block -> "block"
+  | Mnem -> "mnemonic"
+  | Isa_set -> "isa set"
+  | Category -> "category"
+  | Packing -> "packing"
+  | Ring_level -> "ring"
+
+let value dim (r : Mix.row) =
+  match dim with
+  | Image -> r.image
+  | Symbol -> r.symbol
+  | Block -> Printf.sprintf "BB@%#x" r.block_addr
+  | Mnem -> Mnemonic.to_string r.mnemonic
+  | Isa_set -> Mnemonic.isa_set_to_string (Mnemonic.isa_set r.mnemonic)
+  | Category -> Mnemonic.category_to_string (Mnemonic.category r.mnemonic)
+  | Packing -> (
+      match Mnemonic.packing r.mnemonic with
+      | Mnemonic.Packed -> "PACKED"
+      | Mnemonic.Scalar_fp -> "SCALAR"
+      | Mnemonic.Not_vector -> "NONE")
+  | Ring_level -> Hbbp_program.Ring.to_string r.ring
+
+type table = { headers : string list; rows : (string list * float) list }
+
+let pivot ~dims ?(filter = fun _ -> true) (mix : Mix.t) =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if filter r then begin
+        let key = List.map (fun d -> value d r) dims in
+        Hashtbl.replace table key
+          (r.Mix.count +. Option.value ~default:0.0 (Hashtbl.find_opt table key))
+      end)
+    mix.Mix.rows;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { headers = List.map dimension_to_string dims @ [ "count" ]; rows }
+
+let top n table = { table with rows = List.filteri (fun k _ -> k < n) table.rows }
+
+let format_count v =
+  if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let render ppf { headers; rows } =
+  let cells =
+    List.map (fun (key, v) -> key @ [ format_count v ]) rows
+  in
+  let all = headers :: cells in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        Format.fprintf ppf "%-*s  " (List.nth widths c) cell)
+      row;
+    Format.pp_print_newline ppf ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row cells
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv { headers; rows } =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_field cells));
+    Buffer.add_char buf '\n'
+  in
+  line headers;
+  List.iter
+    (fun (key, count) -> line (key @ [ Printf.sprintf "%.2f" count ]))
+    rows;
+  Buffer.contents buf

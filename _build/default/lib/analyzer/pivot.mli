@@ -1,0 +1,37 @@
+(** Pivot tables over instruction mixes (paper section V.B: "the final
+    instruction mix data is output as a pivot table ... data can be
+    filtered, aggregated or broken down using different granularity
+    levels"). *)
+
+type dimension =
+  | Image
+  | Symbol
+  | Block
+  | Mnem
+  | Isa_set
+  | Category
+  | Packing
+  | Ring_level
+
+val dimension_to_string : dimension -> string
+
+(** [value dim row] — the rendered key of [row] along [dim]. *)
+val value : dimension -> Mix.row -> string
+
+type table = {
+  headers : string list;  (** One per dimension, plus the value column. *)
+  rows : (string list * float) list;  (** Sorted by count, descending. *)
+}
+
+(** [pivot ~dims ?filter mix] — group by the dimension tuple. *)
+val pivot : dims:dimension list -> ?filter:(Mix.row -> bool) -> Mix.t -> table
+
+(** [top n table] — keep the n largest rows. *)
+val top : int -> table -> table
+
+(** Render with aligned columns; counts in engineering units. *)
+val render : Format.formatter -> table -> unit
+
+(** CSV rendering (RFC-4180 quoting; full-precision counts) — the paper's
+    "facilitates machine processing or report generation". *)
+val to_csv : table -> string

@@ -1,0 +1,35 @@
+open Hbbp_program
+open Hbbp_cpu
+module Record = Hbbp_collector.Record
+
+type ebs_sample = { ip : int; ring : Ring.t }
+type lbr_sample = { entries : Lbr.entry array; ring : Ring.t }
+
+type t = {
+  ebs : ebs_sample array;
+  lbr : lbr_sample array;
+  lost : int;
+  other : int;
+}
+
+let of_records records =
+  let ebs = ref [] and lbr = ref [] and lost = ref 0 and other = ref 0 in
+  List.iter
+    (fun (r : Record.t) ->
+      match r with
+      | Record.Sample s -> (
+          match s.event with
+          | Pmu_event.Inst_retired_prec_dist ->
+              ebs := { ip = s.ip; ring = s.ring } :: !ebs
+          | Pmu_event.Br_inst_retired_near_taken ->
+              lbr := { entries = s.lbr; ring = s.ring } :: !lbr
+          | _ -> incr other)
+      | Record.Lost n -> lost := !lost + n
+      | Record.Comm _ | Record.Mmap _ | Record.Fork _ -> ())
+    records;
+  {
+    ebs = Array.of_list (List.rev !ebs);
+    lbr = Array.of_list (List.rev !lbr);
+    lost = !lost;
+    other = !other;
+  }

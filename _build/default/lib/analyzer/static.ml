@@ -1,0 +1,109 @@
+open Hbbp_program
+
+type t = {
+  process : Process.t;
+  images : Image.t array;
+  maps : Bb_map.t array;
+  offsets : int array;  (* global id of each map's block 0 *)
+  total_blocks : int;
+}
+
+let create process =
+  let images = Array.of_list (Process.images process) in
+  let rec build k acc =
+    if k = Array.length images then Ok (List.rev acc)
+    else
+      match Bb_map.of_image images.(k) with
+      | Ok map -> build (k + 1) (map :: acc)
+      | Error e -> Error e
+  in
+  match build 0 [] with
+  | Error e -> Error e
+  | Ok maps ->
+      let maps = Array.of_list maps in
+      let offsets = Array.make (Array.length maps) 0 in
+      let total = ref 0 in
+      Array.iteri
+        (fun k map ->
+          offsets.(k) <- !total;
+          total := !total + Bb_map.block_count map)
+        maps;
+      Ok { process; images; maps; offsets; total_blocks = !total }
+
+let create_exn process =
+  match create process with
+  | Ok t -> t
+  | Error e -> failwith (Format.asprintf "%a" Disasm.pp_error e)
+
+let process t = t.process
+let total_blocks t = t.total_blocks
+
+let map_index t addr =
+  let rec scan k =
+    if k = Array.length t.images then None
+    else if Image.contains t.images.(k) addr then Some k
+    else scan (k + 1)
+  in
+  scan 0
+
+let find t addr =
+  match map_index t addr with
+  | None -> None
+  | Some k ->
+      Option.map
+        (fun (b : Basic_block.t) -> t.offsets.(k) + b.id)
+        (Bb_map.block_at t.maps.(k) addr)
+
+let find_starting t addr =
+  match map_index t addr with
+  | None -> None
+  | Some k ->
+      Option.map
+        (fun (b : Basic_block.t) -> t.offsets.(k) + b.id)
+        (Bb_map.block_starting_at t.maps.(k) addr)
+
+let owner t gid =
+  let rec scan k =
+    if k = Array.length t.maps - 1 then k
+    else if gid < t.offsets.(k + 1) then k
+    else scan (k + 1)
+  in
+  if gid < 0 || gid >= t.total_blocks then
+    invalid_arg "Static: global id out of range";
+  scan 0
+
+let block t gid =
+  let k = owner t gid in
+  (t.images.(k), t.maps.(k), Bb_map.block t.maps.(k) (gid - t.offsets.(k)))
+
+let next_in_layout t gid =
+  let k = owner t gid in
+  let map = t.maps.(k) in
+  let b = Bb_map.block map (gid - t.offsets.(k)) in
+  Option.map
+    (fun (nb : Basic_block.t) -> t.offsets.(k) + nb.id)
+    (Bb_map.next_block map b)
+
+let global_id t map (b : Basic_block.t) =
+  let rec scan k =
+    if k = Array.length t.maps then None
+    else if t.maps.(k) == map then Some (t.offsets.(k) + b.id)
+    else scan (k + 1)
+  in
+  scan 0
+
+let iter f t =
+  Array.iteri
+    (fun k map ->
+      Array.iter
+        (fun (b : Basic_block.t) -> f (t.offsets.(k) + b.id) t.images.(k) b)
+        (Bb_map.blocks map))
+    t.maps
+
+let map_of_image t name =
+  let rec scan k =
+    if k = Array.length t.images then None
+    else if String.equal t.images.(k).Image.name name then Some t.maps.(k)
+    else scan (k + 1)
+  in
+  scan 0

@@ -1,0 +1,18 @@
+(** Walking one LBR stream over the static block map.
+
+    A stream [target → source] claims straight-line execution between the
+    two addresses: every block laid out in between executed, and none of
+    them may end in an always-taken terminator. *)
+
+type result =
+  | Blocks of int list  (** Global block ids covered, in layout order. *)
+  | Inconsistent
+      (** The walk crossed an always-taken terminator — statically
+          impossible straight-line flow (e.g. disassembly of a
+          NOP-patched kernel, or a corrupt LBR pairing). *)
+  | Bad  (** Unresolvable endpoints, backwards range, or over-long. *)
+
+(** Upper bound on blocks per stream. *)
+val max_walk : int
+
+val walk : Static.t -> target:int -> src:int -> result

@@ -1,0 +1,32 @@
+open Hbbp_isa
+open Hbbp_program [@@warning "-33"]
+
+let top_mnemonics n mix = Pivot.top n (Pivot.pivot ~dims:[ Pivot.Mnem ] mix)
+let top_functions n mix =
+  Pivot.top n (Pivot.pivot ~dims:[ Pivot.Image; Pivot.Symbol ] mix)
+
+let isa_breakdown mix = Pivot.pivot ~dims:[ Pivot.Isa_set ] mix
+let packing_breakdown mix =
+  Pivot.pivot ~dims:[ Pivot.Isa_set; Pivot.Packing ] mix
+
+let group_totals groups static bbec =
+  let totals = Array.make (List.length groups) 0.0 in
+  Static.iter
+    (fun gid _ block ->
+      let count = Bbec.count bbec gid in
+      if count > 0.0 then
+        Array.iter
+          (fun instr ->
+            List.iteri
+              (fun k (g : Taxonomy.group) ->
+                if g.Taxonomy.matches instr then
+                  totals.(k) <- totals.(k) +. count)
+              groups)
+          block.Hbbp_program.Basic_block.instrs)
+    static;
+  List.mapi (fun k (g : Taxonomy.group) -> (g.Taxonomy.name, totals.(k))) groups
+
+let group_total group static bbec =
+  match group_totals [ group ] static bbec with
+  | [ (_, v) ] -> v
+  | _ -> assert false

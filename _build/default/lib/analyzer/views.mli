@@ -1,0 +1,20 @@
+(** Canned analysis views ("custom or traditional views such as top
+    functions, top mnemonics, or instruction family breakdowns, produced
+    in a few clicks" — paper section V.B). *)
+
+val top_mnemonics : int -> Mix.t -> Pivot.table
+val top_functions : int -> Mix.t -> Pivot.table
+val isa_breakdown : Mix.t -> Pivot.table
+
+(** ISA set × packing — the Table 8 view. *)
+val packing_breakdown : Mix.t -> Pivot.table
+
+(** Totals for custom taxonomy groups, computed over the real static
+    instructions (operand-level predicates like memory read/write need
+    the full instruction, which mix rows no longer carry). *)
+val group_totals :
+  Hbbp_isa.Taxonomy.group list -> Static.t -> Bbec.t ->
+  (string * float) list
+
+(** [group_total g static bbec] — single-group convenience. *)
+val group_total : Hbbp_isa.Taxonomy.group -> Static.t -> Bbec.t -> float

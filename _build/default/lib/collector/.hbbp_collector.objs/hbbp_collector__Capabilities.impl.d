@@ -1,0 +1,1 @@
+lib/collector/capabilities.ml: Hbbp_cpu

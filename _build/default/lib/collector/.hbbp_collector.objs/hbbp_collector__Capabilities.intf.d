@@ -1,0 +1,1 @@
+lib/collector/capabilities.mli: Hbbp_cpu

@@ -1,0 +1,1 @@
+lib/collector/perf_data.ml: Array Buffer Bytes Format Fun Hbbp_cpu Hbbp_program Image Int64 Lbr List Pmu_event Printf Process Record Ring Session String Symbol

@@ -1,0 +1,1 @@
+lib/collector/perf_data.mli: Format Hbbp_program Image Process Record Session

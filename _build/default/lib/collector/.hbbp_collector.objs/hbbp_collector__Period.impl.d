@@ -1,0 +1,1 @@
+lib/collector/period.ml:

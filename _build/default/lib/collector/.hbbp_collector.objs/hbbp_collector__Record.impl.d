@@ -1,0 +1,1 @@
+lib/collector/record.ml: Array Format Hbbp_cpu Hbbp_program Lbr List Pmu_event Ring

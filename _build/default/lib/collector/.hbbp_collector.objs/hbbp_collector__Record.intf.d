@@ -1,0 +1,1 @@
+lib/collector/record.mli: Format Hbbp_cpu Hbbp_program Lbr Pmu_event Ring

@@ -1,0 +1,1 @@
+lib/collector/session.ml: Hbbp_cpu Hbbp_program Image List Machine Period Pmu Pmu_event Pmu_model Process Record

@@ -1,0 +1,1 @@
+lib/collector/session.mli: Hbbp_cpu Hbbp_program Machine Period Pmu Pmu_model Process Record

@@ -1,0 +1,44 @@
+type generation = Westmere | Ivy_bridge | Haswell
+type event_class = Div_cycles | Math_sse_fp | Math_avx_fp | Int_simd | X87
+type support = Supported | Not_available | Removed
+
+let generations = [ Westmere; Ivy_bridge; Haswell ]
+let event_classes = [ Div_cycles; Math_sse_fp; Math_avx_fp; Int_simd; X87 ]
+
+(* The trend the paper highlights: support declines with newer families
+   (AVX events appear with the ISA extension, everything else erodes). *)
+let support gen cls =
+  match (gen, cls) with
+  | Westmere, Math_avx_fp -> Not_available
+  | Westmere, _ -> Supported
+  | Ivy_bridge, Int_simd -> Removed
+  | Ivy_bridge, _ -> Supported
+  | Haswell, Math_avx_fp -> Supported
+  | Haswell, Div_cycles -> Supported
+  | Haswell, (Math_sse_fp | Int_simd | X87) -> Removed
+
+let generation_to_string = function
+  | Westmere -> "Westmere"
+  | Ivy_bridge -> "Ivy Bridge"
+  | Haswell -> "Haswell"
+
+let year = function Westmere -> 2010 | Ivy_bridge -> 2013 | Haswell -> 2015
+
+let event_class_to_string = function
+  | Div_cycles -> "DIV (cycles)"
+  | Math_sse_fp -> "Math SSE FP"
+  | Math_avx_fp -> "Math AVX FP"
+  | Int_simd -> "INT SIMD"
+  | X87 -> "X87"
+
+let support_to_string = function
+  | Supported -> "yes"
+  | Not_available -> "N/A"
+  | Removed -> "no"
+
+let event_for = function
+  | Div_cycles -> Some Hbbp_cpu.Pmu_event.Arith_divider_cycles
+  | Math_sse_fp -> Some Hbbp_cpu.Pmu_event.Fp_comp_ops_sse
+  | Math_avx_fp -> Some Hbbp_cpu.Pmu_event.Fp_comp_ops_avx
+  | Int_simd -> None (* removed on the evaluated Ivy Bridge PMU *)
+  | X87 -> Some Hbbp_cpu.Pmu_event.Fp_comp_ops_x87

@@ -1,0 +1,31 @@
+(** Instruction-specific counting-event support across PMU generations
+    (paper Table 2).
+
+    The point of the table: direct instruction-specific events cover only
+    a small, shrinking set of instruction classes — which is why a
+    BBEC-based method is needed for complete mixes. *)
+
+type generation = Westmere | Ivy_bridge | Haswell
+
+type event_class =
+  | Div_cycles
+  | Math_sse_fp
+  | Math_avx_fp
+  | Int_simd
+  | X87
+
+type support = Supported | Not_available | Removed
+
+val generations : generation list
+val event_classes : event_class list
+val support : generation -> event_class -> support
+val generation_to_string : generation -> string
+val event_class_to_string : event_class -> string
+val support_to_string : support -> string
+
+(** Year the generation shipped in servers, as in the table header. *)
+val year : generation -> int
+
+(** [event_for c] — the simulator event implementing the class, when the
+    evaluated (Ivy Bridge) PMU supports it. *)
+val event_for : event_class -> Hbbp_cpu.Pmu_event.t option

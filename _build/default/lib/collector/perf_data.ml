@@ -1,0 +1,279 @@
+open Hbbp_program
+open Hbbp_cpu
+
+type t = {
+  workload_name : string;
+  ebs_period : int;
+  lbr_period : int;
+  analysis_images : Image.t list;
+  live_kernel_text : (string * bytes) list;
+  records : Record.t list;
+}
+
+let of_session ~workload_name ~session ~analysis ~live =
+  {
+    workload_name;
+    ebs_period = Session.ebs_period session;
+    lbr_period = Session.lbr_period session;
+    analysis_images = Process.images analysis;
+    live_kernel_text =
+      List.filter_map
+        (fun (img : Image.t) ->
+          if Ring.equal img.ring Ring.Kernel then
+            Some (img.name, Bytes.copy img.code)
+          else None)
+        (Process.images live);
+    records = Session.records session live ~pid:1 ~name:workload_name;
+  }
+
+let analysis_process t =
+  let images =
+    List.map
+      (fun (img : Image.t) ->
+        match List.assoc_opt img.name t.live_kernel_text with
+        | Some live_code when Ring.equal img.ring Ring.Kernel ->
+            Image.make ~name:img.name ~base:img.base ~code:live_code
+              ~symbols:img.symbols ~ring:img.ring
+        | _ -> img)
+      t.analysis_images
+  in
+  Process.create images
+
+(* ------------------------------------------------------------------ *)
+(* Binary format                                                       *)
+
+type error = Bad_magic | Bad_version of int | Truncated | Corrupt of string
+
+let pp_error ppf = function
+  | Bad_magic -> Format.pp_print_string ppf "bad magic"
+  | Bad_version v -> Format.fprintf ppf "unsupported version %d" v
+  | Truncated -> Format.pp_print_string ppf "truncated archive"
+  | Corrupt what -> Format.fprintf ppf "corrupt archive: %s" what
+
+let magic = "HBBPDATA"
+let version = 1
+
+(* -- writer -- *)
+
+let w_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+let w_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let w_string buf s =
+  w_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let w_bytes buf b =
+  w_i64 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let w_list buf f items =
+  w_i64 buf (List.length items);
+  List.iter (f buf) items
+
+let w_ring buf = function Ring.User -> w_u8 buf 0 | Ring.Kernel -> w_u8 buf 1
+
+let w_image buf (img : Image.t) =
+  w_string buf img.name;
+  w_i64 buf img.base;
+  w_ring buf img.ring;
+  w_bytes buf img.code;
+  w_list buf
+    (fun buf (s : Symbol.t) ->
+      w_string buf s.name;
+      w_i64 buf s.addr;
+      w_i64 buf s.size)
+    img.symbols
+
+let w_event buf e = w_string buf (Pmu_event.to_string e)
+
+let w_record buf (r : Record.t) =
+  match r with
+  | Record.Comm { pid; name } ->
+      w_u8 buf 0;
+      w_i64 buf pid;
+      w_string buf name
+  | Record.Mmap { addr; len; name; ring } ->
+      w_u8 buf 1;
+      w_i64 buf addr;
+      w_i64 buf len;
+      w_string buf name;
+      w_ring buf ring
+  | Record.Fork { parent; child } ->
+      w_u8 buf 2;
+      w_i64 buf parent;
+      w_i64 buf child
+  | Record.Sample s ->
+      w_u8 buf 3;
+      w_event buf s.Record.event;
+      w_i64 buf s.Record.ip;
+      w_ring buf s.Record.ring;
+      w_i64 buf s.Record.time;
+      w_i64 buf (Array.length s.Record.lbr);
+      Array.iter
+        (fun (e : Lbr.entry) ->
+          w_i64 buf e.src;
+          w_i64 buf e.tgt)
+        s.Record.lbr
+  | Record.Lost n ->
+      w_u8 buf 4;
+      w_i64 buf n
+
+let to_bytes t =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  w_u8 buf version;
+  w_string buf t.workload_name;
+  w_i64 buf t.ebs_period;
+  w_i64 buf t.lbr_period;
+  w_list buf w_image t.analysis_images;
+  w_list buf
+    (fun buf (name, code) ->
+      w_string buf name;
+      w_bytes buf code)
+    t.live_kernel_text;
+  w_list buf w_record t.records;
+  Buffer.to_bytes buf
+
+(* -- reader -- *)
+
+exception Parse of error
+
+type cursor = { data : bytes; mutable pos : int }
+
+let need c n = if c.pos + n > Bytes.length c.data then raise (Parse Truncated)
+
+let r_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.data c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let r_i64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_le c.data c.pos) in
+  c.pos <- c.pos + 8;
+  if v < 0 then raise (Parse (Corrupt "negative length"));
+  v
+
+let r_string c =
+  let n = r_i64 c in
+  need c n;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_bytes c =
+  let n = r_i64 c in
+  need c n;
+  let b = Bytes.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  b
+
+let r_list c f =
+  let n = r_i64 c in
+  List.init n (fun _ -> f c)
+
+let r_ring c =
+  match r_u8 c with
+  | 0 -> Ring.User
+  | 1 -> Ring.Kernel
+  | v -> raise (Parse (Corrupt (Printf.sprintf "ring tag %d" v)))
+
+let of_bytes data =
+  try
+    if Bytes.length data < String.length magic then raise (Parse Truncated);
+    if
+      not
+        (String.equal (Bytes.sub_string data 0 (String.length magic)) magic)
+    then raise (Parse Bad_magic);
+    let c = { data; pos = String.length magic } in
+    let v = r_u8 c in
+    if v <> version then raise (Parse (Bad_version v));
+    let workload_name = r_string c in
+    let ebs_period = r_i64 c in
+    let lbr_period = r_i64 c in
+    let analysis_images =
+      r_list c (fun c ->
+          let name = r_string c in
+          let base = r_i64 c in
+          let ring = r_ring c in
+          let code = r_bytes c in
+          let symbols =
+            r_list c (fun c ->
+                let name = r_string c in
+                let addr = r_i64 c in
+                let size = r_i64 c in
+                Symbol.make ~name ~addr ~size)
+          in
+          Image.make ~name ~base ~code ~symbols ~ring)
+    in
+    let live_kernel_text =
+      r_list c (fun c ->
+          let name = r_string c in
+          let code = r_bytes c in
+          (name, code))
+    in
+    let records =
+      r_list c (fun c ->
+          match r_u8 c with
+          | 0 ->
+              let pid = r_i64 c in
+              let name = r_string c in
+              Record.Comm { pid; name }
+          | 1 ->
+              let addr = r_i64 c in
+              let len = r_i64 c in
+              let name = r_string c in
+              let ring = r_ring c in
+              Record.Mmap { addr; len; name; ring }
+          | 2 ->
+              let parent = r_i64 c in
+              let child = r_i64 c in
+              Record.Fork { parent; child }
+          | 3 ->
+              let event_name = r_string c in
+              let event =
+                match Pmu_event.of_string event_name with
+                | Some e -> e
+                | None -> raise (Parse (Corrupt ("event " ^ event_name)))
+              in
+              let ip = r_i64 c in
+              let ring = r_ring c in
+              let time = r_i64 c in
+              let n = r_i64 c in
+              let lbr =
+                Array.init n (fun _ ->
+                    let src = r_i64 c in
+                    let tgt = r_i64 c in
+                    { Lbr.src; tgt })
+              in
+              Record.Sample { Record.event; ip; lbr; ring; time }
+          | 4 -> Record.Lost (r_i64 c)
+          | tag -> raise (Parse (Corrupt (Printf.sprintf "record tag %d" tag))))
+    in
+    Ok
+      {
+        workload_name;
+        ebs_period;
+        lbr_period;
+        analysis_images;
+        live_kernel_text;
+        records;
+      }
+  with Parse e -> Error e
+
+let save t ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes t))
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = Bytes.create n in
+      really_input ic data 0 n;
+      of_bytes data)

@@ -1,0 +1,46 @@
+(** On-disk archive of a collection run — the moral equivalent of a
+    perf.data file plus the bits a later analysis needs:
+
+    - the mapped images (name, base, ring, symbols and {e on-disk} code —
+      what an analyzer could read from the filesystem);
+    - the live [.text] of every kernel image, captured at collection time
+      (paper section III.C: the self-modifying kernel remedy needs it);
+    - the record stream (comm/mmap/samples/lost).
+
+    The format is a simple length-prefixed little-endian binary with a
+    magic header; it round-trips exactly. *)
+
+open Hbbp_program
+
+type t = {
+  workload_name : string;
+  ebs_period : int;
+  lbr_period : int;
+  analysis_images : Image.t list;  (** What is findable on disk. *)
+  live_kernel_text : (string * bytes) list;  (** Image name → live code. *)
+  records : Record.t list;
+}
+
+(** [of_session ~workload_name ~session ~analysis ~live] assembles the
+    archive from a finished collection: [analysis] is the process an
+    offline analyzer could reconstruct (disk kernel), [live] the process
+    that ran. *)
+val of_session :
+  workload_name:string ->
+  session:Session.t ->
+  analysis:Process.t ->
+  live:Process.t ->
+  t
+
+(** [analysis_process t] — the images as mapped, kernel text patched with
+    the captured live text (ready for {!Hbbp_analyzer.Static.create}). *)
+val analysis_process : t -> Process.t
+
+type error = Bad_magic | Bad_version of int | Truncated | Corrupt of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> (t, error) result
+val save : t -> path:string -> unit
+val load : path:string -> (t, error) result

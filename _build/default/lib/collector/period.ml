@@ -1,0 +1,28 @@
+type runtime_class = Seconds | Minutes_1_2 | Minutes_spec
+type pair = { ebs : int; lbr : int }
+
+let paper = function
+  | Seconds -> { ebs = 1_000_037; lbr = 100_003 }
+  | Minutes_1_2 -> { ebs = 10_000_019; lbr = 1_000_037 }
+  | Minutes_spec -> { ebs = 100_000_007; lbr = 10_000_019 }
+
+(* A "seconds" run retires ~1e10 instructions and yields ~1e4 EBS samples;
+   a simulated run retires ~5e6.  Scaling the period by ~1e-3..1e-4 keeps
+   sample counts (and so estimator noise) in the paper's regime.  Values
+   are primes to avoid aliasing with loop trip counts. *)
+let simulation = function
+  | Seconds -> { ebs = 1009; lbr = 211 }
+  | Minutes_1_2 -> { ebs = 1511; lbr = 307 }
+  | Minutes_spec -> { ebs = 2003; lbr = 401 }
+
+let classify ~expected_instructions =
+  if expected_instructions < 4_000_000 then Seconds
+  else if expected_instructions < 12_000_000 then Minutes_1_2
+  else Minutes_spec
+
+let class_to_string = function
+  | Seconds -> "seconds"
+  | Minutes_1_2 -> "~1-2 minutes"
+  | Minutes_spec -> "minutes (SPEC workloads)"
+
+let all_classes = [ Seconds; Minutes_1_2; Minutes_spec ]

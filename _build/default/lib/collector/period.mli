@@ -1,0 +1,27 @@
+(** Sampling-period policy (paper Table 4).
+
+    Real runs last seconds to hours; periods are chosen per runtime class
+    so that the sample {e count} stays in a useful band.  Simulated runs
+    retire millions (not trillions) of instructions, so the collector
+    also provides density-preserving scaled periods: the expected number
+    of samples per run matches what the paper-scale periods produce on
+    paper-scale runs, which keeps estimator statistics comparable.
+    Overhead, being a rate (PMIs per instruction), is always computed
+    from the paper periods. *)
+
+type runtime_class =
+  | Seconds
+  | Minutes_1_2
+  | Minutes_spec  (** "Minutes (SPEC workloads)". *)
+
+type pair = { ebs : int; lbr : int }
+
+(** The paper's Table 4 values (primes around 1e6/1e5, 1e7/1e6, 1e8/1e7). *)
+val paper : runtime_class -> pair
+
+(** Density-preserving periods for simulated runs. *)
+val simulation : runtime_class -> pair
+
+val classify : expected_instructions:int -> runtime_class
+val class_to_string : runtime_class -> string
+val all_classes : runtime_class list

@@ -1,0 +1,65 @@
+open Hbbp_program
+open Hbbp_cpu
+
+type t = { pmu : Pmu.t; ebs_period : int; lbr_period : int }
+
+let configure model (pair : Period.pair) =
+  let pmu =
+    Pmu.create model
+      [
+        {
+          Pmu.event = Pmu_event.Inst_retired_prec_dist;
+          mode = Pmu.Sampling { period = pair.ebs; lbr = true };
+        };
+        {
+          Pmu.event = Pmu_event.Br_inst_retired_near_taken;
+          mode = Pmu.Sampling { period = pair.lbr; lbr = true };
+        };
+      ]
+  in
+  { pmu; ebs_period = pair.ebs; lbr_period = pair.lbr }
+
+let pmu t = t.pmu
+let ebs_period t = t.ebs_period
+let lbr_period t = t.lbr_period
+
+let records t process ~pid ~name =
+  let header =
+    Record.Comm { pid; name }
+    :: List.map
+         (fun (img : Image.t) ->
+           Record.Mmap
+             {
+               addr = img.base;
+               len = Image.size img;
+               name = img.name;
+               ring = img.ring;
+             })
+         (Process.images process)
+  in
+  let samples =
+    List.map
+      (fun (s : Pmu.sample) ->
+        Record.Sample
+          {
+            Record.event = s.event;
+            ip = s.ip;
+            lbr = s.lbr;
+            ring = s.ring;
+            time = s.cycles;
+          })
+      (Pmu.samples t.pmu)
+  in
+  header @ samples
+
+let overhead_fraction ~(paper : Period.pair) ~(stats : Machine.run_stats)
+    ~(model : Pmu_model.t) =
+  if stats.cycles = 0 then 0.0
+  else
+    let ebs_pmis = float_of_int stats.retired /. float_of_int paper.ebs in
+    let lbr_pmis =
+      float_of_int stats.taken_branches /. float_of_int paper.lbr
+    in
+    (ebs_pmis +. lbr_pmis)
+    *. float_of_int model.pmi_cost_cycles
+    /. float_of_int stats.cycles

@@ -1,0 +1,1 @@
+lib/core/combine.ml: Array Bbec Criteria Ebs_estimator Feature Hbbp_analyzer Lbr_estimator Static

@@ -1,0 +1,1 @@
+lib/core/combine.mli: Bbec Bias Criteria Ebs_estimator Hbbp_analyzer Lbr_estimator Static

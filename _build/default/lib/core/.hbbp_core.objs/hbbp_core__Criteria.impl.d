@@ -1,0 +1,1 @@
+lib/core/criteria.ml: Array Feature Hbbp_mltree Printf

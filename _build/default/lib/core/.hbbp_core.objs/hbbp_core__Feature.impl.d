@@ -1,0 +1,1 @@
+lib/core/feature.ml: Array Basic_block Bbec Bias Ebs_estimator Float Hbbp_analyzer Hbbp_isa Hbbp_program Instruction Lbr_estimator Static

@@ -1,0 +1,1 @@
+lib/core/feature.mli: Hbbp_analyzer

@@ -1,0 +1,1 @@
+lib/core/report.ml: Bias Ebs_estimator Error Format Hbbp_analyzer Hbbp_isa Lbr_estimator List Mnemonic Pipeline Workload

@@ -1,0 +1,1 @@
+lib/core/training.ml: Array Bbec Criteria Ebs_estimator Feature Float Hbbp_analyzer Hbbp_mltree Lbr_estimator List Pipeline Static

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Hbbp_collector Hbbp_program Image Printf Process Symbol

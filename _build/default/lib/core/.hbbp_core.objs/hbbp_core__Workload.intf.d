@@ -1,0 +1,1 @@
+lib/core/workload.mli: Hbbp_collector Hbbp_program Image Process

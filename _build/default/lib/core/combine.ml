@@ -1,0 +1,17 @@
+open Hbbp_analyzer
+
+let decisions static ~criteria ~bias ~ebs ~lbr =
+  Array.init (Static.total_blocks static) (fun gid ->
+      Criteria.decide criteria (Feature.of_block static ~bias ~ebs ~lbr ~gid))
+
+let fuse static ~criteria ~bias ~ebs ~lbr =
+  let out = Bbec.create Bbec.Hbbp (Static.total_blocks static) in
+  let ds = decisions static ~criteria ~bias ~ebs ~lbr in
+  Array.iteri
+    (fun gid d ->
+      out.Bbec.counts.(gid) <-
+        (match d with
+        | Criteria.Use_ebs -> Bbec.count ebs.Ebs_estimator.bbec gid
+        | Criteria.Use_lbr -> Bbec.count lbr.Lbr_estimator.bbec gid))
+    ds;
+  out

@@ -1,0 +1,23 @@
+(** BBEC fusion: HBBP picks, per basic block, either the EBS or the LBR
+    estimate (paper section IV.A — "HBBP does not fix the problems with
+    the individual use of EBS and LBR", it chooses between them). *)
+
+open Hbbp_analyzer
+
+(** [fuse static ~criteria ~bias ~ebs ~lbr] — the HBBP BBEC. *)
+val fuse :
+  Static.t ->
+  criteria:Criteria.t ->
+  bias:Bias.t ->
+  ebs:Ebs_estimator.t ->
+  lbr:Lbr_estimator.t ->
+  Bbec.t
+
+(** Per-block decisions actually taken, for inspection/ablation. *)
+val decisions :
+  Static.t ->
+  criteria:Criteria.t ->
+  bias:Bias.t ->
+  ebs:Ebs_estimator.t ->
+  lbr:Lbr_estimator.t ->
+  Criteria.decision array

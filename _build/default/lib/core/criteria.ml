@@ -1,0 +1,39 @@
+type decision = Use_ebs | Use_lbr
+
+type t =
+  | Length_rule of { cutoff : int; bias_to_ebs : bool }
+  | Tree of Hbbp_mltree.Cart.t
+
+let default = Length_rule { cutoff = 18; bias_to_ebs = true }
+let length_only = Length_rule { cutoff = 18; bias_to_ebs = false }
+let class_ebs = 0
+let class_lbr = 1
+let class_names = [| "EBS"; "LBR" |]
+
+let decide t features =
+  match t with
+  | Length_rule { cutoff; bias_to_ebs } ->
+      (* Distilled from the trained tree: flagged blocks go to EBS when
+         the two sources disagree strongly (localised corruption) or when
+         the block is long enough for EBS to be reliable anyway. *)
+      if
+        bias_to_ebs
+        && features.(Feature.index_bias) > 0.5
+        && (features.(Feature.index_disparity) > 0.35
+           || features.(Feature.index_block_length) > 8.0)
+      then Use_ebs
+      else if features.(Feature.index_block_length) <= float_of_int cutoff
+      then Use_lbr
+      else Use_ebs
+  | Tree tree ->
+      if Hbbp_mltree.Cart.predict tree features = class_lbr then Use_lbr
+      else Use_ebs
+
+let to_string = function
+  | Length_rule { cutoff; bias_to_ebs } ->
+      Printf.sprintf "length rule (<= %d -> LBR, else EBS%s)" cutoff
+        (if bias_to_ebs then "; biased -> EBS" else "")
+  | Tree tree ->
+      Printf.sprintf "trained tree (depth %d, %d leaves)"
+        (Hbbp_mltree.Cart.depth tree)
+        (Hbbp_mltree.Cart.leaf_count tree)

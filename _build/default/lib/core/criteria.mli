@@ -1,0 +1,34 @@
+(** The HBBP per-block data-source decision (paper section IV).
+
+    The shipped default is the rule the paper's criteria search arrived
+    at: {e blocks of 18 instructions or fewer take their count from LBR;
+    longer blocks take it from EBS}.  A freshly trained tree
+    ({!Training}) can be plugged in instead. *)
+
+type decision = Use_ebs | Use_lbr
+
+type t =
+  | Length_rule of { cutoff : int; bias_to_ebs : bool }
+      (** LBR for [block_length <= cutoff], EBS above; when [bias_to_ebs],
+          bias-flagged blocks whose two estimates disagree strongly take
+          EBS regardless of length (the deeper levels of the paper's
+          tree). *)
+  | Tree of Hbbp_mltree.Cart.t
+      (** A trained classifier over {!Feature} vectors. *)
+
+(** The paper's rule: cutoff 18, bias-flagged blocks to EBS. *)
+val default : t
+
+(** The headline rule alone (length only) — for ablation. *)
+val length_only : t
+
+(** Class indices used by tree-based criteria. *)
+val class_ebs : int
+
+val class_lbr : int
+val class_names : string array
+
+(** [decide t features] — [features] in {!Feature.names} order. *)
+val decide : t -> float array -> decision
+
+val to_string : t -> string

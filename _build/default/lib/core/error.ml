@@ -1,0 +1,62 @@
+open Hbbp_isa
+
+type per_mnemonic = {
+  mnemonic : Mnemonic.t;
+  reference : float;
+  measured : float;
+  error : float;
+}
+
+type report = {
+  per_mnemonic : per_mnemonic list;
+  avg_weighted_error : float;
+  total_reference : float;
+  spurious : (Mnemonic.t * float) list;
+}
+
+let compare_mixes ~reference ~measured =
+  let measured_table = Hashtbl.create 128 in
+  List.iter
+    (fun (m, c) ->
+      Hashtbl.replace measured_table m
+        (c +. Option.value ~default:0.0 (Hashtbl.find_opt measured_table m)))
+    measured;
+  let total_reference = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 reference in
+  let seen = Hashtbl.create 128 in
+  let per_mnemonic =
+    reference
+    |> List.filter (fun (_, c) -> c > 0.0)
+    |> List.map (fun (mnemonic, reference) ->
+           Hashtbl.replace seen mnemonic ();
+           let measured =
+             Option.value ~default:0.0 (Hashtbl.find_opt measured_table mnemonic)
+           in
+           let error = Float.abs (reference -. measured) /. reference in
+           { mnemonic; reference; measured; error })
+    |> List.sort (fun a b -> compare b.reference a.reference)
+  in
+  let avg_weighted_error =
+    if total_reference <= 0.0 then 0.0
+    else
+      List.fold_left
+        (fun acc e -> acc +. (e.error *. e.reference /. total_reference))
+        0.0 per_mnemonic
+  in
+  let spurious =
+    Hashtbl.fold
+      (fun m c acc ->
+        if (not (Hashtbl.mem seen m)) && c > 0.0 then (m, c) :: acc else acc)
+      measured_table []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { per_mnemonic; avg_weighted_error; total_reference; spurious }
+
+let error_for report m =
+  List.find_opt (fun e -> Mnemonic.equal e.mnemonic m) report.per_mnemonic
+  |> Option.map (fun e -> e.error)
+
+let block_errors ~reference ~measured =
+  Array.mapi
+    (fun gid r ->
+      if r <= 0.0 then 0.0 else Float.abs (r -. measured.(gid)) /. r)
+    reference

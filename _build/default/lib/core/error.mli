@@ -1,0 +1,35 @@
+(** Error metrics (paper section VI).
+
+    Per mnemonic M: [Error(M) = |Vref(M) - Vmeasured(M)| / Vref(M)].
+    Aggregate: the {e average weighted error} — each mnemonic's error
+    weighted by its share of the reference instruction stream. *)
+
+open Hbbp_isa
+
+type per_mnemonic = {
+  mnemonic : Mnemonic.t;
+  reference : float;
+  measured : float;
+  error : float;  (** Fraction, e.g. 0.021 for 2.1%. *)
+}
+
+type report = {
+  per_mnemonic : per_mnemonic list;  (** Sorted by reference count, desc. *)
+  avg_weighted_error : float;
+  total_reference : float;
+  spurious : (Mnemonic.t * float) list;
+      (** Measured but absent from the reference. *)
+}
+
+(** [compare_mixes ~reference ~measured] — both are per-mnemonic totals. *)
+val compare_mixes :
+  reference:(Mnemonic.t * float) list ->
+  measured:(Mnemonic.t * float) list ->
+  report
+
+(** [error_for report m] — Error(M), or None if M not in the reference. *)
+val error_for : report -> Mnemonic.t -> float option
+
+(** BBEC-level comparison: per-block relative error against a reference
+    count array (used for labelling training data and for Table 3). *)
+val block_errors : reference:float array -> measured:float array -> float array

@@ -1,0 +1,50 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_analyzer
+
+let names =
+  [|
+    "block_length";
+    "bias";
+    "has_long_latency";
+    "mem_ops";
+    "log_exec_estimate";
+    "ends_in_cond";
+    "ebs_lbr_disparity";
+  |]
+
+let index_block_length = 0
+let index_bias = 1
+let index_disparity = 6
+
+let of_block static ~(bias : Bias.t) ~(ebs : Ebs_estimator.t)
+    ~(lbr : Lbr_estimator.t) ~gid =
+  let _, _, block = Static.block static gid in
+  let mem_ops =
+    Array.fold_left
+      (fun acc instr ->
+        if Instruction.reads_memory instr || Instruction.writes_memory instr
+        then acc + 1
+        else acc)
+      0 block.Basic_block.instrs
+  in
+  let exec_est = Bbec.count ebs.Ebs_estimator.bbec gid in
+  let lbr_est = Bbec.count lbr.Lbr_estimator.bbec gid in
+  let disparity =
+    let top = Float.max exec_est lbr_est in
+    if top <= 0.0 then 0.0 else Float.abs (exec_est -. lbr_est) /. top
+  in
+  let ends_in_cond =
+    match block.Basic_block.term with
+    | Basic_block.Term_cond _ -> 1.0
+    | _ -> 0.0
+  in
+  [|
+    float_of_int (Basic_block.length block);
+    (if bias.Bias.flags.(gid) then 1.0 else 0.0);
+    (if Basic_block.has_long_latency block then 1.0 else 0.0);
+    float_of_int mem_ops;
+    log10 (1.0 +. exec_est);
+    ends_in_cond;
+    disparity;
+  |]

@@ -1,0 +1,25 @@
+(** Per-basic-block feature vectors for the HBBP classifier
+    (paper section IV.B: "code parameters that could have an influence on
+    the underlying performance monitoring subsystem, including basic
+    block lengths, instruction-related information, execution counts and
+    bias flags"). *)
+
+(** Feature names, in vector order.  Index 0 is the block's instruction
+    length — the paper's dominant feature. *)
+val names : string array
+
+val index_block_length : int
+val index_bias : int
+
+val index_disparity : int
+(** Relative disagreement between the EBS and LBR estimates for the
+    block, |ebs - lbr| / max(ebs, lbr) — large disagreement on a
+    bias-flagged block is the signature of genuine LBR distortion. *)
+
+val of_block :
+  Hbbp_analyzer.Static.t ->
+  bias:Hbbp_analyzer.Bias.t ->
+  ebs:Hbbp_analyzer.Ebs_estimator.t ->
+  lbr:Hbbp_analyzer.Lbr_estimator.t ->
+  gid:int ->
+  float array

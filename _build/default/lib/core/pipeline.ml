@@ -1,0 +1,186 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_cpu
+open Hbbp_analyzer
+open Hbbp_collector
+
+type config = {
+  model : Pmu_model.t;
+  criteria : Criteria.t;
+  periods : [ `Auto | `Fixed of Period.pair ];
+  sde : Hbbp_instrument.Sde.config;
+  max_instructions : int;
+  count_events : Pmu_event.t list;
+}
+
+let default_config =
+  {
+    model = Pmu_model.default;
+    criteria = Criteria.default;
+    periods = `Auto;
+    sde = Hbbp_instrument.Sde.default_config;
+    max_instructions = 2_000_000_000;
+    count_events = [ Pmu_event.Inst_retired_any ];
+  }
+
+type profile = {
+  workload : Workload.t;
+  config : config;
+  stats : Machine.run_stats;
+  clean_cycles : int;
+  static : Static.t;
+  static_unpatched : Static.t;
+  reference : Bbec.t;
+  reference_mix : (Mnemonic.t * float) list;
+  ebs : Ebs_estimator.t;
+  lbr : Lbr_estimator.t;
+  bias : Bias.t;
+  hbbp : Bbec.t;
+  sim_periods : Period.pair;
+  paper_periods : Period.pair;
+  collection_overhead : float;
+  sde_slowdown : float;
+  sde_total : int64;
+  sde_lost_kernel : int;
+  pmu_counts : (Pmu_event.t * int64) list;
+  records : Record.t list;
+}
+
+let user_maps static =
+  List.filter_map
+    (fun (img : Image.t) ->
+      if Ring.equal img.ring Ring.User then
+        Static.map_of_image static img.name
+      else None)
+    (Process.images (Static.process static))
+
+type reconstruction = {
+  r_static : Static.t;
+  r_ebs : Ebs_estimator.t;
+  r_lbr : Lbr_estimator.t;
+  r_bias : Bias.t;
+  r_hbbp : Bbec.t;
+}
+
+let reconstruct ?(criteria = Criteria.default) ~static ~ebs_period ~lbr_period
+    records =
+  let db = Sample_db.of_records records in
+  let ebs = Ebs_estimator.estimate static ~period:ebs_period db.Sample_db.ebs in
+  let lbr = Lbr_estimator.estimate static ~period:lbr_period db.Sample_db.lbr in
+  let bias = Bias.detect static db.Sample_db.lbr in
+  let hbbp = Combine.fuse static ~criteria ~bias ~ebs ~lbr in
+  { r_static = static; r_ebs = ebs; r_lbr = lbr; r_bias = bias; r_hbbp = hbbp }
+
+let collect_archive ?(config = default_config) (w : Workload.t) =
+  let sim_periods =
+    match config.periods with
+    | `Auto -> Period.simulation w.Workload.runtime_class
+    | `Fixed pair -> pair
+  in
+  let machine = Machine.create ~process:w.Workload.live_process () in
+  let session = Session.configure config.model sim_periods in
+  Machine.add_observer machine (Pmu.observer (Session.pmu session));
+  let (_ : Machine.run_stats) =
+    Machine.run machine ~entry:w.Workload.entry
+      ~max_instructions:config.max_instructions ()
+  in
+  Perf_data.of_session ~workload_name:w.Workload.name ~session
+    ~analysis:w.Workload.analysis_process ~live:w.Workload.live_process
+
+let analyze_archive ?criteria (archive : Perf_data.t) =
+  let static = Static.create_exn (Perf_data.analysis_process archive) in
+  reconstruct ?criteria ~static ~ebs_period:archive.Perf_data.ebs_period
+    ~lbr_period:archive.Perf_data.lbr_period archive.Perf_data.records
+
+let run ?(config = default_config) (w : Workload.t) =
+  let sim_periods, paper_periods =
+    match config.periods with
+    | `Auto -> (Period.simulation w.runtime_class, Period.paper w.runtime_class)
+    | `Fixed pair -> (pair, Period.paper w.runtime_class)
+  in
+  (* Static views: what the analyzer finds on disk, and the same view
+     with kernel text patched from the live image (the paper's remedy). *)
+  let static_unpatched = Static.create_exn w.analysis_process in
+  let static =
+    if w.analysis_process == w.live_process then static_unpatched
+    else Kernel_patch.patch_static static_unpatched ~live:w.live_process
+  in
+  (* One execution, three observers. *)
+  let machine = Machine.create ~process:w.live_process () in
+  let sde = Hbbp_instrument.Sde.create config.sde (user_maps static) in
+  let session = Session.configure config.model sim_periods in
+  let counting = Pmu.create config.model
+      (List.map
+         (fun event -> { Pmu.event; mode = Pmu.Counting })
+         config.count_events)
+  in
+  Machine.add_observer machine (Hbbp_instrument.Sde.observer sde);
+  Machine.add_observer machine (Pmu.observer (Session.pmu session));
+  Machine.add_observer machine (Pmu.observer counting);
+  let stats =
+    Machine.run machine ~entry:w.entry
+      ~max_instructions:config.max_instructions ()
+  in
+  (* Collection output and reconstruction. *)
+  let records = Session.records session w.live_process ~pid:1 ~name:w.name in
+  let r =
+    reconstruct ~criteria:config.criteria ~static
+      ~ebs_period:(Session.ebs_period session)
+      ~lbr_period:(Session.lbr_period session) records
+  in
+  let ebs = r.r_ebs and lbr = r.r_lbr and bias = r.r_bias and hbbp = r.r_hbbp in
+  let reference =
+    Bbec.of_block_counts static (Hbbp_instrument.Sde.block_counts sde)
+  in
+  let reference_mix =
+    Mix.of_histogram (Hbbp_instrument.Sde.histogram sde)
+  in
+  let collection_overhead =
+    Session.overhead_fraction ~paper:paper_periods ~stats ~model:config.model
+  in
+  let sde_slowdown =
+    if stats.cycles = 0 then 1.0
+    else
+      float_of_int (Hbbp_instrument.Sde.instrumented_cycles sde)
+      /. float_of_int stats.cycles
+  in
+  {
+    workload = w;
+    config;
+    stats;
+    clean_cycles = stats.cycles;
+    static;
+    static_unpatched;
+    reference;
+    reference_mix;
+    ebs;
+    lbr;
+    bias;
+    hbbp;
+    sim_periods;
+    paper_periods;
+    collection_overhead;
+    sde_slowdown;
+    sde_total = Hbbp_instrument.Sde.total_instructions sde;
+    sde_lost_kernel = Hbbp_instrument.Sde.lost_kernel_instructions sde;
+    pmu_counts = Pmu.counts counting;
+    records;
+  }
+
+let mix_of profile bbec = Mix.user_only (Mix.of_bbec profile.static bbec)
+let full_mix_of profile bbec = Mix.of_bbec profile.static bbec
+
+let error_report profile bbec =
+  Error.compare_mixes ~reference:profile.reference_mix
+    ~measured:(Mix.mnemonic_totals (mix_of profile bbec))
+
+let features profile gid =
+  Feature.of_block profile.static ~bias:profile.bias ~ebs:profile.ebs
+    ~lbr:profile.lbr ~gid
+
+let sde_pmu_discrepancy profile =
+  let user_retired = profile.stats.retired - profile.stats.kernel_retired in
+  if user_retired = 0 then 0.0
+  else
+    Float.abs (Int64.to_float profile.sde_total -. float_of_int user_retired)
+    /. float_of_int user_retired

@@ -1,0 +1,104 @@
+(** End-to-end profiling of one workload.
+
+    A single deterministic execution of the workload drives, side by
+    side: the clean timing model, the instrumenting reference tool, the
+    dual-LBR PMU collection, and exact PMU counting-mode cross-checks.
+    From the collected records the pipeline reconstructs EBS, LBR and
+    HBBP BBECs, detects LBR bias, applies the kernel text patch, and
+    computes the runtime-overhead models. *)
+
+open Hbbp_isa
+open Hbbp_cpu
+open Hbbp_analyzer
+open Hbbp_collector
+
+type config = {
+  model : Pmu_model.t;
+  criteria : Criteria.t;
+  periods : [ `Auto | `Fixed of Period.pair ];
+      (** [`Auto] uses the workload's runtime class (Table 4 policy). *)
+  sde : Hbbp_instrument.Sde.config;
+  max_instructions : int;
+  count_events : Pmu_event.t list;
+      (** Extra counting-mode events for cross-checking. *)
+}
+
+val default_config : config
+
+type profile = {
+  workload : Workload.t;
+  config : config;
+  stats : Machine.run_stats;
+  clean_cycles : int;
+  static : Static.t;  (** Kernel-patched analysis view. *)
+  static_unpatched : Static.t;  (** Raw on-disk view (kernel mismatch). *)
+  reference : Bbec.t;  (** Instrumentation ground truth (user mode). *)
+  reference_mix : (Mnemonic.t * float) list;
+  ebs : Ebs_estimator.t;
+  lbr : Lbr_estimator.t;
+  bias : Bias.t;
+  hbbp : Bbec.t;
+  sim_periods : Period.pair;
+  paper_periods : Period.pair;
+  collection_overhead : float;  (** Fraction of clean runtime. *)
+  sde_slowdown : float;  (** Instrumented / clean runtime factor. *)
+  sde_total : int64;
+  sde_lost_kernel : int;
+  pmu_counts : (Pmu_event.t * int64) list;
+  records : Record.t list;
+}
+
+val run : ?config:config -> Workload.t -> profile
+
+(** {1 Offline analysis}
+
+    The production split the paper describes: collection happens on the
+    target machine; analysis later, from the archive alone (no ground
+    truth available, so no error reports — just mixes). *)
+
+type reconstruction = {
+  r_static : Static.t;
+  r_ebs : Ebs_estimator.t;
+  r_lbr : Lbr_estimator.t;
+  r_bias : Bias.t;
+  r_hbbp : Bbec.t;
+}
+
+(** [reconstruct ~static ~ebs_period ~lbr_period records] — rebuild all
+    three BBEC estimates from a raw record stream. *)
+val reconstruct :
+  ?criteria:Criteria.t ->
+  static:Static.t ->
+  ebs_period:int ->
+  lbr_period:int ->
+  Record.t list ->
+  reconstruction
+
+(** [collect_archive ?config workload] — run only the collection side and
+    package it as a portable archive. *)
+val collect_archive : ?config:config -> Workload.t -> Perf_data.t
+
+(** [analyze_archive ?criteria archive] — offline analysis of a loaded
+    archive (applies the live-kernel-text patch from the archive). *)
+val analyze_archive : ?criteria:Criteria.t -> Perf_data.t -> reconstruction
+
+(** {1 Derived views} *)
+
+(** [mix_of profile method] — user-mode instruction mix of the given
+    BBEC method. *)
+val mix_of : profile -> Bbec.t -> Mix.t
+
+(** Mix including kernel blocks (what only PMU methods can see). *)
+val full_mix_of : profile -> Bbec.t -> Mix.t
+
+(** [error_report profile bbec] — user-mode mnemonic mix of [bbec]
+    compared against the instrumentation reference. *)
+val error_report : profile -> Bbec.t -> Error.report
+
+(** Feature vector of a block (uses this profile's bias and EBS data). *)
+val features : profile -> int -> float array
+
+(** Instrumentation total vs PMU counting-mode instruction count
+    (paper section VII.B); the relative difference should be tiny unless
+    the instrumentation tool is buggy. *)
+val sde_pmu_discrepancy : profile -> float

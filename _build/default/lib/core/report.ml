@@ -1,0 +1,45 @@
+open Hbbp_isa
+open Hbbp_analyzer
+
+let pp_pct ppf v = Format.fprintf ppf "%.2f%%" (v *. 100.0)
+
+let summary ppf (p : Pipeline.profile) =
+  Format.fprintf ppf
+    "@[<v>workload %s: %d instructions, %d cycles, %d taken branches, %d \
+     kernel-mode@,\
+     collection: EBS period %d / LBR period %d (sim), overhead %a (paper \
+     periods %d / %d)@,\
+     instrumentation: slowdown %.2fx, %Ld counted, %d kernel lost@,\
+     LBR: %d snapshots, %d usable / %d inconsistent / %d discarded streams@,\
+     bias: %d flagged blocks@]"
+    p.workload.Workload.name p.stats.retired p.stats.cycles
+    p.stats.taken_branches p.stats.kernel_retired p.sim_periods.ebs
+    p.sim_periods.lbr pp_pct p.collection_overhead p.paper_periods.ebs
+    p.paper_periods.lbr p.sde_slowdown p.sde_total p.sde_lost_kernel
+    p.lbr.Lbr_estimator.snapshots p.lbr.Lbr_estimator.usable_streams
+    p.lbr.Lbr_estimator.inconsistent_streams
+    p.lbr.Lbr_estimator.discarded_streams
+    (List.length (Bias.flagged_blocks p.bias))
+
+let error_table ppf ?(top = 20) (p : Pipeline.profile) bbec =
+  let report = Pipeline.error_report p bbec in
+  Format.fprintf ppf "%-12s %14s %14s %8s@." "mnemonic" "reference" "measured"
+    "error";
+  List.iteri
+    (fun k (e : Error.per_mnemonic) ->
+      if k < top then
+        Format.fprintf ppf "%-12s %14.0f %14.0f %7.2f%%@."
+          (Mnemonic.to_string e.mnemonic)
+          e.reference e.measured (e.error *. 100.0))
+    report.per_mnemonic;
+  Format.fprintf ppf "average weighted error: %a@." pp_pct
+    report.avg_weighted_error
+
+let method_comparison ppf (p : Pipeline.profile) =
+  let aw bbec = (Pipeline.error_report p bbec).Error.avg_weighted_error in
+  Format.fprintf ppf
+    "%s: avg weighted error HBBP %a | LBR %a | EBS %a (SDE slowdown %.2fx, \
+     HBBP overhead %a)@."
+    p.workload.Workload.name pp_pct (aw p.hbbp) pp_pct
+    (aw p.lbr.Lbr_estimator.bbec) pp_pct (aw p.ebs.Ebs_estimator.bbec)
+    p.sde_slowdown pp_pct p.collection_overhead

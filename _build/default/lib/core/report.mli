@@ -1,0 +1,16 @@
+(** Human-readable reports over pipeline profiles. *)
+
+(** One-paragraph run summary: instructions, cycles, overheads,
+    sample/stream statistics. *)
+val summary : Format.formatter -> Pipeline.profile -> unit
+
+(** Per-mnemonic error table of one method vs the reference. *)
+val error_table :
+  Format.formatter -> ?top:int -> Pipeline.profile -> Hbbp_analyzer.Bbec.t ->
+  unit
+
+(** Side-by-side average weighted errors: HBBP vs LBR vs EBS. *)
+val method_comparison : Format.formatter -> Pipeline.profile -> unit
+
+(** Percentage pretty-printer, e.g. [2.13%]. *)
+val pp_pct : Format.formatter -> float -> unit

@@ -1,0 +1,33 @@
+(** The HBBP criteria search (paper section IV.B).
+
+    Training examples are basic blocks from (non-SPEC) training
+    workloads.  Each block is labelled "EBS" or "LBR" according to which
+    estimate lands closer to the instrumentation ground truth, and
+    weighted by its execution count.  A classification tree fit to these
+    examples yields the decision criteria; on the shipped model the root
+    split lands on block length with a cutoff near 18. *)
+
+type example = {
+  features : float array;
+  label : int;  (** {!Criteria.class_ebs} or {!Criteria.class_lbr}. *)
+  weight : float;
+}
+
+(** [examples profile] — labelled blocks of one profiled workload.
+    Blocks whose reference count is below [min_exec] (default 100) carry
+    too much sampling noise to label and are skipped, as are blocks
+    neither method saw. *)
+val examples : ?min_exec:float -> Pipeline.profile -> example list
+
+val dataset : example list -> Hbbp_mltree.Dataset.t
+
+(** [train profiles] — fit a tree over all examples of all profiles. *)
+val train :
+  ?params:Hbbp_mltree.Cart.params ->
+  ?min_exec:float ->
+  Pipeline.profile list ->
+  Hbbp_mltree.Cart.t * Hbbp_mltree.Dataset.t
+
+(** [learned_cutoff tree] — the root-split threshold when the root splits
+    on block length (the paper's headline finding). *)
+val learned_cutoff : Hbbp_mltree.Cart.t -> float option

@@ -1,0 +1,36 @@
+open Hbbp_program
+
+type t = {
+  name : string;
+  description : string;
+  live_process : Process.t;
+  analysis_process : Process.t;
+  entry : int;
+  runtime_class : Hbbp_collector.Period.runtime_class;
+}
+
+let of_user_image ?(description = "")
+    ?(runtime_class = Hbbp_collector.Period.Seconds) img ~entry_symbol =
+  match Image.find_symbol img entry_symbol with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Workload.of_user_image: no symbol %S in %s"
+           entry_symbol img.Image.name)
+  | Some sym ->
+      let process = Process.create [ img ] in
+      {
+        name = img.Image.name;
+        description;
+        live_process = process;
+        analysis_process = process;
+        entry = sym.Symbol.addr;
+        runtime_class;
+      }
+
+let with_kernel t ~disk ~live ~modules =
+  let user = Process.images t.live_process in
+  {
+    t with
+    live_process = Process.create (user @ (live :: modules));
+    analysis_process = Process.create (user @ (disk :: modules));
+  }

@@ -1,0 +1,28 @@
+(** A profile-able workload: live code to execute plus the static view an
+    analyzer would find on disk (they differ only for self-modifying
+    kernels). *)
+
+open Hbbp_program
+
+type t = {
+  name : string;
+  description : string;
+  live_process : Process.t;  (** What executes (live kernel text). *)
+  analysis_process : Process.t;  (** What the analyzer disassembles. *)
+  entry : int;
+  runtime_class : Hbbp_collector.Period.runtime_class;
+}
+
+(** [of_user_image img ~entry_symbol ...] — a pure user-mode workload
+    (both process views identical).
+    @raise Invalid_argument if the symbol is missing. *)
+val of_user_image :
+  ?description:string ->
+  ?runtime_class:Hbbp_collector.Period.runtime_class ->
+  Image.t ->
+  entry_symbol:string ->
+  t
+
+(** [with_kernel w ~disk ~live ~modules] — adds kernel images: [live]
+    joins the executing process, [disk] the analysis view. *)
+val with_kernel : t -> disk:Image.t -> live:Image.t -> modules:Image.t list -> t

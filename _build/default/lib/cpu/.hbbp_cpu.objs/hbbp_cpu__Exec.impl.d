@@ -1,0 +1,1 @@
+lib/cpu/exec.ml: Array Exec_graph Float Format Hbbp_isa Instruction Int32 Int64 Memory Mnemonic Operand Prng State

@@ -1,0 +1,1 @@
+lib/cpu/exec.mli: Exec_graph State

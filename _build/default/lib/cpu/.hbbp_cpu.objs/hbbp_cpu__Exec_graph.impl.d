@@ -1,0 +1,1 @@
+lib/cpu/exec_graph.ml: Array Disasm Format Hashtbl Hbbp_isa Hbbp_program Image Instruction Latency Process Ring

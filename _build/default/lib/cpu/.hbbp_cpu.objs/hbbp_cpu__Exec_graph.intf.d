@@ -1,0 +1,1 @@
+lib/cpu/exec_graph.mli: Disasm Hbbp_isa Hbbp_program Instruction Process Ring

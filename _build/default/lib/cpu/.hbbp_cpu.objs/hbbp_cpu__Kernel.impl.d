@@ -1,0 +1,1 @@
+lib/cpu/kernel.ml: Asm Hbbp_isa Hbbp_program Image Kernel_abi Layout List Mnemonic Operand Printf Ring

@@ -1,0 +1,1 @@
+lib/cpu/kernel.mli: Hbbp_program Image

@@ -1,0 +1,1 @@
+lib/cpu/kernel_abi.ml:

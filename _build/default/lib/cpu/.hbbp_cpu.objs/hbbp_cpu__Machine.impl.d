@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Exec Exec_graph Format Hbbp_isa Hbbp_program Image Int64 Kernel_abi Layout List Memory Operand Option Process Ring State Symbol

@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Exec_graph Hbbp_program Process State

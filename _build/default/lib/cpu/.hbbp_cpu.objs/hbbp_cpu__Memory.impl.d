@@ -1,0 +1,1 @@
+lib/cpu/memory.ml: Array Bytes Int32 Int64 List

@@ -1,0 +1,1 @@
+lib/cpu/pmu.ml: Array Exec_graph Hbbp_isa Hbbp_program Instruction Int64 Latency Lbr List Machine Mnemonic Pmu_event Pmu_model Prng Ring

@@ -1,0 +1,1 @@
+lib/cpu/pmu.mli: Hbbp_program Lbr Machine Pmu_event Pmu_model Ring

@@ -1,0 +1,1 @@
+lib/cpu/pmu_event.mli: Format

@@ -1,0 +1,1 @@
+lib/cpu/pmu_model.ml: Array Int64 Prng

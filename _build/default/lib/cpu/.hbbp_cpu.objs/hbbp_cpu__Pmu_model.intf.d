@@ -1,0 +1,1 @@
+lib/cpu/pmu_model.mli: Prng

@@ -1,0 +1,1 @@
+lib/cpu/prng.ml: Array Int64

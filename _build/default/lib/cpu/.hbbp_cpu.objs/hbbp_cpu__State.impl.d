@@ -1,0 +1,1 @@
+lib/cpu/state.ml: Array Hbbp_isa Hbbp_program Int64 Layout Memory Mnemonic Operand Prng Ring

@@ -1,0 +1,1 @@
+lib/cpu/state.mli: Hbbp_isa Hbbp_program Memory Mnemonic Operand Prng Ring

@@ -1,0 +1,800 @@
+open Hbbp_isa
+
+type control =
+  | Fall
+  | Taken of int
+  | Syscall_enter of int
+  | Sysret_exit of int
+  | Halt
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Integer operand access                                              *)
+
+let rd_int (st : State.t) = function
+  | Operand.Reg (Operand.Gpr g) -> State.get_gpr st g
+  | Operand.Imm v -> v
+  | Operand.Mem m -> Memory.read_i64 st.mem (State.effective_address st m)
+  | Operand.Reg _ -> fault "integer read from vector register"
+  | Operand.Rel _ -> fault "integer read from Rel operand"
+
+let wr_int (st : State.t) op v =
+  match op with
+  | Operand.Reg (Operand.Gpr g) -> State.set_gpr st g v
+  | Operand.Mem m -> Memory.write_i64 st.mem (State.effective_address st m) v
+  | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ ->
+      fault "integer write to non-lvalue"
+
+(* ------------------------------------------------------------------ *)
+(* Flags                                                               *)
+
+let set_zs (st : State.t) v =
+  st.zf <- Int64.equal v 0L;
+  st.sf <- Int64.compare v 0L < 0
+
+let set_logic_flags st v =
+  set_zs st v;
+  st.cf <- false;
+  st.off <- false
+
+let set_add_flags (st : State.t) a b r =
+  set_zs st r;
+  st.cf <- Int64.unsigned_compare r a < 0;
+  let sa = Int64.compare a 0L < 0
+  and sb = Int64.compare b 0L < 0
+  and sr = Int64.compare r 0L < 0 in
+  st.off <- sa = sb && sr <> sa
+
+let set_sub_flags (st : State.t) a b r =
+  set_zs st r;
+  st.cf <- Int64.unsigned_compare a b < 0;
+  let sa = Int64.compare a 0L < 0
+  and sb = Int64.compare b 0L < 0
+  and sr = Int64.compare r 0L < 0 in
+  st.off <- sa <> sb && sr <> sa
+
+let condition (st : State.t) (m : Mnemonic.t) =
+  match m with
+  | JZ | CMOVZ | SETZ -> st.zf
+  | JNZ | CMOVNZ | SETNZ -> not st.zf
+  | JLE | SETLE -> st.zf || st.sf <> st.off
+  | JNLE -> (not st.zf) && st.sf = st.off
+  | JL -> st.sf <> st.off
+  | JNL -> st.sf = st.off
+  | JB -> st.cf
+  | JNB -> not st.cf
+  | JBE -> st.cf || st.zf
+  | JNBE -> (not st.cf) && not st.zf
+  | JS -> st.sf
+  | JNS -> not st.sf
+  | _ -> fault "condition of non-conditional mnemonic"
+
+(* ------------------------------------------------------------------ *)
+(* Stack                                                               *)
+
+let push (st : State.t) v =
+  let rsp = Int64.sub (State.get_gpr st Operand.RSP) 8L in
+  State.set_gpr st Operand.RSP rsp;
+  Memory.write_i64 st.mem (Int64.to_int rsp) v
+
+let pop (st : State.t) =
+  let rsp = State.get_gpr st Operand.RSP in
+  let v = Memory.read_i64 st.mem (Int64.to_int rsp) in
+  State.set_gpr st Operand.RSP (Int64.add rsp 8L);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Scalar FP access (value-level: SS and SD both map to OCaml floats;  *)
+(* the memory width differs)                                           *)
+
+let rd_fp (st : State.t) ~wide = function
+  | Operand.Reg (Operand.Xmm i) | Operand.Reg (Operand.Ymm i) ->
+      st.vregs.(i).(0)
+  | Operand.Mem m ->
+      let a = State.effective_address st m in
+      if wide then Memory.read_f64 st.mem a else Memory.read_f32 st.mem a
+  | Operand.Imm v -> Int64.to_float v
+  | Operand.Reg _ | Operand.Rel _ -> fault "fp read from bad operand"
+
+let wr_fp (st : State.t) ~wide op v =
+  match op with
+  | Operand.Reg (Operand.Xmm i) | Operand.Reg (Operand.Ymm i) ->
+      st.vregs.(i).(0) <- v
+  | Operand.Mem m ->
+      let a = State.effective_address st m in
+      if wide then Memory.write_f64 st.mem a v else Memory.write_f32 st.mem a v
+  | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ ->
+      fault "fp write to non-lvalue"
+
+let is_wide (m : Mnemonic.t) =
+  match Mnemonic.element m with
+  | Mnemonic.Fp64 -> true
+  | Mnemonic.Fp32 | Mnemonic.Int_elem | Mnemonic.No_elem -> false
+
+(* ------------------------------------------------------------------ *)
+(* Vector access                                                       *)
+
+let dest_reg (i : Instruction.t) =
+  match i.operands.(0) with
+  | Operand.Reg r -> r
+  | Operand.Mem _ | Operand.Imm _ | Operand.Rel _ ->
+      fault "vector destination is not a register"
+
+let lanes_of (i : Instruction.t) =
+  (* Lane count from the first register operand (dest for reg forms). *)
+  let rec first_reg k =
+    if k >= Array.length i.operands then Operand.Xmm 0
+    else
+      match i.operands.(k) with
+      | Operand.Reg ((Operand.Xmm _ | Operand.Ymm _) as r) -> r
+      | _ -> first_reg (k + 1)
+  in
+  State.lane_count (first_reg 0) (Mnemonic.element i.mnemonic)
+
+let rd_vec (st : State.t) ~lanes ~wide op =
+  match op with
+  | Operand.Reg ((Operand.Xmm i | Operand.Ymm i)) ->
+      Array.sub st.vregs.(i) 0 lanes
+  | Operand.Mem m ->
+      let a = State.effective_address st m in
+      let width = if wide then 8 else 4 in
+      Array.init lanes (fun k ->
+          if wide then Memory.read_f64 st.mem (a + (k * width))
+          else Memory.read_f32 st.mem (a + (k * width)))
+  | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ ->
+      fault "vector read from bad operand"
+
+let wr_vec (st : State.t) ~wide op values =
+  match op with
+  | Operand.Reg ((Operand.Xmm i | Operand.Ymm i)) ->
+      Array.blit values 0 st.vregs.(i) 0 (Array.length values)
+  | Operand.Mem m ->
+      let a = State.effective_address st m in
+      let width = if wide then 8 else 4 in
+      Array.iteri
+        (fun k v ->
+          if wide then Memory.write_f64 st.mem (a + (k * width)) v
+          else Memory.write_f32 st.mem (a + (k * width)) v)
+        values
+  | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ ->
+      fault "vector write to non-lvalue"
+
+(* Binary vector op: SSE form [op dst, src] computes dst := f dst src;
+   AVX three-operand form [op dst, a, b] computes dst := f a b. *)
+let vec_binop st (i : Instruction.t) f =
+  let lanes = lanes_of i in
+  let wide = is_wide i.mnemonic in
+  let a, b =
+    if Array.length i.operands >= 3 then
+      ( rd_vec st ~lanes ~wide i.operands.(1),
+        rd_vec st ~lanes ~wide i.operands.(2) )
+    else
+      ( rd_vec st ~lanes ~wide i.operands.(0),
+        rd_vec st ~lanes ~wide i.operands.(1) )
+  in
+  wr_vec st ~wide i.operands.(0) (Array.init lanes (fun k -> f a.(k) b.(k)))
+
+let vec_unop st (i : Instruction.t) f =
+  let lanes = lanes_of i in
+  let wide = is_wide i.mnemonic in
+  let src = i.operands.(Array.length i.operands - 1) in
+  let a = rd_vec st ~lanes ~wide src in
+  wr_vec st ~wide i.operands.(0) (Array.map f a)
+
+(* Bitwise ops work on the IEEE bits of each lane so that the common
+   XOR-zeroing idiom produces exact zeros. *)
+let bits32 f a b =
+  Int32.float_of_bits (f (Int32.bits_of_float a) (Int32.bits_of_float b))
+
+(* Scalar binary op over lane 0 / memory. *)
+let fp_binop st (i : Instruction.t) f =
+  let wide = is_wide i.mnemonic in
+  let a, b =
+    if Array.length i.operands >= 3 then
+      (rd_fp st ~wide i.operands.(1), rd_fp st ~wide i.operands.(2))
+    else (rd_fp st ~wide i.operands.(0), rd_fp st ~wide i.operands.(1))
+  in
+  wr_fp st ~wide i.operands.(0) (f a b)
+
+let fp_compare (st : State.t) (i : Instruction.t) =
+  let wide = is_wide i.mnemonic in
+  let a = rd_fp st ~wide i.operands.(0)
+  and b = rd_fp st ~wide i.operands.(1) in
+  st.zf <- a = b;
+  st.cf <- a < b;
+  st.sf <- false;
+  st.off <- false
+
+let int_of_imm = function
+  | Operand.Imm v -> Int64.to_int v
+  | Operand.Reg _ | Operand.Mem _ | Operand.Rel _ ->
+      fault "expected immediate operand"
+
+(* ------------------------------------------------------------------ *)
+(* x87 helpers: [op] with a memory operand uses it as the rhs against  *)
+(* ST0; with an St operand uses that stack slot.                       *)
+
+let x87_rhs (st : State.t) (i : Instruction.t) =
+  if Array.length i.operands = 0 then State.x87_get st 1
+  else
+    match i.operands.(0) with
+    | Operand.Reg (Operand.St k) -> State.x87_get st k
+    | Operand.Mem m -> Memory.read_f64 st.mem (State.effective_address st m)
+    | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ ->
+        fault "bad x87 operand"
+
+let branch_target (node : Exec_graph.node) =
+  match node.target with
+  | Some t -> t.addr
+  | None -> (
+      match Instruction.rel_displacement node.instr with
+      | Some disp -> node.addr + node.len + disp
+      | None -> fault "direct branch without displacement at %#x" node.addr)
+
+(* ------------------------------------------------------------------ *)
+
+let step (st : State.t) (node : Exec_graph.node) =
+  let i = node.instr in
+  let ops = i.operands in
+  let next_addr = node.addr + node.len in
+  match i.mnemonic with
+  (* ---- data transfer ---- *)
+  | MOV ->
+      wr_int st ops.(0) (rd_int st ops.(1));
+      Fall
+  | MOVZX ->
+      wr_int st ops.(0) (Int64.logand (rd_int st ops.(1)) 0xFFFFL);
+      Fall
+  | MOVSX ->
+      let v = rd_int st ops.(1) in
+      wr_int st ops.(0) (Int64.shift_right (Int64.shift_left v 48) 48);
+      Fall
+  | MOVSXD ->
+      let v = rd_int st ops.(1) in
+      wr_int st ops.(0) (Int64.shift_right (Int64.shift_left v 32) 32);
+      Fall
+  | LEA -> (
+      match ops.(1) with
+      | Operand.Mem m ->
+          wr_int st ops.(0) (Int64.of_int (State.effective_address st m));
+          Fall
+      | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ ->
+          fault "LEA needs a memory operand")
+  | XCHG ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      wr_int st ops.(0) b;
+      wr_int st ops.(1) a;
+      Fall
+  | CMOVZ | CMOVNZ ->
+      if condition st i.mnemonic then wr_int st ops.(0) (rd_int st ops.(1));
+      Fall
+  | SETZ | SETNZ | SETLE ->
+      wr_int st ops.(0) (if condition st i.mnemonic then 1L else 0L);
+      Fall
+  | PUSH ->
+      push st (rd_int st ops.(0));
+      Fall
+  | POP ->
+      wr_int st ops.(0) (pop st);
+      Fall
+  (* ---- integer arithmetic ---- *)
+  | ADD ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      let r = Int64.add a b in
+      set_add_flags st a b r;
+      wr_int st ops.(0) r;
+      Fall
+  | ADC ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      let c = if st.cf then 1L else 0L in
+      let r = Int64.add (Int64.add a b) c in
+      set_add_flags st a b r;
+      wr_int st ops.(0) r;
+      Fall
+  | SUB ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      let r = Int64.sub a b in
+      set_sub_flags st a b r;
+      wr_int st ops.(0) r;
+      Fall
+  | SBB ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      let c = if st.cf then 1L else 0L in
+      let r = Int64.sub (Int64.sub a b) c in
+      set_sub_flags st a b r;
+      wr_int st ops.(0) r;
+      Fall
+  | INC ->
+      let r = Int64.add (rd_int st ops.(0)) 1L in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | DEC ->
+      let r = Int64.sub (rd_int st ops.(0)) 1L in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | NEG ->
+      let v = rd_int st ops.(0) in
+      let r = Int64.neg v in
+      set_zs st r;
+      st.cf <- not (Int64.equal v 0L);
+      wr_int st ops.(0) r;
+      Fall
+  | IMUL ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      let r = Int64.mul a b in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | MUL ->
+      let a = State.get_gpr st Operand.RAX and b = rd_int st ops.(0) in
+      let r = Int64.mul a b in
+      set_zs st r;
+      State.set_gpr st Operand.RAX r;
+      State.set_gpr st Operand.RDX 0L;
+      Fall
+  | IDIV | DIV ->
+      (* Division by zero is defined as 0/0 remainder to keep the machine
+         total; workloads are written to avoid it. *)
+      let a = State.get_gpr st Operand.RAX and b = rd_int st ops.(0) in
+      let q, r =
+        if Int64.equal b 0L then (0L, 0L) else (Int64.div a b, Int64.rem a b)
+      in
+      State.set_gpr st Operand.RAX q;
+      State.set_gpr st Operand.RDX r;
+      set_zs st q;
+      Fall
+  | CDQ ->
+      State.set_gpr st Operand.RDX
+        (if Int64.compare (State.get_gpr st Operand.RAX) 0L < 0 then -1L else 0L);
+      Fall
+  | CDQE ->
+      let v = State.get_gpr st Operand.RAX in
+      State.set_gpr st Operand.RAX
+        (Int64.shift_right (Int64.shift_left v 32) 32);
+      Fall
+  (* ---- logic / compare / shift ---- *)
+  | AND ->
+      let r = Int64.logand (rd_int st ops.(0)) (rd_int st ops.(1)) in
+      set_logic_flags st r;
+      wr_int st ops.(0) r;
+      Fall
+  | OR ->
+      let r = Int64.logor (rd_int st ops.(0)) (rd_int st ops.(1)) in
+      set_logic_flags st r;
+      wr_int st ops.(0) r;
+      Fall
+  | XOR ->
+      let r = Int64.logxor (rd_int st ops.(0)) (rd_int st ops.(1)) in
+      set_logic_flags st r;
+      wr_int st ops.(0) r;
+      Fall
+  | NOT ->
+      wr_int st ops.(0) (Int64.lognot (rd_int st ops.(0)));
+      Fall
+  | TEST ->
+      set_logic_flags st (Int64.logand (rd_int st ops.(0)) (rd_int st ops.(1)));
+      Fall
+  | CMP ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      set_sub_flags st a b (Int64.sub a b);
+      Fall
+  | SHL ->
+      let sh = Int64.to_int (rd_int st ops.(1)) land 63 in
+      let r = Int64.shift_left (rd_int st ops.(0)) sh in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | SHR ->
+      let sh = Int64.to_int (rd_int st ops.(1)) land 63 in
+      let r = Int64.shift_right_logical (rd_int st ops.(0)) sh in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | SAR ->
+      let sh = Int64.to_int (rd_int st ops.(1)) land 63 in
+      let r = Int64.shift_right (rd_int st ops.(0)) sh in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | ROL ->
+      let sh = Int64.to_int (rd_int st ops.(1)) land 63 in
+      let v = rd_int st ops.(0) in
+      let r =
+        if sh = 0 then v
+        else
+          Int64.logor (Int64.shift_left v sh)
+            (Int64.shift_right_logical v (64 - sh))
+      in
+      wr_int st ops.(0) r;
+      Fall
+  | ROR ->
+      let sh = Int64.to_int (rd_int st ops.(1)) land 63 in
+      let v = rd_int st ops.(0) in
+      let r =
+        if sh = 0 then v
+        else
+          Int64.logor
+            (Int64.shift_right_logical v sh)
+            (Int64.shift_left v (64 - sh))
+      in
+      wr_int st ops.(0) r;
+      Fall
+  (* ---- control flow ---- *)
+  | JMP -> (
+      match ops.(0) with
+      | Operand.Rel _ -> Taken (branch_target node)
+      | (Operand.Reg _ | Operand.Mem _) as op ->
+          Taken (Int64.to_int (rd_int st op))
+      | Operand.Imm v -> Taken (Int64.to_int v))
+  | JZ | JNZ | JLE | JNLE | JL | JNL | JB | JNB | JBE | JNBE | JS | JNS ->
+      if condition st i.mnemonic then Taken (branch_target node) else Fall
+  | CALL_NEAR ->
+      push st (Int64.of_int next_addr);
+      (match ops.(0) with
+      | Operand.Rel _ -> Taken (branch_target node)
+      | (Operand.Reg _ | Operand.Mem _) as op ->
+          Taken (Int64.to_int (rd_int st op))
+      | Operand.Imm v -> Taken (Int64.to_int v))
+  | RET_NEAR -> Taken (Int64.to_int (pop st))
+  | SYSCALL -> Syscall_enter next_addr
+  | SYSRET -> Sysret_exit (Int64.to_int (State.get_gpr st Operand.RCX))
+  | HLT -> Halt
+  (* ---- sync ---- *)
+  | XADD | LOCK_XADD ->
+      let a = rd_int st ops.(0) and b = rd_int st ops.(1) in
+      wr_int st ops.(1) a;
+      let r = Int64.add a b in
+      set_zs st r;
+      wr_int st ops.(0) r;
+      Fall
+  | CMPXCHG | LOCK_CMPXCHG ->
+      let dest = rd_int st ops.(0) in
+      let rax = State.get_gpr st Operand.RAX in
+      if Int64.equal dest rax then begin
+        wr_int st ops.(0) (rd_int st ops.(1));
+        st.zf <- true
+      end
+      else begin
+        State.set_gpr st Operand.RAX dest;
+        st.zf <- false
+      end;
+      Fall
+  | MFENCE | LFENCE | SFENCE | PAUSE -> Fall
+  | NOP -> Fall
+  | CPUID ->
+      State.set_gpr st Operand.RAX 0x306E4L;
+      State.set_gpr st Operand.RBX 0L;
+      State.set_gpr st Operand.RCX 0L;
+      State.set_gpr st Operand.RDX 0L;
+      Fall
+  | RDTSC ->
+      State.set_gpr st Operand.RAX
+        (Int64.logand (Prng.next st.prng) 0x7FFFFFFFL);
+      State.set_gpr st Operand.RDX 0L;
+      Fall
+  (* ---- x87 ---- *)
+  | FLD -> (
+      match ops.(0) with
+      | Operand.Reg (Operand.St k) ->
+          let v = State.x87_get st k in
+          State.x87_push st v;
+          Fall
+      | Operand.Mem m ->
+          State.x87_push st (Memory.read_f64 st.mem (State.effective_address st m));
+          Fall
+      | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ -> fault "bad FLD operand")
+  | FILD -> (
+      match ops.(0) with
+      | Operand.Mem m ->
+          State.x87_push st
+            (Int64.to_float (Memory.read_i64 st.mem (State.effective_address st m)));
+          Fall
+      | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ -> fault "bad FILD operand")
+  | FST | FSTP -> (
+      let v = State.x87_get st 0 in
+      (match ops.(0) with
+      | Operand.Reg (Operand.St k) -> State.x87_set st k v
+      | Operand.Mem m -> Memory.write_f64 st.mem (State.effective_address st m) v
+      | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ -> fault "bad FST operand");
+      if Mnemonic.equal i.mnemonic FSTP then ignore (State.x87_pop st);
+      Fall)
+  | FISTP -> (
+      match ops.(0) with
+      | Operand.Mem m ->
+          Memory.write_i64 st.mem (State.effective_address st m)
+            (Int64.of_float (State.x87_get st 0));
+          ignore (State.x87_pop st);
+          Fall
+      | Operand.Reg _ | Operand.Imm _ | Operand.Rel _ -> fault "bad FISTP operand")
+  | FXCH -> (
+      match ops.(0) with
+      | Operand.Reg (Operand.St k) ->
+          let a = State.x87_get st 0 and b = State.x87_get st k in
+          State.x87_set st 0 b;
+          State.x87_set st k a;
+          Fall
+      | Operand.Reg _ | Operand.Imm _ | Operand.Mem _ | Operand.Rel _ ->
+          fault "bad FXCH operand")
+  | FADD ->
+      State.x87_set st 0 (State.x87_get st 0 +. x87_rhs st i);
+      Fall
+  | FSUB ->
+      State.x87_set st 0 (State.x87_get st 0 -. x87_rhs st i);
+      Fall
+  | FMUL ->
+      State.x87_set st 0 (State.x87_get st 0 *. x87_rhs st i);
+      Fall
+  | FDIV ->
+      let d = x87_rhs st i in
+      State.x87_set st 0 (if d = 0.0 then 0.0 else State.x87_get st 0 /. d);
+      Fall
+  | FSQRT ->
+      State.x87_set st 0 (sqrt (Float.abs (State.x87_get st 0)));
+      Fall
+  | FABS ->
+      State.x87_set st 0 (Float.abs (State.x87_get st 0));
+      Fall
+  | FCHS ->
+      State.x87_set st 0 (-.State.x87_get st 0);
+      Fall
+  | FCOM | FCOMI ->
+      let a = State.x87_get st 0 and b = x87_rhs st i in
+      st.zf <- a = b;
+      st.cf <- a < b;
+      st.sf <- false;
+      st.off <- false;
+      Fall
+  | FSIN ->
+      State.x87_set st 0 (sin (State.x87_get st 0));
+      Fall
+  | FCOS ->
+      State.x87_set st 0 (cos (State.x87_get st 0));
+      Fall
+  | FPTAN ->
+      State.x87_set st 0 (tan (State.x87_get st 0));
+      Fall
+  | F2XM1 ->
+      State.x87_set st 0 ((2.0 ** State.x87_get st 0) -. 1.0);
+      Fall
+  | FYL2X ->
+      let x = State.x87_get st 0 in
+      let y = State.x87_get st 1 in
+      ignore (State.x87_pop st);
+      State.x87_set st 0 (y *. (log (Float.abs x +. 1e-300) /. log 2.0));
+      Fall
+  (* ---- scalar SSE/AVX fp ---- *)
+  | MOVSS | MOVSD | VMOVSS | VMOVSD ->
+      let wide = is_wide i.mnemonic in
+      wr_fp st ~wide ops.(0) (rd_fp st ~wide ops.(Array.length ops - 1));
+      Fall
+  | ADDSS | ADDSD | VADDSS | VADDSD ->
+      fp_binop st i ( +. );
+      Fall
+  | SUBSS | SUBSD | VSUBSS ->
+      fp_binop st i ( -. );
+      Fall
+  | MULSS | MULSD | VMULSS | VMULSD ->
+      fp_binop st i ( *. );
+      Fall
+  | DIVSS | DIVSD | VDIVSS | VDIVSD ->
+      fp_binop st i (fun a b -> if b = 0.0 then 0.0 else a /. b);
+      Fall
+  | SQRTSS | SQRTSD | VSQRTSD ->
+      let wide = is_wide i.mnemonic in
+      wr_fp st ~wide ops.(0)
+        (sqrt (Float.abs (rd_fp st ~wide ops.(Array.length ops - 1))));
+      Fall
+  | MAXSS ->
+      fp_binop st i Float.max;
+      Fall
+  | MINSS ->
+      fp_binop st i Float.min;
+      Fall
+  | COMISS | COMISD | UCOMISS | UCOMISD | VUCOMISD | VCOMISS ->
+      fp_compare st i;
+      Fall
+  | CVTSI2SS | CVTSI2SD | VCVTSI2SD ->
+      let wide = is_wide i.mnemonic in
+      wr_fp st ~wide ops.(0)
+        (Int64.to_float (rd_int st ops.(Array.length ops - 1)));
+      Fall
+  | CVTSD2SI | CVTSS2SI | VCVTSD2SI ->
+      let wide = is_wide i.mnemonic in
+      wr_int st ops.(0)
+        (Int64.of_float (Float.round (rd_fp st ~wide ops.(1))));
+      Fall
+  | CVTTSD2SI ->
+      wr_int st ops.(0) (Int64.of_float (Float.trunc (rd_fp st ~wide:true ops.(1))));
+      Fall
+  | CVTSS2SD ->
+      wr_fp st ~wide:true ops.(0) (rd_fp st ~wide:false ops.(1));
+      Fall
+  | CVTSD2SS ->
+      wr_fp st ~wide:false ops.(0) (rd_fp st ~wide:true ops.(1));
+      Fall
+  (* ---- vector moves ---- *)
+  | MOVAPS | MOVUPS | MOVAPD | MOVUPD | MOVDQA | MOVDQU
+  | VMOVAPS | VMOVUPS | VMOVAPD | VMOVUPD ->
+      let lanes = lanes_of i in
+      let wide = is_wide i.mnemonic in
+      wr_vec st ~wide ops.(0)
+        (rd_vec st ~lanes ~wide ops.(Array.length ops - 1));
+      Fall
+  (* ---- packed arithmetic ---- *)
+  | ADDPS | ADDPD | VADDPS | VADDPD ->
+      vec_binop st i ( +. );
+      Fall
+  | SUBPS | SUBPD | VSUBPS | VSUBPD ->
+      vec_binop st i ( -. );
+      Fall
+  | MULPS | MULPD | VMULPS | VMULPD ->
+      vec_binop st i ( *. );
+      Fall
+  | DIVPS | DIVPD | VDIVPS | VDIVPD ->
+      vec_binop st i (fun a b -> if b = 0.0 then 0.0 else a /. b);
+      Fall
+  | SQRTPS | SQRTPD | VSQRTPS | VSQRTPD ->
+      vec_unop st i (fun v -> sqrt (Float.abs v));
+      Fall
+  | MAXPS | VMAXPS ->
+      vec_binop st i Float.max;
+      Fall
+  | MINPS | VMINPS ->
+      vec_binop st i Float.min;
+      Fall
+  | CMPPS ->
+      vec_binop st i (fun a b -> if a < b then 1.0 else 0.0);
+      Fall
+  (* ---- packed logic (bitwise over lane bits) ---- *)
+  | ANDPS | ANDPD | PAND | VANDPS | VPAND ->
+      vec_binop st i (bits32 Int32.logand);
+      Fall
+  | ORPS | POR ->
+      vec_binop st i (bits32 Int32.logor);
+      Fall
+  | XORPS | XORPD | PXOR | VXORPS | VXORPD | VPXOR ->
+      vec_binop st i (bits32 Int32.logxor);
+      Fall
+  (* ---- packed integer ---- *)
+  | PADDD | PADDQ | VPADDD ->
+      vec_binop st i ( +. );
+      Fall
+  | PSUBD ->
+      vec_binop st i ( -. );
+      Fall
+  | PMULLD | VPMULLD ->
+      vec_binop st i ( *. );
+      Fall
+  | PCMPEQD ->
+      vec_binop st i (fun a b -> if a = b then 1.0 else 0.0);
+      Fall
+  | PSLLD ->
+      let sh = float_of_int (1 lsl (int_of_imm ops.(1) land 31)) in
+      vec_unop st { i with Instruction.operands = [| ops.(0); ops.(0) |] }
+        (fun v -> v *. sh);
+      Fall
+  | PSRLD ->
+      let sh = float_of_int (1 lsl (int_of_imm ops.(1) land 31)) in
+      vec_unop st { i with Instruction.operands = [| ops.(0); ops.(0) |] }
+        (fun v -> v /. sh);
+      Fall
+  (* ---- shuffles ---- *)
+  | SHUFPS | VSHUFPS ->
+      let sel = int_of_imm ops.(Array.length ops - 1) in
+      let d = rd_vec st ~lanes:4 ~wide:false ops.(0) in
+      let s =
+        rd_vec st ~lanes:4 ~wide:false
+          ops.(if Array.length ops >= 4 then 2 else 1)
+      in
+      let r =
+        [|
+          d.(sel land 3);
+          d.((sel lsr 2) land 3);
+          s.((sel lsr 4) land 3);
+          s.((sel lsr 6) land 3);
+        |]
+      in
+      wr_vec st ~wide:false ops.(0) r;
+      Fall
+  | PSHUFD | VPERMILPS ->
+      let sel = int_of_imm ops.(Array.length ops - 1) in
+      let s = rd_vec st ~lanes:4 ~wide:false ops.(1) in
+      let r = Array.init 4 (fun k -> s.((sel lsr (2 * k)) land 3)) in
+      wr_vec st ~wide:false ops.(0) r;
+      Fall
+  | UNPCKLPS | PUNPCKLDQ ->
+      let d = rd_vec st ~lanes:4 ~wide:false ops.(0) in
+      let s = rd_vec st ~lanes:4 ~wide:false ops.(1) in
+      wr_vec st ~wide:false ops.(0) [| d.(0); s.(0); d.(1); s.(1) |];
+      Fall
+  | UNPCKHPS ->
+      let d = rd_vec st ~lanes:4 ~wide:false ops.(0) in
+      let s = rd_vec st ~lanes:4 ~wide:false ops.(1) in
+      wr_vec st ~wide:false ops.(0) [| d.(2); s.(2); d.(3); s.(3) |];
+      Fall
+  | MOVHLPS ->
+      let d = rd_vec st ~lanes:4 ~wide:false ops.(0) in
+      let s = rd_vec st ~lanes:4 ~wide:false ops.(1) in
+      wr_vec st ~wide:false ops.(0) [| s.(2); s.(3); d.(2); d.(3) |];
+      Fall
+  | MOVLHPS ->
+      let d = rd_vec st ~lanes:4 ~wide:false ops.(0) in
+      let s = rd_vec st ~lanes:4 ~wide:false ops.(1) in
+      wr_vec st ~wide:false ops.(0) [| d.(0); d.(1); s.(0); s.(1) |];
+      Fall
+  | VBROADCASTSS | VPBROADCASTD ->
+      let v = rd_fp st ~wide:false ops.(1) in
+      let lanes = State.lane_count (dest_reg i) (Mnemonic.element i.mnemonic) in
+      wr_vec st ~wide:false ops.(0) (Array.make lanes v);
+      Fall
+  | VBROADCASTSD ->
+      let v = rd_fp st ~wide:true ops.(1) in
+      wr_vec st ~wide:true ops.(0) (Array.make 4 v);
+      Fall
+  | VINSERTF128 ->
+      let which = int_of_imm ops.(Array.length ops - 1) land 1 in
+      let a = rd_vec st ~lanes:8 ~wide:false ops.(1) in
+      let b = rd_vec st ~lanes:4 ~wide:false ops.(2) in
+      let r = Array.copy a in
+      Array.blit b 0 r (which * 4) 4;
+      wr_vec st ~wide:false ops.(0) r;
+      Fall
+  | VEXTRACTF128 ->
+      let which = int_of_imm ops.(Array.length ops - 1) land 1 in
+      let s = rd_vec st ~lanes:8 ~wide:false ops.(1) in
+      wr_vec st ~wide:false ops.(0) (Array.sub s (which * 4) 4);
+      Fall
+  | VPERM2F128 ->
+      let sel = int_of_imm ops.(Array.length ops - 1) in
+      let a = rd_vec st ~lanes:8 ~wide:false ops.(1) in
+      let b = rd_vec st ~lanes:8 ~wide:false ops.(2) in
+      let half src which = Array.sub src (which * 4) 4 in
+      let pick nib =
+        if nib land 2 = 0 then half a (nib land 1) else half b (nib land 1)
+      in
+      let r = Array.append (pick (sel land 3)) (pick ((sel lsr 4) land 3)) in
+      wr_vec st ~wide:false ops.(0) r;
+      Fall
+  | VGATHERDPS -> (
+      match (ops.(1), ops.(2)) with
+      | Operand.Mem m, Operand.Reg ((Operand.Xmm _ | Operand.Ymm _) as idx) ->
+          let base = State.effective_address st m in
+          let lanes = State.lane_count (dest_reg i) Mnemonic.Fp32 in
+          let indices = st.vregs.(State.vreg_index idx) in
+          let r =
+            Array.init lanes (fun k ->
+                Memory.read_f32 st.mem (base + (4 * int_of_float indices.(k))))
+          in
+          wr_vec st ~wide:false ops.(0) r;
+          Fall
+      | _, _ -> fault "VGATHERDPS expects (dst, mem, index-reg)")
+  | VZEROUPPER ->
+      Array.iter (fun v -> Array.fill v 4 4 0.0) st.vregs;
+      Fall
+  | VZEROALL ->
+      Array.iter (fun v -> Array.fill v 0 8 0.0) st.vregs;
+      Fall
+  (* ---- FMA ---- *)
+  | VFMADD213PS | VFMADD213PD ->
+      (* dst := src1 * dst + src2 *)
+      let lanes = lanes_of i in
+      let wide = is_wide i.mnemonic in
+      let d = rd_vec st ~lanes ~wide ops.(0) in
+      let a = rd_vec st ~lanes ~wide ops.(1) in
+      let b = rd_vec st ~lanes ~wide ops.(2) in
+      wr_vec st ~wide ops.(0)
+        (Array.init lanes (fun k -> (a.(k) *. d.(k)) +. b.(k)));
+      Fall
+  | VFMADD231SS | VFMADD231SD ->
+      (* dst := src1 * src2 + dst *)
+      let wide = is_wide i.mnemonic in
+      let d = rd_fp st ~wide ops.(0) in
+      let a = rd_fp st ~wide ops.(1) in
+      let b = rd_fp st ~wide ops.(2) in
+      wr_fp st ~wide ops.(0) ((a *. b) +. d);
+      Fall

@@ -1,0 +1,23 @@
+(** Instruction semantics.
+
+    [step] executes exactly one instruction against the architectural
+    state and reports how control continues.  Data semantics are faithful
+    for integer and scalar-FP code and value-level (per-lane, not
+    bit-exact) for SIMD — sufficient to drive realistic, data-dependent
+    control flow, which is what the profiling experiments need. *)
+
+type control =
+  | Fall  (** Continue at the next instruction. *)
+  | Taken of int  (** A taken branch (jump, taken Jcc, call, ret). *)
+  | Syscall_enter of int  (** SYSCALL retired; payload = return address. *)
+  | Sysret_exit of int  (** SYSRET retired; payload = target address. *)
+  | Halt
+
+exception Fault of string
+(** Raised on malformed operand combinations or division-free contract
+    violations — indicates a bug in a workload, not a recoverable
+    condition. *)
+
+(** [step state node] — executes [node.instr].  [state.ip] is expected to
+    equal [node.addr]. *)
+val step : State.t -> Exec_graph.node -> control

@@ -1,0 +1,85 @@
+open Hbbp_isa
+open Hbbp_program
+
+type node = {
+  addr : int;
+  instr : Instruction.t;
+  len : int;
+  ring : Ring.t;
+  issue_cost : int;
+  latency : int;
+  long_latency : bool;
+  mutable fall : node option;
+  mutable target : node option;
+}
+
+type t = { nodes : (int, node) Hashtbl.t }
+
+(* Retirement charge: one issue slot, plus a flat memory penalty, plus a
+   fraction of long latencies that out-of-order execution cannot hide. *)
+let issue_cost_of instr =
+  let lat = Latency.latency instr.Instruction.mnemonic in
+  let mem =
+    if Instruction.reads_memory instr || Instruction.writes_memory instr then 2
+    else 0
+  in
+  let stall =
+    (* Out-of-order execution hides short latencies entirely; only the
+       long tail leaks into retirement. *)
+    if lat >= Latency.long_latency_threshold then lat / 4
+    else if lat >= 8 then 1
+    else 0
+  in
+  1 + mem + stall
+
+let build (process : Process.t) =
+  let nodes = Hashtbl.create 4096 in
+  let decode_image (img : Image.t) =
+    match Disasm.image img with
+    | Error e -> Error e
+    | Ok decoded ->
+        Array.iter
+          (fun (d : Disasm.decoded) ->
+            let latency = Latency.latency d.instr.mnemonic in
+            Hashtbl.replace nodes d.addr
+              {
+                addr = d.addr;
+                instr = d.instr;
+                len = d.len;
+                ring = img.ring;
+                issue_cost = issue_cost_of d.instr;
+                latency;
+                long_latency = latency >= Latency.long_latency_threshold;
+                fall = None;
+                target = None;
+              })
+          decoded;
+        Ok ()
+  in
+  let rec decode_all = function
+    | [] -> Ok ()
+    | img :: rest -> (
+        match decode_image img with
+        | Ok () -> decode_all rest
+        | Error _ as e -> e)
+  in
+  match decode_all (Process.images process) with
+  | Error e -> Error e
+  | Ok () ->
+      Hashtbl.iter
+        (fun _ node ->
+          node.fall <- Hashtbl.find_opt nodes (node.addr + node.len);
+          match Instruction.rel_displacement node.instr with
+          | Some disp when Instruction.is_branch node.instr ->
+              node.target <- Hashtbl.find_opt nodes (node.addr + node.len + disp)
+          | Some _ | None -> ())
+        nodes;
+      Ok { nodes }
+
+let build_exn process =
+  match build process with
+  | Ok t -> t
+  | Error e -> failwith (Format.asprintf "%a" Disasm.pp_error e)
+
+let node_at t addr = Hashtbl.find_opt t.nodes addr
+let node_count t = Hashtbl.length t.nodes

@@ -1,0 +1,31 @@
+(** Pre-decoded executable form of a process.
+
+    Decoding once and linking direct control-flow edges keeps the
+    interpreter fast enough to retire hundreds of millions of
+    instructions. *)
+
+open Hbbp_isa
+open Hbbp_program
+
+type node = {
+  addr : int;
+  instr : Instruction.t;
+  len : int;
+  ring : Ring.t;
+  issue_cost : int;  (** Cycles the retirement itself charges. *)
+  latency : int;  (** Full result latency; drives the shadow model. *)
+  long_latency : bool;
+  mutable fall : node option;  (** Node at [addr + len]. *)
+  mutable target : node option;  (** Direct branch target, if any. *)
+}
+
+type t
+
+(** [build process] decodes every image of the process.  For kernel
+    images this must be the {e live} image — the one that actually
+    executes. *)
+val build : Process.t -> (t, Disasm.error) result
+
+val build_exn : Process.t -> t
+val node_at : t -> int -> node option
+val node_count : t -> int

@@ -1,0 +1,125 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_program.Asm
+
+type built = { disk : Image.t; live : Image.t }
+type external_service = { number : int; name : string; entry_addr : int }
+
+(* Tracepoint site: an 8-byte instruction that is a JMP to the probe in
+   the disk image and a same-length multi-byte NOP in the live one.  The
+   return label is placed immediately after, for the probe to jump back
+   to. *)
+let tracepoint ~live id =
+  let probe = Printf.sprintf "ktp_probe_%d" id in
+  let ret = Printf.sprintf "ktp_ret_%d" id in
+  [ i (if live then Mnemonic.NOP else Mnemonic.JMP) [ L probe ]; label ret ]
+
+let probe_func id =
+  let ret = Printf.sprintf "ktp_ret_%d" id in
+  func
+    (Printf.sprintf "ktp_probe_%d" id)
+    [
+      (* Bump the per-tracepoint hit counter in kernel data. *)
+      i Mnemonic.INC [ mem Operand.R14 ~disp:(0x100 + (8 * id)) ];
+      i Mnemonic.JMP [ L ret ];
+    ]
+
+let dispatch_entry ~live external_services =
+  let compare_and_jump number target =
+    [ i Mnemonic.CMP [ rax; imm number ]; i Mnemonic.JZ [ L target ] ]
+  in
+  func Kernel_abi.syscall_entry
+    (tracepoint ~live 0
+    @ [ i Mnemonic.MOV [ r14; imm Layout.kernel_data_base ] ]
+    @ compare_and_jump Kernel_abi.sys_nop "sys_nop"
+    @ compare_and_jump Kernel_abi.sys_getpid "sys_getpid"
+    @ compare_and_jump Kernel_abi.sys_bufclear "sys_bufclear"
+    @ compare_and_jump Kernel_abi.sys_copy "sys_copy"
+    @ compare_and_jump Kernel_abi.sys_stat "sys_stat"
+    @ List.concat_map
+        (fun svc -> compare_and_jump svc.number ("ext_" ^ svc.name))
+        external_services
+    @ [ i Mnemonic.MOV [ rax; imm (-1) ]; i Mnemonic.SYSRET [] ])
+
+let sys_nop ~live =
+  func "sys_nop"
+    (tracepoint ~live 1
+    @ [ i Mnemonic.XOR [ rax; rax ]; i Mnemonic.SYSRET [] ])
+
+let sys_getpid ~live =
+  func "sys_getpid"
+    (tracepoint ~live 2
+    @ [ i Mnemonic.MOV [ rax; imm 4242 ]; i Mnemonic.SYSRET [] ])
+
+(* "calloc-like" page clear: the heap-pressure pattern of section VIII.E. *)
+let sys_bufclear ~live =
+  func "sys_bufclear"
+    (tracepoint ~live 3
+    @ [
+        i Mnemonic.MOV [ rcx; imm 512 ];
+        i Mnemonic.XOR [ rdx; rdx ];
+        label "kbufclear_loop";
+        i Mnemonic.MOV
+          [ mem Operand.R14 ~index:Operand.RCX ~scale:8 ~disp:0x200; rdx ];
+        i Mnemonic.DEC [ rcx ];
+        i Mnemonic.JNZ [ L "kbufclear_loop" ];
+        i Mnemonic.XOR [ rax; rax ];
+        i Mnemonic.SYSRET [];
+      ])
+
+let sys_copy ~live =
+  func "sys_copy"
+    (tracepoint ~live 4
+    @ [
+        i Mnemonic.MOV [ rcx; imm 256 ];
+        label "kcopy_loop";
+        i Mnemonic.MOV
+          [ rdx; mem Operand.R14 ~index:Operand.RCX ~scale:8 ~disp:0x200 ];
+        i Mnemonic.MOV
+          [ mem Operand.R14 ~index:Operand.RCX ~scale:8 ~disp:0x1200; rdx ];
+        i Mnemonic.DEC [ rcx ];
+        i Mnemonic.JNZ [ L "kcopy_loop" ];
+        i Mnemonic.XOR [ rax; rax ];
+        i Mnemonic.SYSRET [];
+      ])
+
+(* A service with a long-latency divide — kernel-side shadowing. *)
+let sys_stat ~live =
+  func "sys_stat"
+    (tracepoint ~live 5
+    @ [
+        i Mnemonic.MOV [ rax; imm 987654321 ];
+        i Mnemonic.MOV [ r11; imm 1000003 ];
+        i Mnemonic.DIV [ r11 ];
+        i Mnemonic.ADD [ rax; rdx ];
+        i Mnemonic.SYSRET [];
+      ])
+
+let external_stub svc =
+  func ("ext_" ^ svc.name)
+    [
+      i Mnemonic.MOV [ r11; imm svc.entry_addr ];
+      i Mnemonic.CALL_NEAR [ r11 ];
+      i Mnemonic.SYSRET [];
+    ]
+
+let tracepoint_ids = [ 0; 1; 2; 3; 4; 5 ]
+
+let build ?(external_services = []) () =
+  List.iter
+    (fun svc ->
+      if svc.number < Kernel_abi.first_module_syscall then
+        invalid_arg "Kernel.build: external service number reserved")
+    external_services;
+  let make ~live =
+    let funcs =
+      dispatch_entry ~live external_services
+      :: sys_nop ~live :: sys_getpid ~live :: sys_bufclear ~live
+      :: sys_copy ~live :: sys_stat ~live
+      :: List.map external_stub external_services
+      @ List.map probe_func tracepoint_ids
+    in
+    Asm.assemble ~name:"vmlinux" ~base:Layout.kernel_code_base
+      ~ring:Ring.Kernel funcs
+  in
+  { disk = make ~live:false; live = make ~live:true }

@@ -1,0 +1,29 @@
+(** A miniature operating-system kernel, built as code for the simulated
+    ISA.
+
+    The kernel exists in two forms (paper section III.C): the {b disk}
+    image, whose tracepoint sites hold unconditional jumps to trace
+    probes, and the {b live} image, in which those sites are patched to
+    same-length multi-byte NOPs because tracing is disabled.  Execution
+    always uses the live image; an analyzer that disassembles the disk
+    image sees branches the execution stream ignores — until it applies
+    {!Image.patch_code} with the live text. *)
+
+open Hbbp_program
+
+type built = {
+  disk : Image.t;  (** What the analyzer finds "on disk". *)
+  live : Image.t;  (** What actually executes. *)
+}
+
+(** An externally provided (kernel-module) syscall handler. *)
+type external_service = {
+  number : int;  (** >= {!Kernel_abi.first_module_syscall}. *)
+  name : string;
+  entry_addr : int;  (** Absolute address of the handler (RET-terminated). *)
+}
+
+(** [build ()] assembles the kernel at {!Layout.kernel_code_base} with the
+    built-in services of {!Kernel_abi} plus any [external_services].
+    Disk and live images have identical layout. *)
+val build : ?external_services:external_service list -> unit -> built

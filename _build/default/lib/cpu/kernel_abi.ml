@@ -1,0 +1,7 @@
+let syscall_entry = "syscall_entry"
+let sys_nop = 0
+let sys_getpid = 1
+let sys_bufclear = 2
+let sys_copy = 3
+let sys_stat = 4
+let first_module_syscall = 16

@@ -1,0 +1,17 @@
+(** The contract between user code, the machine and the kernel image. *)
+
+(** Symbol the machine jumps to on SYSCALL.  RAX carries the syscall
+    number; RCX carries the user return address (consumed by SYSRET).
+    The kernel clobbers RAX (return value), RCX, RDX, R11 and R14. *)
+val syscall_entry : string
+
+(** Well-known syscall numbers implemented by {!Kernel.build}. *)
+val sys_nop : int
+
+val sys_getpid : int
+val sys_bufclear : int
+val sys_copy : int
+val sys_stat : int
+
+(** First number available for externally registered (module) services. *)
+val first_module_syscall : int

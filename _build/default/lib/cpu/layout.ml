@@ -1,0 +1,17 @@
+let user_code_base = 0x400000
+let kernel_code_base = 0x8000000
+let module_code_base = 0x9000000
+let user_data_base = 0x1000000
+let user_data_size = 8 * 1024 * 1024
+let user_stack_base = 0x2800000
+let user_stack_size = 1024 * 1024
+let kernel_data_base = 0xA000000
+let kernel_data_size = 1024 * 1024
+let initial_rsp = user_stack_base + user_stack_size - 16
+
+let memory_regions =
+  [
+    (user_data_base, user_data_size);
+    (user_stack_base, user_stack_size);
+    (kernel_data_base, kernel_data_size);
+  ]

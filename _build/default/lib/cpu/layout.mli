@@ -1,0 +1,17 @@
+(** Standard address-space layout used by all workloads. *)
+
+val user_code_base : int
+val kernel_code_base : int
+val module_code_base : int
+val user_data_base : int
+val user_data_size : int
+val user_stack_base : int
+val user_stack_size : int
+val kernel_data_base : int
+val kernel_data_size : int
+
+(** Initial stack pointer (top of the user stack, 16-byte aligned). *)
+val initial_rsp : int
+
+(** Data regions handed to {!Memory.create}. *)
+val memory_regions : (int * int) list

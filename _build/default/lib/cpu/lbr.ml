@@ -1,0 +1,34 @@
+type entry = { src : int; tgt : int }
+
+type t = {
+  entries : entry array;
+  mutable head : int;  (* slot receiving the next push *)
+  mutable filled : int;
+}
+
+let none = { src = 0; tgt = 0 }
+let create ~depth = { entries = Array.make depth none; head = 0; filled = 0 }
+let depth t = Array.length t.entries
+
+let push t ~src ~tgt =
+  t.entries.(t.head) <- { src; tgt };
+  t.head <- (t.head + 1) mod Array.length t.entries;
+  if t.filled < Array.length t.entries then t.filled <- t.filled + 1
+
+let snapshot t =
+  let d = Array.length t.entries in
+  let oldest = if t.filled < d then 0 else t.head in
+  Array.init t.filled (fun k -> t.entries.((oldest + k) mod d))
+
+let overwrite_oldest t e =
+  if t.filled > 0 then begin
+    let d = Array.length t.entries in
+    let oldest = if t.filled < d then 0 else t.head in
+    t.entries.(oldest) <- e
+  end
+
+let clear t =
+  t.head <- 0;
+  t.filled <- 0
+
+let fill_level t = t.filled

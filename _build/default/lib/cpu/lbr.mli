@@ -1,0 +1,27 @@
+(** The Last Branch Record facility: a circular hardware buffer of the
+    most recently retired taken branches, stored as source → target
+    address pairs (paper section III.B). *)
+
+type entry = { src : int; tgt : int }
+
+type t
+
+(** [create ~depth] — the paper's hardware has [depth = 16]. *)
+val create : depth:int -> t
+
+val depth : t -> int
+
+(** [push t ~src ~tgt] records a retired taken branch, evicting the oldest
+    entry once full. *)
+val push : t -> src:int -> tgt:int -> unit
+
+(** [snapshot t] — entries ordered oldest first.  Fewer than [depth]
+    entries are returned if the buffer has not filled yet. *)
+val snapshot : t -> entry array
+
+(** [overwrite_oldest t e] — the anomaly path: clobber the oldest slot
+    with [e] without rotating the buffer.  No-op on an empty buffer. *)
+val overwrite_oldest : t -> entry -> unit
+
+val clear : t -> unit
+val fill_level : t -> int

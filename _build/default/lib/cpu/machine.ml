@@ -1,0 +1,181 @@
+open Hbbp_isa
+open Hbbp_program
+
+type retirement = {
+  mutable node : Exec_graph.node;
+  mutable taken_src : int;
+  mutable taken_tgt : int;
+  mutable retired_index : int;
+  mutable cycles : int;
+  mutable shadow_active : bool;
+}
+
+type observer = retirement -> unit
+
+type run_stats = {
+  retired : int;
+  cycles : int;
+  taken_branches : int;
+  kernel_retired : int;
+}
+
+exception Runaway of int
+exception Machine_fault of string
+
+type t = {
+  graph : Exec_graph.t;
+  st : State.t;
+  process : Process.t;
+  mutable observers : observer array;
+  kernel_entry : int option;
+  scratch : retirement;
+}
+
+let fault fmt = Format.kasprintf (fun s -> raise (Machine_fault s)) fmt
+
+let create ~process ?(seed = 42L) () =
+  let graph = Exec_graph.build_exn process in
+  let st = State.create ~seed () in
+  let kernel_entry =
+    Option.map
+      (fun ((_ : Image.t), (s : Symbol.t)) -> s.addr)
+      (Process.find_symbol process Kernel_abi.syscall_entry)
+  in
+  let dummy_node =
+    (* Any node serves as the scratch record's initial value. *)
+    let exception Found of Exec_graph.node in
+    try
+      List.iter
+        (fun (img : Image.t) ->
+          match Exec_graph.node_at graph img.base with
+          | Some n -> raise (Found n)
+          | None -> ())
+        (Process.images process);
+      fault "process has no decodable code"
+    with Found n -> n
+  in
+  {
+    graph;
+    st;
+    process;
+    observers = [||];
+    kernel_entry;
+    scratch =
+      {
+        node = dummy_node;
+        taken_src = -1;
+        taken_tgt = -1;
+        retired_index = 0;
+        cycles = 0;
+        shadow_active = false;
+      };
+  }
+
+let state t = t.st
+let process t = t.process
+
+let add_observer t obs =
+  t.observers <- Array.append t.observers [| obs |]
+
+(* The sentinel "return address" pushed below the entry frame: returning
+   to it ends the run. *)
+let sentinel = 0
+
+let run t ~entry ?(max_instructions = 2_000_000_000) () =
+  let st = t.st in
+  State.reset_registers st;
+  let rsp = Layout.initial_rsp - 8 in
+  State.set_gpr st Operand.RSP (Int64.of_int rsp);
+  Memory.write_i64 st.mem rsp (Int64.of_int sentinel);
+  st.ip <- entry;
+  let retired = ref 0 in
+  let cycles = ref 0 in
+  let shadow_until = ref 0 in
+  let taken_branches = ref 0 in
+  let kernel_retired = ref 0 in
+  let observers = t.observers in
+  let nobs = Array.length observers in
+  let scratch = t.scratch in
+  let node0 =
+    match Exec_graph.node_at t.graph entry with
+    | Some n -> n
+    | None -> fault "entry point %#x is not mapped code" entry
+  in
+  let rec loop (node : Exec_graph.node) =
+    if !retired >= max_instructions then raise (Runaway !retired);
+    st.ip <- node.addr;
+    let control = Exec.step st node in
+    let shadow_active = !cycles < !shadow_until in
+    let cycle_before = !cycles in
+    cycles := !cycles + node.issue_cost;
+    if node.long_latency then begin
+      let until = cycle_before + node.latency in
+      if until > !shadow_until then shadow_until := until
+    end;
+    incr retired;
+    if Ring.equal node.ring Ring.Kernel then incr kernel_retired;
+    let next_addr =
+      match control with
+      | Exec.Fall -> node.addr + node.len
+      | Exec.Taken tgt ->
+          incr taken_branches;
+          scratch.taken_src <- node.addr;
+          scratch.taken_tgt <- tgt;
+          tgt
+      | Exec.Syscall_enter ra -> (
+          match t.kernel_entry with
+          | None -> fault "SYSCALL with no kernel mapped (at %#x)" node.addr
+          | Some kentry ->
+              State.set_gpr st Operand.RCX (Int64.of_int ra);
+              st.ring <- Ring.Kernel;
+              incr taken_branches;
+              scratch.taken_src <- node.addr;
+              scratch.taken_tgt <- kentry;
+              kentry)
+      | Exec.Sysret_exit tgt ->
+          st.ring <- Ring.User;
+          incr taken_branches;
+          scratch.taken_src <- node.addr;
+          scratch.taken_tgt <- tgt;
+          tgt
+      | Exec.Halt -> sentinel
+    in
+    (match control with
+    | Exec.Fall | Exec.Halt ->
+        scratch.taken_src <- -1;
+        scratch.taken_tgt <- -1
+    | Exec.Taken _ | Exec.Syscall_enter _ | Exec.Sysret_exit _ -> ());
+    scratch.node <- node;
+    scratch.retired_index <- !retired - 1;
+    scratch.cycles <- !cycles;
+    scratch.shadow_active <- shadow_active;
+    for k = 0 to nobs - 1 do
+      observers.(k) scratch
+    done;
+    if next_addr <> sentinel then begin
+      let next =
+        match control with
+        | Exec.Fall -> (
+            match node.fall with
+            | Some n -> n
+            | None -> fault "execution fell off code at %#x" next_addr)
+        | Exec.Taken _ when node.target <> None
+                            && (Option.get node.target).Exec_graph.addr
+                               = next_addr ->
+            Option.get node.target
+        | Exec.Taken _ | Exec.Syscall_enter _ | Exec.Sysret_exit _ -> (
+            match Exec_graph.node_at t.graph next_addr with
+            | Some n -> n
+            | None -> fault "branch to unmapped address %#x" next_addr)
+        | Exec.Halt -> assert false
+      in
+      loop next
+    end
+  in
+  loop node0;
+  {
+    retired = !retired;
+    cycles = !cycles;
+    taken_branches = !taken_branches;
+    kernel_retired = !kernel_retired;
+  }

@@ -1,0 +1,69 @@
+type region = { base : int; data : Bytes.t }
+type t = { regions : region array }
+
+exception Fault of int
+
+let create specs =
+  let regions =
+    specs
+    |> List.map (fun (base, size) -> { base; data = Bytes.make size '\000' })
+    |> List.sort (fun a b -> compare a.base b.base)
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun k r ->
+      if k > 0 then
+        let prev = regions.(k - 1) in
+        if prev.base + Bytes.length prev.data > r.base then
+          invalid_arg "Memory.create: overlapping regions")
+    regions;
+  { regions }
+
+(* Hot path: small number of regions, last-hit cache would be overkill —
+   a linear scan over <= 4 regions is branch-predictable. *)
+let find t addr len =
+  let n = Array.length t.regions in
+  let rec scan k =
+    if k = n then raise (Fault addr)
+    else
+      let r = t.regions.(k) in
+      let off = addr - r.base in
+      if off >= 0 && off + len <= Bytes.length r.data then (r.data, off)
+      else scan (k + 1)
+  in
+  scan 0
+
+let read_u8 t addr =
+  let data, off = find t addr 1 in
+  Bytes.get_uint8 data off
+
+let write_u8 t addr v =
+  let data, off = find t addr 1 in
+  Bytes.set_uint8 data off (v land 0xff)
+
+let read_i64 t addr =
+  let data, off = find t addr 8 in
+  Bytes.get_int64_le data off
+
+let write_i64 t addr v =
+  let data, off = find t addr 8 in
+  Bytes.set_int64_le data off v
+
+let read_f64 t addr = Int64.float_of_bits (read_i64 t addr)
+let write_f64 t addr v = write_i64 t addr (Int64.bits_of_float v)
+
+let read_i32 t addr =
+  let data, off = find t addr 4 in
+  Bytes.get_int32_le data off
+
+let write_i32 t addr v =
+  let data, off = find t addr 4 in
+  Bytes.set_int32_le data off v
+
+let read_f32 t addr = Int32.float_of_bits (read_i32 t addr)
+let write_f32 t addr v = write_i32 t addr (Int32.bits_of_float v)
+
+let is_mapped t addr =
+  match find t addr 1 with
+  | _ -> true
+  | exception Fault _ -> false

@@ -1,0 +1,21 @@
+(** Simulated physical memory: a small set of non-overlapping regions. *)
+
+type t
+
+exception Fault of int  (** Access to an unmapped address. *)
+
+(** [create regions] — [(base, size)] pairs, zero-initialised. *)
+val create : (int * int) list -> t
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_i64 : t -> int -> int64
+val write_i64 : t -> int -> int64 -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+val read_f32 : t -> int -> float
+val write_f32 : t -> int -> float -> unit
+val read_i32 : t -> int -> int32
+val write_i32 : t -> int -> int32 -> unit
+
+val is_mapped : t -> int -> bool

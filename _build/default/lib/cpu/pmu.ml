@@ -1,0 +1,303 @@
+open Hbbp_isa
+open Hbbp_program
+
+type counter_mode = Counting | Sampling of { period : int; lbr : bool }
+type counter_config = { event : Pmu_event.t; mode : counter_mode }
+
+type sample = {
+  event : Pmu_event.t;
+  ip : int;
+  lbr : Lbr.entry array;
+  ring : Ring.t;
+  retired_index : int;
+  cycles : int;
+}
+
+type counter = {
+  config : counter_config;
+  mutable value : int;  (* progress towards the next overflow *)
+  mutable total : int64;
+}
+
+type pending = {
+  counter_idx : int;
+  mutable skid_left : int;
+  branch_based : bool;  (* skid counts taken branches, not retirements *)
+  trigger : Lbr.entry option;  (* the branch that caused the overflow *)
+  mutable waiting_shadow : bool;
+}
+
+type t = {
+  model : Pmu_model.t;
+  counters : counter array;
+  lbr : Lbr.t;
+  prng : Prng.t;
+  mutable samples_rev : sample list;
+  mutable pendings : pending list;
+  mutable pmi_count : int;
+  mutable last_cycles : int;
+  mutable stuck_entry : Lbr.entry option;
+      (* The quirk: a branch record stuck in the oldest LBR slots. *)
+  mutable stuck_left : int;  (* Snapshots the stuck record persists for. *)
+  mutable drop_next_push : bool;
+      (* The quirk's second face: the recording of the taken branch that
+         follows a quirky one is occasionally lost. *)
+}
+
+let create model configs =
+  if List.length configs > 4 then
+    invalid_arg "Pmu.create: at most 4 counters per core";
+  let precise_sampling =
+    List.filter
+      (fun c ->
+        match c.mode with
+        | Sampling _ -> Pmu_event.is_precise c.event
+        | Counting -> false)
+      configs
+  in
+  if List.length precise_sampling > 1 then
+    invalid_arg "Pmu.create: only one precise event can sample at a time";
+  {
+    model;
+    counters =
+      Array.of_list
+        (List.map (fun config -> { config; value = 0; total = 0L }) configs);
+    lbr = Lbr.create ~depth:model.lbr_depth;
+    prng = Prng.create ~seed:model.seed;
+    samples_rev = [];
+    pendings = [];
+    pmi_count = 0;
+    last_cycles = 0;
+    stuck_entry = None;
+    stuck_left = 0;
+    drop_next_push = false;
+  }
+
+(* How much a retirement advances a counter for a given event. *)
+let increment (e : Pmu_event.t) (r : Machine.retirement) ~cycles_delta =
+  let m = r.node.instr.Instruction.mnemonic in
+  match e with
+  | Pmu_event.Inst_retired_any | Pmu_event.Inst_retired_prec_dist -> 1
+  | Pmu_event.Br_inst_retired_near_taken -> if r.taken_src >= 0 then 1 else 0
+  | Pmu_event.Cpu_clk_unhalted -> cycles_delta
+  | Pmu_event.Arith_divider_cycles -> (
+      match Mnemonic.category m with
+      | Mnemonic.Divide -> Latency.latency m
+      | _ -> 0)
+  | Pmu_event.Fp_comp_ops_sse | Pmu_event.Fp_comp_ops_avx
+  | Pmu_event.Fp_comp_ops_x87 | Pmu_event.Simd_int_128 -> (
+      let computational =
+        match Mnemonic.category m with
+        | Mnemonic.Arithmetic | Mnemonic.Divide | Mnemonic.Sqrt
+        | Mnemonic.Transcendental | Mnemonic.Fma ->
+            true
+        | _ -> false
+      in
+      if not computational then 0
+      else
+        let set = Mnemonic.isa_set m and elem = Mnemonic.element m in
+        let fp =
+          match elem with
+          | Mnemonic.Fp32 | Mnemonic.Fp64 -> true
+          | Mnemonic.Int_elem | Mnemonic.No_elem -> false
+        in
+        match e with
+        | Pmu_event.Fp_comp_ops_sse ->
+            if fp && Mnemonic.equal_isa_set set Mnemonic.Sse then 1 else 0
+        | Pmu_event.Fp_comp_ops_avx ->
+            if
+              fp
+              && (Mnemonic.equal_isa_set set Mnemonic.Avx
+                 || Mnemonic.equal_isa_set set Mnemonic.Avx2)
+            then 1
+            else 0
+        | Pmu_event.Fp_comp_ops_x87 ->
+            if Mnemonic.equal_isa_set set Mnemonic.X87 then 1 else 0
+        | Pmu_event.Simd_int_128 -> (
+            match (set, elem) with
+            | (Mnemonic.Sse | Mnemonic.Avx2), Mnemonic.Int_elem -> 1
+            | _, _ -> 0)
+        | _ -> 0)
+
+(* Mild anomaly (all branches, low rate): the buffer is mis-rotated by
+   one slot — the triggering branch appears oldest, one genuine stream is
+   lost and one bogus stream fabricated. *)
+let misrotate snap =
+  let n = Array.length snap in
+  Array.init n (fun k -> if k = 0 then snap.(n - 1) else snap.(k - 1))
+
+(* The hard quirk (hash-selected branches): the triggering branch's
+   record gets STUCK in the two oldest slots of the buffer and persists
+   there across the next few snapshots, as if those slots stopped being
+   rewritten.  The analyzer sees the same branch at entry[0] a
+   disproportionate number of times — up to ~50% for a hot branch, the
+   paper's exact symptom — while the genuine oldest streams are lost and
+   bogus streams anchored at the stuck branch's source/target fabricate
+   weight over the blocks around it: concentrated over- and
+   under-counting, as in Table 3. *)
+let stick snap (e : Lbr.entry) =
+  let out = Array.copy snap in
+  let n = Array.length out in
+  if n > 2 then begin
+    out.(0) <- e;
+    out.(1) <- e
+  end;
+  out
+
+let snapshot_lbr t ~branch_based ~trigger =
+  let snap = Lbr.snapshot t.lbr in
+  if Array.length snap = 0 then snap
+  else if not branch_based then snap
+  else begin
+    (match trigger with
+    | Some (entry : Lbr.entry)
+      when Pmu_model.is_quirk_branch t.model entry.src
+           && Prng.bool t.prng t.model.quirk_probability ->
+        t.stuck_entry <- Some entry;
+        t.stuck_left <- 2 + Prng.int t.prng 5
+    | Some _ | None -> ());
+    match t.stuck_entry with
+    | Some e when t.stuck_left > 0 ->
+        t.stuck_left <- t.stuck_left - 1;
+        if t.stuck_left = 0 then t.stuck_entry <- None;
+        stick snap e
+    | Some _ | None ->
+        if Prng.bool t.prng t.model.global_anomaly_probability then
+          misrotate snap
+        else snap
+  end
+
+let deliver t pending (r : Machine.retirement) =
+  let counter = t.counters.(pending.counter_idx) in
+  let lbr_enabled =
+    match counter.config.mode with
+    | Sampling { lbr; _ } -> lbr
+    | Counting -> false
+  in
+  let lbr =
+    if lbr_enabled then
+      snapshot_lbr t ~branch_based:pending.branch_based
+        ~trigger:pending.trigger
+    else [||]
+  in
+  t.pmi_count <- t.pmi_count + 1;
+  t.samples_rev <-
+    {
+      event = counter.config.event;
+      ip = r.node.Exec_graph.addr;
+      lbr;
+      ring = r.node.Exec_graph.ring;
+      retired_index = r.retired_index;
+      cycles = r.cycles;
+    }
+    :: t.samples_rev
+
+let skid_for t (e : Pmu_event.t) =
+  match e with
+  | Pmu_event.Br_inst_retired_near_taken ->
+      Pmu_model.draw_skid t.prng t.model.branch_skid
+  | Pmu_event.Inst_retired_prec_dist ->
+      Pmu_model.draw_skid t.prng t.model.precise_skid
+  | _ -> Pmu_model.draw_skid t.prng t.model.imprecise_skid
+
+let observer t : Machine.observer =
+ fun r ->
+  let cycles_delta = r.cycles - t.last_cycles in
+  t.last_cycles <- r.cycles;
+  (* 1. LBR tracks every retired taken branch — except records lost to
+     the quirk. *)
+  if r.taken_src >= 0 then begin
+    if t.drop_next_push then t.drop_next_push <- false
+    else Lbr.push t.lbr ~src:r.taken_src ~tgt:r.taken_tgt;
+    if
+      (Pmu_model.is_quirk_branch t.model r.taken_src
+      && Prng.bool t.prng t.model.quirk_drop_probability)
+      || Prng.bool t.prng t.model.global_drop_probability
+    then t.drop_next_push <- true
+  end;
+  (* 2. Advance pending PMIs (created at earlier retirements). *)
+  if t.pendings <> [] then begin
+    let still_pending = ref [] in
+    List.iter
+      (fun p ->
+        let shadow_blocked = t.model.shadow_enabled && r.shadow_active in
+        if p.waiting_shadow then
+          if shadow_blocked then still_pending := p :: !still_pending
+          else deliver t p r
+        else begin
+          let applicable = (not p.branch_based) || r.taken_src >= 0 in
+          if applicable then p.skid_left <- p.skid_left - 1;
+          if p.skid_left <= 0 && applicable then
+            if
+              shadow_blocked
+              && Prng.bool t.prng t.model.shadow_slide_probability
+            then begin
+              p.waiting_shadow <- true;
+              still_pending := p :: !still_pending
+            end
+            else deliver t p r
+          else still_pending := p :: !still_pending
+        end)
+      (List.rev t.pendings);
+    t.pendings <- List.rev !still_pending
+  end;
+  (* 3. Count, detect overflows, create new pendings. *)
+  Array.iteri
+    (fun idx c ->
+      let inc = increment c.config.event r ~cycles_delta in
+      if inc > 0 then begin
+        c.total <- Int64.add c.total (Int64.of_int inc);
+        match c.config.mode with
+        | Counting -> ()
+        | Sampling { period; _ } ->
+            c.value <- c.value + inc;
+            if c.value >= period then begin
+              c.value <- c.value - period;
+              let branch_based =
+                Pmu_event.equal c.config.event
+                  Pmu_event.Br_inst_retired_near_taken
+              in
+              let trigger =
+                if branch_based && r.taken_src >= 0 then
+                  Some { Lbr.src = r.taken_src; tgt = r.taken_tgt }
+                else None
+              in
+              let skid = skid_for t c.config.event in
+              let p =
+                { counter_idx = idx; skid_left = skid; branch_based; trigger;
+                  waiting_shadow = false }
+              in
+              if skid = 0 then
+                if
+                  t.model.shadow_enabled && r.shadow_active
+                  && Prng.bool t.prng t.model.shadow_slide_probability
+                then begin
+                  p.waiting_shadow <- true;
+                  t.pendings <- p :: t.pendings
+                end
+                else deliver t p r
+              else t.pendings <- p :: t.pendings
+            end
+      end)
+    t.counters
+
+let samples t = List.rev t.samples_rev
+let counts t =
+  Array.to_list (Array.map (fun c -> (c.config.event, c.total)) t.counters)
+
+let pmi_count t = t.pmi_count
+
+let reset t =
+  Array.iter
+    (fun c ->
+      c.value <- 0;
+      c.total <- 0L)
+    t.counters;
+  Lbr.clear t.lbr;
+  t.samples_rev <- [];
+  t.pendings <- [];
+  t.pmi_count <- 0;
+  t.last_cycles <- 0;
+  t.stuck_entry <- None;
+  t.stuck_left <- 0;
+  t.drop_next_push <- false

@@ -1,0 +1,46 @@
+(** The Performance Monitoring Unit.
+
+    Counters can run in counting mode (exact totals, used for
+    cross-checking instrumentation results — paper section VII.B) or in
+    sampling mode with a period; sampling counters may have LBR capture
+    enabled.  The sampling path implements the skid, shadowing and LBR
+    anomaly models from {!Pmu_model}. *)
+
+open Hbbp_program
+
+type counter_mode =
+  | Counting
+  | Sampling of { period : int; lbr : bool }
+
+type counter_config = { event : Pmu_event.t; mode : counter_mode }
+
+type sample = {
+  event : Pmu_event.t;
+  ip : int;  (** Eventing IP (where the PMI observed retirement). *)
+  lbr : Lbr.entry array;  (** Oldest first; empty if LBR capture is off. *)
+  ring : Ring.t;
+  retired_index : int;
+  cycles : int;
+}
+
+type t
+
+(** [create model configs] —
+    @raise Invalid_argument for more than 4 counters or more than one
+    precise sampling event (the x86 restriction the paper works around
+    with its dual-LBR collection). *)
+val create : Pmu_model.t -> counter_config list -> t
+
+(** Register this PMU on a machine. *)
+val observer : t -> Machine.observer
+
+(** Samples in delivery order. *)
+val samples : t -> sample list
+
+(** Final totals of every counter, including sampling ones. *)
+val counts : t -> (Pmu_event.t * int64) list
+
+(** Number of PMIs taken — input to the overhead model. *)
+val pmi_count : t -> int
+
+val reset : t -> unit

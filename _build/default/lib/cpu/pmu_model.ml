@@ -1,0 +1,57 @@
+type skid = { distances : int array; weights : float array }
+
+type t = {
+  lbr_depth : int;
+  precise_skid : skid;
+  imprecise_skid : skid;
+  branch_skid : skid;
+  shadow_enabled : bool;
+  shadow_slide_probability : float;
+  quirk_hash_mod : int;
+  quirk_probability : float;
+  quirk_drop_probability : float;
+  global_anomaly_probability : float;
+  global_drop_probability : float;
+  pmi_cost_cycles : int;
+  seed : int64;
+}
+
+let default =
+  {
+    lbr_depth = 16;
+    precise_skid =
+      {
+        distances = [| 0; 1; 2; 3; 4; 5; 6; 8 |];
+        weights = [| 0.12; 0.18; 0.20; 0.17; 0.13; 0.10; 0.06; 0.04 |];
+      };
+    imprecise_skid =
+      {
+        distances = [| 1; 2; 3; 4; 5; 6; 8 |];
+        weights = [| 0.10; 0.20; 0.25; 0.20; 0.12; 0.08; 0.05 |];
+      };
+    branch_skid = { distances = [| 0; 1 |]; weights = [| 0.85; 0.15 |] };
+    shadow_enabled = true;
+    shadow_slide_probability = 0.2;
+    quirk_hash_mod = 31;
+    quirk_probability = 0.45;
+    quirk_drop_probability = 0.45;
+    global_anomaly_probability = 0.03;
+    global_drop_probability = 0.012;
+    (* ~3us at 3GHz: PMI + LBR read-out + perf record write.  Calibrated
+       against the paper's time penalties: 2.3% on Test40 at the
+       "seconds" periods, ~0.02% at SPEC periods. *)
+    pmi_cost_cycles = 9000;
+    seed = 0x5EEDCAFEL;
+  }
+
+(* The quirk is a fixed property of the branch's address, as observed on
+   real hardware: the same branches misbehave run after run. *)
+let hash_addr addr =
+  let z = Int64.of_int addr in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  Int64.to_int (Int64.logand z 0x3FFFFFFFL)
+
+let is_quirk_branch t src = hash_addr src mod t.quirk_hash_mod = 0
+
+let draw_skid prng skid = skid.distances.(Prng.choose prng skid.weights)

@@ -1,0 +1,65 @@
+(** Tunable parameters of the PMU inaccuracy model.
+
+    These constants encode the microarchitectural artefacts the paper
+    identifies as the reason neither EBS nor LBR alone suffices
+    (sections III.A and III.C):
+
+    - {b skid}: the IP reported by a PMI belongs to an instruction a few
+      retirement slots after the one that caused the overflow; precise
+      (PEBS-like) event variants shrink but do not eliminate it;
+    - {b shadowing}: PMIs cannot be delivered while a long-latency
+      instruction is still executing, so samples pile up on the first
+      instruction after it;
+    - {b LBR entry[0] anomaly}: for certain branches (a hardware quirk —
+      the paper's footnote 1 notes the vendor fixed it in later designs),
+      the snapshot shows the triggering branch in the oldest LBR slot,
+      corrupting the first stream.
+
+    The values shipped as {!default} are calibrated (see the calibration
+    test) so that the EBS-vs-LBR accuracy crossover in training data falls
+    near a block length of 18, the cutoff the paper's tree learns. *)
+
+(** A small discrete distribution of skid distances. *)
+type skid = {
+  distances : int array;
+  weights : float array;  (** Same length as [distances], non-negative. *)
+}
+
+type t = {
+  lbr_depth : int;  (** 16 on the paper's hardware. *)
+  precise_skid : skid;  (** For [INST_RETIRED:PREC_DIST], in retirements. *)
+  imprecise_skid : skid;  (** For plain [INST_RETIRED:ANY]. *)
+  branch_skid : skid;  (** For the branch event, in taken branches. *)
+  shadow_enabled : bool;
+  shadow_slide_probability : float;
+      (** Chance that a PMI landing inside a shadow window actually slides
+          to the end of the window (shadowing is statistical on real
+          hardware; 1.0 would pile every affected sample on the same
+          instruction). *)
+  quirk_hash_mod : int;
+      (** A branch whose source address hashes to [0 mod quirk_hash_mod]
+          is anomaly-prone. *)
+  quirk_probability : float;
+      (** Chance an anomaly-prone triggering branch corrupts entry[0]. *)
+  quirk_drop_probability : float;
+      (** Chance that, after an anomaly-prone branch is recorded, the
+          {e next} taken branch fails to be recorded — merging two streams
+          and mis-counting the blocks around the quirky branch. *)
+  global_anomaly_probability : float;
+      (** Low-rate corruption applying to every snapshot. *)
+  global_drop_probability : float;
+      (** Low-rate loss of LBR records after {e any} branch: the flat
+          systematic error floor that makes EBS competitive on long
+          blocks. *)
+  pmi_cost_cycles : int;
+      (** Cost of taking one PMI, for the overhead model. *)
+  seed : int64;  (** Seed of the PMU's private PRNG stream. *)
+}
+
+val default : t
+
+(** [is_quirk_branch t src] — deterministic per branch source address. *)
+val is_quirk_branch : t -> int -> bool
+
+(** [draw_skid prng skid] — one skid distance. *)
+val draw_skid : Prng.t -> skid -> int

@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let float t =
+  let v = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let choose t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if Array.length weights = 0 || total <= 0.0 then
+    invalid_arg "Prng.choose: empty or all-zero weights";
+  let mark = float t *. total in
+  let rec pick k acc =
+    if k = Array.length weights - 1 then k
+    else
+      let acc = acc +. weights.(k) in
+      if mark < acc then k else pick (k + 1) acc
+  in
+  pick 0 0.0
+
+let split t = create ~seed:(next t)

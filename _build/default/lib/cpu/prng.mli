@@ -1,0 +1,29 @@
+(** Deterministic splitmix64 PRNG.
+
+    Every stochastic element of the simulation (skid draws, LBR anomaly
+    draws, workload data) flows through seeded instances of this generator,
+    so runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] — uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] — true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [choose t weights] — index drawn from the (unnormalised, non-negative)
+    weight vector.  Raises [Invalid_argument] on an empty or all-zero
+    vector. *)
+val choose : t -> float array -> int
+
+(** [split t] — an independent generator derived from [t]'s stream. *)
+val split : t -> t

@@ -1,0 +1,81 @@
+open Hbbp_isa
+open Hbbp_program
+
+type t = {
+  gprs : int64 array;
+  vregs : float array array;
+  x87 : float array;
+  mutable x87_top : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable off : bool;
+  mem : Memory.t;
+  prng : Prng.t;
+  mutable ring : Ring.t;
+  mutable ip : int;
+}
+
+let create ?(seed = 42L) () =
+  {
+    gprs = Array.make 16 0L;
+    vregs = Array.init 16 (fun _ -> Array.make 8 0.0);
+    x87 = Array.make 8 0.0;
+    x87_top = 0;
+    zf = false;
+    sf = false;
+    cf = false;
+    off = false;
+    mem = Memory.create Layout.memory_regions;
+    prng = Prng.create ~seed;
+    ring = Ring.User;
+    ip = 0;
+  }
+
+let get_gpr t g = t.gprs.(Operand.gpr_code g)
+let set_gpr t g v = t.gprs.(Operand.gpr_code g) <- v
+
+let vreg_index = function
+  | Operand.Xmm i | Operand.Ymm i -> i
+  | Operand.Gpr _ | Operand.St _ ->
+      invalid_arg "State.vreg_index: not a vector register"
+
+let lane_count reg (elem : Mnemonic.element) =
+  match (reg, elem) with
+  | Operand.Ymm _, Mnemonic.Fp64 -> 4
+  | Operand.Ymm _, (Mnemonic.Fp32 | Mnemonic.Int_elem | Mnemonic.No_elem) -> 8
+  | _, Mnemonic.Fp64 -> 2
+  | _, (Mnemonic.Fp32 | Mnemonic.Int_elem | Mnemonic.No_elem) -> 4
+
+let x87_get t i = t.x87.((t.x87_top + i) land 7)
+let x87_set t i v = t.x87.((t.x87_top + i) land 7) <- v
+
+let x87_push t v =
+  t.x87_top <- (t.x87_top - 1) land 7;
+  t.x87.(t.x87_top) <- v
+
+let x87_pop t =
+  let v = t.x87.(t.x87_top) in
+  t.x87_top <- (t.x87_top + 1) land 7;
+  v
+
+let effective_address t { Operand.base; index; scale; disp } =
+  let base_v = Int64.to_int (get_gpr t base) in
+  let index_v =
+    match index with
+    | None -> 0
+    | Some g -> Int64.to_int (get_gpr t g) * scale
+  in
+  base_v + index_v + disp
+
+let reset_registers t =
+  Array.fill t.gprs 0 16 0L;
+  Array.iter (fun v -> Array.fill v 0 8 0.0) t.vregs;
+  Array.fill t.x87 0 8 0.0;
+  t.x87_top <- 0;
+  t.zf <- false;
+  t.sf <- false;
+  t.cf <- false;
+  t.off <- false;
+  t.ring <- Ring.User;
+  t.ip <- 0

@@ -1,0 +1,47 @@
+(** Mutable architectural state of the simulated CPU. *)
+
+open Hbbp_isa
+open Hbbp_program
+
+type t = {
+  gprs : int64 array;  (** 16 general-purpose registers. *)
+  vregs : float array array;
+      (** 16 vector registers of 8 lanes each.  Lane values are held as
+          OCaml floats; packed-single ops use 4 (xmm) or 8 (ymm) lanes,
+          packed-double ops 2 or 4.  This value-level model preserves data
+          flow (and hence control flow) without bit-exact SIMD. *)
+  x87 : float array;  (** 8-slot x87 register stack. *)
+  mutable x87_top : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable off : bool;  (** Overflow flag ([of] is a keyword). *)
+  mem : Memory.t;
+  prng : Prng.t;  (** Workload-visible randomness (e.g. RDTSC jitter). *)
+  mutable ring : Ring.t;
+  mutable ip : int;
+}
+
+val create : ?seed:int64 -> unit -> t
+
+val get_gpr : t -> Operand.gpr -> int64
+val set_gpr : t -> Operand.gpr -> int64 -> unit
+
+(** [vreg_index r] — the register file slot of an [Xmm]/[Ymm] operand. *)
+val vreg_index : Operand.reg -> int
+
+(** [lane_count reg elem] — active lanes for a packed op on [reg]. *)
+val lane_count : Operand.reg -> Mnemonic.element -> int
+
+(** x87 stack access relative to top-of-stack. *)
+val x87_get : t -> int -> float
+
+val x87_set : t -> int -> float -> unit
+val x87_push : t -> float -> unit
+val x87_pop : t -> float
+
+(** [effective_address s m] resolves [base + index*scale + disp]. *)
+val effective_address : t -> Operand.mem -> int
+
+(** Reset flags and registers to their boot values (memory preserved). *)
+val reset_registers : t -> unit

@@ -1,0 +1,1 @@
+lib/instrument/sde.ml: Array Basic_block Bb_map Exec_graph Hashtbl Hbbp_cpu Hbbp_isa Hbbp_program Instruction Int64 List Machine Mnemonic Ring

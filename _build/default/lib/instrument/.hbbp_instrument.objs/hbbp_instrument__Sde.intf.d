@@ -1,0 +1,1 @@
+lib/instrument/sde.mli: Basic_block Bb_map Hbbp_cpu Hbbp_isa Hbbp_program Instruction Machine Mnemonic

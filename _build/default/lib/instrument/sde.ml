@@ -1,0 +1,163 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_cpu
+
+type config = { probe_cost : int; bug_mnemonic : Mnemonic.t option }
+
+let default_config = { probe_cost = 12; bug_mnemonic = None }
+
+(* Per-instruction emulation cost: decode + translate + emulate.  Wider
+   and microcoded instructions are disproportionately expensive under
+   emulation, which is what makes vector-heavy scientific codes suffer
+    the most (Table 1: 68-76x on "all other benchmarks" / Hydro-post vs
+   4x on SPEC overall). *)
+let emulation_cost (i : Instruction.t) =
+  let m = i.mnemonic in
+  let base =
+    match Mnemonic.isa_set m with
+    | Mnemonic.Base -> (
+        match Mnemonic.category m with
+        | Mnemonic.Branch -> 7
+        | Mnemonic.Call | Mnemonic.Ret -> 14
+        | Mnemonic.Divide -> 18
+        | Mnemonic.Sync -> 20
+        | Mnemonic.System -> 60
+        | _ -> 4)
+    | Mnemonic.X87 -> (
+        match Mnemonic.category m with
+        | Mnemonic.Transcendental -> 160
+        | Mnemonic.Divide | Mnemonic.Sqrt -> 60
+        | _ -> 28)
+    | Mnemonic.Sse -> (
+        match Mnemonic.packing m with
+        | Mnemonic.Packed -> 38
+        | Mnemonic.Scalar_fp | Mnemonic.Not_vector -> 22)
+    | Mnemonic.Avx | Mnemonic.Avx2 -> (
+        match Mnemonic.category m with
+        | Mnemonic.Fma -> 160
+        | _ -> (
+            match Mnemonic.packing m with
+            | Mnemonic.Packed -> 110
+            | Mnemonic.Scalar_fp | Mnemonic.Not_vector -> 30))
+  in
+  let memory =
+    if Instruction.reads_memory i || Instruction.writes_memory i then 6 else 0
+  in
+  base + memory
+
+type t = {
+  config : config;
+  leader_index : (int, int) Hashtbl.t;  (* block leader addr -> flat id *)
+  maps : Bb_map.t array;
+  map_of_block : int array;  (* flat id -> index into maps *)
+  local_id : int array;  (* flat id -> block id within its map *)
+  counts : int array;  (* flat id -> exact execution count *)
+  histogram : int64 array;  (* indexed by mnemonic code *)
+  mutable total : int64;
+  mutable lost_kernel : int;
+  mutable emulation_cycles : int;
+  mutable native_cycles : int;
+}
+
+let create config maps =
+  let maps = Array.of_list maps in
+  let leader_index = Hashtbl.create 4096 in
+  let flat = ref [] in
+  let flat_count = ref 0 in
+  Array.iteri
+    (fun map_idx map ->
+      Array.iter
+        (fun (b : Basic_block.t) ->
+          Hashtbl.replace leader_index b.addr !flat_count;
+          flat := (map_idx, b.id) :: !flat;
+          incr flat_count)
+        (Bb_map.blocks map))
+    maps;
+  let pairs = Array.of_list (List.rev !flat) in
+  {
+    config;
+    leader_index;
+    maps;
+    map_of_block = Array.map fst pairs;
+    local_id = Array.map snd pairs;
+    counts = Array.make !flat_count 0;
+    histogram = Array.make (Mnemonic.max_code + 1) 0L;
+    total = 0L;
+    lost_kernel = 0;
+    emulation_cycles = 0;
+    native_cycles = 0;
+  }
+
+let observer t : Machine.observer =
+ fun r ->
+  let node = r.node in
+  if Ring.equal node.Exec_graph.ring Ring.Kernel then begin
+    (* Invisible to user-mode instrumentation; native time still passes. *)
+    t.lost_kernel <- t.lost_kernel + 1;
+    t.emulation_cycles <- t.emulation_cycles + node.Exec_graph.issue_cost
+  end
+  else begin
+    let code = Mnemonic.to_code node.Exec_graph.instr.Instruction.mnemonic in
+    t.histogram.(code) <- Int64.add t.histogram.(code) 1L;
+    t.total <- Int64.add t.total 1L;
+    t.emulation_cycles <-
+      t.emulation_cycles + emulation_cost node.Exec_graph.instr;
+    match Hashtbl.find_opt t.leader_index node.Exec_graph.addr with
+    | Some flat ->
+        t.counts.(flat) <- t.counts.(flat) + 1;
+        t.emulation_cycles <- t.emulation_cycles + t.config.probe_cost
+    | None -> ()
+  end;
+  t.native_cycles <- r.cycles
+
+let block_count t map (block : Basic_block.t) =
+  match Hashtbl.find_opt t.leader_index block.addr with
+  | Some flat when t.maps.(t.map_of_block.(flat)) == map -> t.counts.(flat)
+  | Some _ | None -> 0
+
+let block_counts t =
+  let out = ref [] in
+  Array.iteri
+    (fun flat count ->
+      if count > 0 then
+        let map = t.maps.(t.map_of_block.(flat)) in
+        let block = Bb_map.block map t.local_id.(flat) in
+        out := (map, block, count) :: !out)
+    t.counts;
+  List.rev !out
+
+let histogram t =
+  let out = ref [] in
+  Array.iteri
+    (fun code count ->
+      if Int64.compare count 0L > 0 then
+        match Mnemonic.of_code code with
+        | Some m ->
+            let count =
+              match t.config.bug_mnemonic with
+              | Some bug when Mnemonic.equal bug m -> Int64.div count 2L
+              | Some _ | None -> count
+            in
+            out := (m, count) :: !out
+        | None -> ())
+    t.histogram;
+  List.rev !out
+
+let total_instructions t =
+  (* The injected bug drops half the executions of one mnemonic from the
+     tool's internal accounting, exactly the kind of defect the paper's
+     PMU cross-check caught on x264ref (footnote 2). *)
+  match t.config.bug_mnemonic with
+  | None -> t.total
+  | Some bug ->
+      Int64.sub t.total (Int64.div t.histogram.(Mnemonic.to_code bug) 2L)
+let lost_kernel_instructions t = t.lost_kernel
+let instrumented_cycles t = t.emulation_cycles
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  Array.fill t.histogram 0 (Array.length t.histogram) 0L;
+  t.total <- 0L;
+  t.lost_kernel <- 0;
+  t.emulation_cycles <- 0;
+  t.native_cycles <- 0

@@ -1,0 +1,1 @@
+lib/isa/encoding.pp.ml: Array Bytes Format Instruction Int32 List Mnemonic Operand Option Result

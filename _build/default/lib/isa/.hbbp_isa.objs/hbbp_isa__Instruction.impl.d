@@ -1,0 +1,1 @@
+lib/isa/instruction.pp.ml: Array Format Mnemonic Operand

@@ -1,0 +1,1 @@
+lib/isa/instruction.pp.mli: Format Mnemonic Operand

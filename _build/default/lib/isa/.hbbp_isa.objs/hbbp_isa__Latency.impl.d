@@ -1,0 +1,1 @@
+lib/isa/latency.pp.ml: Instruction Mnemonic

@@ -1,0 +1,1 @@
+lib/isa/mnemonic.pp.ml: Hashtbl List Ppx_deriving_runtime

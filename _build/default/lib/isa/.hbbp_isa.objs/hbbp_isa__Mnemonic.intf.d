@@ -1,0 +1,1 @@
+lib/isa/mnemonic.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/operand.pp.ml: Ppx_deriving_runtime

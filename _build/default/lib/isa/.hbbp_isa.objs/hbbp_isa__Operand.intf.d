@@ -1,0 +1,1 @@
+lib/isa/operand.pp.mli: Format

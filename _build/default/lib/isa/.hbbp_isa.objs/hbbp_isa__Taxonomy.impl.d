@@ -1,0 +1,1 @@
+lib/isa/taxonomy.pp.ml: Instruction Latency List Mnemonic

@@ -1,0 +1,1 @@
+lib/isa/taxonomy.pp.mli: Instruction Mnemonic

@@ -1,0 +1,144 @@
+type error =
+  | Truncated
+  | Bad_mnemonic of int
+  | Bad_operand_tag of int
+  | Bad_register of int * int
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated instruction"
+  | Bad_mnemonic c -> Format.fprintf ppf "bad mnemonic code %#x" c
+  | Bad_operand_tag t -> Format.fprintf ppf "bad operand tag %#x" t
+  | Bad_register (c, i) -> Format.fprintf ppf "bad register (class %d, idx %d)" c i
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let operand_length = function
+  | Operand.Reg _ -> 3
+  | Operand.Mem _ -> 8
+  | Operand.Imm _ -> 9
+  | Operand.Rel _ -> 5
+
+let encoded_length (i : Instruction.t) =
+  Array.fold_left (fun acc op -> acc + operand_length op) 3 i.operands
+
+let reg_class_and_index = function
+  | Operand.Gpr g -> (0, Operand.gpr_code g)
+  | Operand.Xmm i -> (1, i)
+  | Operand.Ymm i -> (2, i)
+  | Operand.St i -> (3, i)
+
+let reg_of_class_and_index cls idx =
+  match cls with
+  | 0 -> Option.map (fun g -> Operand.Gpr g) (Operand.gpr_of_code idx)
+  | 1 -> if idx < 16 then Some (Operand.Xmm idx) else None
+  | 2 -> if idx < 16 then Some (Operand.Ymm idx) else None
+  | 3 -> if idx < 8 then Some (Operand.St idx) else None
+  | _ -> None
+
+let set_u16 buf pos v =
+  Bytes.set_uint8 buf pos (v land 0xff);
+  Bytes.set_uint8 buf (pos + 1) ((v lsr 8) land 0xff)
+
+let set_i32 buf pos v = Bytes.set_int32_le buf pos (Int32.of_int v)
+let get_i32 buf pos = Int32.to_int (Bytes.get_int32_le buf pos)
+
+let encode buf pos (i : Instruction.t) =
+  let len = encoded_length i in
+  if pos + len > Bytes.length buf then
+    invalid_arg "Encoding.encode: buffer too small";
+  set_u16 buf pos (Mnemonic.to_code i.mnemonic);
+  Bytes.set_uint8 buf (pos + 2) (Array.length i.operands);
+  let cursor = ref (pos + 3) in
+  let put_operand op =
+    let p = !cursor in
+    (match op with
+    | Operand.Reg r ->
+        let cls, idx = reg_class_and_index r in
+        Bytes.set_uint8 buf p 0x01;
+        Bytes.set_uint8 buf (p + 1) cls;
+        Bytes.set_uint8 buf (p + 2) idx
+    | Operand.Mem { base; index; scale; disp } ->
+        Bytes.set_uint8 buf p 0x02;
+        Bytes.set_uint8 buf (p + 1) (Operand.gpr_code base);
+        Bytes.set_uint8 buf (p + 2)
+          (match index with None -> 0xff | Some g -> Operand.gpr_code g);
+        Bytes.set_uint8 buf (p + 3) scale;
+        set_i32 buf (p + 4) disp
+    | Operand.Imm v ->
+        Bytes.set_uint8 buf p 0x03;
+        Bytes.set_int64_le buf (p + 1) v
+    | Operand.Rel d ->
+        Bytes.set_uint8 buf p 0x04;
+        set_i32 buf (p + 1) d);
+    cursor := p + operand_length op
+  in
+  Array.iter put_operand i.operands;
+  len
+
+let encode_to_bytes i =
+  let buf = Bytes.create (encoded_length i) in
+  ignore (encode buf 0 i);
+  buf
+
+let ( let* ) = Result.bind
+
+let decode buf pos =
+  let avail = Bytes.length buf - pos in
+  if avail < 3 then Error Truncated
+  else
+    let code = Bytes.get_uint8 buf pos lor (Bytes.get_uint8 buf (pos + 1) lsl 8) in
+    match Mnemonic.of_code code with
+    | None -> Error (Bad_mnemonic code)
+    | Some mnemonic ->
+        let count = Bytes.get_uint8 buf (pos + 2) in
+        let rec operands k cursor acc =
+          if k = count then Ok (List.rev acc, cursor - pos)
+          else if cursor >= Bytes.length buf then Error Truncated
+          else
+            let tag = Bytes.get_uint8 buf cursor in
+            let need =
+              match tag with
+              | 0x01 -> Some 3
+              | 0x02 -> Some 8
+              | 0x03 -> Some 9
+              | 0x04 -> Some 5
+              | _ -> None
+            in
+            match need with
+            | None -> Error (Bad_operand_tag tag)
+            | Some n when cursor + n > Bytes.length buf -> Error Truncated
+            | Some n ->
+                let* op =
+                  match tag with
+                  | 0x01 ->
+                      let cls = Bytes.get_uint8 buf (cursor + 1) in
+                      let idx = Bytes.get_uint8 buf (cursor + 2) in
+                      (match reg_of_class_and_index cls idx with
+                      | Some r -> Ok (Operand.Reg r)
+                      | None -> Error (Bad_register (cls, idx)))
+                  | 0x02 ->
+                      let base_code = Bytes.get_uint8 buf (cursor + 1) in
+                      let index_code = Bytes.get_uint8 buf (cursor + 2) in
+                      let scale = Bytes.get_uint8 buf (cursor + 3) in
+                      let disp = get_i32 buf (cursor + 4) in
+                      let* base =
+                        match Operand.gpr_of_code base_code with
+                        | Some g -> Ok g
+                        | None -> Error (Bad_register (0, base_code))
+                      in
+                      let* index =
+                        if index_code = 0xff then Ok None
+                        else
+                          match Operand.gpr_of_code index_code with
+                          | Some g -> Ok (Some g)
+                          | None -> Error (Bad_register (0, index_code))
+                      in
+                      Ok (Operand.Mem { base; index; scale; disp })
+                  | 0x03 -> Ok (Operand.Imm (Bytes.get_int64_le buf (cursor + 1)))
+                  | 0x04 -> Ok (Operand.Rel (get_i32 buf (cursor + 1)))
+                  | _ -> assert false
+                in
+                operands (k + 1) (cursor + n) (op :: acc)
+        in
+        let* ops, len = operands 0 (pos + 3) [] in
+        Ok ({ Instruction.mnemonic; operands = Array.of_list ops }, len)

@@ -1,0 +1,37 @@
+(** Binary instruction encoding — the role XED plays for the paper's tool.
+
+    The encoding is a compact variable-length format:
+    {v
+      u16le  mnemonic code
+      u8     operand count
+      per operand:
+        0x01 class:u8 idx:u8                         register   (3 bytes)
+        0x02 base:u8 index:u8 scale:u8 disp:i32le    memory     (8 bytes)
+        0x03 imm:i64le                               immediate  (9 bytes)
+        0x04 disp:i32le                              pc-relative(5 bytes)
+    v}
+    Instruction lengths therefore vary between 3 and ~30 bytes, giving the
+    disassembler and the basic-block address maps real work to do. *)
+
+type error =
+  | Truncated  (** Ran past the end of the buffer. *)
+  | Bad_mnemonic of int
+  | Bad_operand_tag of int
+  | Bad_register of int * int  (** class, index *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** [encoded_length i] is the number of bytes [encode] will produce. *)
+val encoded_length : Instruction.t -> int
+
+(** [encode buf pos i] writes [i] at [pos] and returns the number of bytes
+    written.  Raises [Invalid_argument] if the buffer is too small. *)
+val encode : bytes -> int -> Instruction.t -> int
+
+(** [encode_to_bytes i] is a fresh buffer holding exactly [i]. *)
+val encode_to_bytes : Instruction.t -> bytes
+
+(** [decode buf pos] decodes one instruction starting at [pos], returning
+    it together with its encoded length. *)
+val decode : bytes -> int -> (Instruction.t * int, error) result

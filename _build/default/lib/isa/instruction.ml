@@ -1,0 +1,103 @@
+type t = { mnemonic : Mnemonic.t; operands : Operand.t array }
+
+let make mnemonic operands = { mnemonic; operands = Array.of_list operands }
+
+let equal a b =
+  Mnemonic.equal a.mnemonic b.mnemonic
+  && Array.length a.operands = Array.length b.operands
+  && Array.for_all2 Operand.equal a.operands b.operands
+
+let pp ppf { mnemonic; operands } =
+  if Array.length operands = 0 then Mnemonic.pp ppf mnemonic
+  else
+    Format.fprintf ppf "%a %a" Mnemonic.pp mnemonic
+      (Format.pp_print_array
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Operand.pp)
+      operands
+
+let to_string i = Format.asprintf "%a" pp i
+
+(* Implicit stack accesses: PUSH/CALL write the stack, POP/RET read it. *)
+let implicit_mem_read m =
+  match (m : Mnemonic.t) with
+  | POP | RET_NEAR | FLD | FILD -> true
+  | _ -> false
+
+let implicit_mem_write m =
+  match (m : Mnemonic.t) with
+  | PUSH | CALL_NEAR | FSTP | FST | FISTP -> true
+  | _ -> false
+
+(* Mnemonics whose first operand is read-only (no destination write). *)
+let first_operand_is_source m =
+  match (m : Mnemonic.t) with
+  | CMP | TEST | COMISS | COMISD | UCOMISS | UCOMISD | FCOM | FCOMI
+  | VUCOMISD | VCOMISS | PUSH | FLD | FILD ->
+      true
+  | _ -> false
+
+(* Pure moves overwrite their destination without reading it, so a memory
+   destination is not a memory read.  Everything else with a memory
+   destination is read-modify-write (e.g. ADD [m], r). *)
+let overwrites_destination m =
+  match Mnemonic.category m with
+  | Mnemonic.Data_transfer | Mnemonic.Shuffle -> true
+  | Mnemonic.Arithmetic | Mnemonic.Logical | Mnemonic.Shift
+  | Mnemonic.Compare | Mnemonic.Branch | Mnemonic.Call | Mnemonic.Ret
+  | Mnemonic.Convert | Mnemonic.Divide | Mnemonic.Sqrt
+  | Mnemonic.Transcendental | Mnemonic.Fma | Mnemonic.Stack | Mnemonic.Sync
+  | Mnemonic.Nop | Mnemonic.System ->
+      false
+
+let reads_memory { mnemonic; operands } =
+  if implicit_mem_read mnemonic then true
+  else
+    match mnemonic with
+    | LEA -> false (* only computes the address *)
+    | _ ->
+        let n = Array.length operands in
+        let source_start =
+          if n = 0 then 0
+          else if first_operand_is_source mnemonic then 0
+          else if overwrites_destination mnemonic then 1
+          else 0 (* read-modify-write: the destination is also read *)
+        in
+        let rec scan k =
+          k < n && (Operand.is_mem operands.(k) || scan (k + 1))
+        in
+        scan source_start
+
+let writes_memory { mnemonic; operands } =
+  if implicit_mem_write mnemonic then true
+  else if first_operand_is_source mnemonic then false
+  else
+    match mnemonic with
+    | LEA -> false
+    | _ -> Array.length operands > 0 && Operand.is_mem operands.(0)
+
+let is_branch i = Mnemonic.is_branch i.mnemonic
+let branch_kind i = Mnemonic.branch_kind i.mnemonic
+
+let rel_displacement { operands; _ } =
+  let rec find k =
+    if k >= Array.length operands then None
+    else match operands.(k) with
+      | Operand.Rel d -> Some d
+      | Operand.Reg _ | Operand.Mem _ | Operand.Imm _ -> find (k + 1)
+  in
+  find 0
+
+let with_rel i disp =
+  let found = ref false in
+  let operands =
+    Array.map
+      (function
+        | Operand.Rel _ ->
+            found := true;
+            Operand.Rel disp
+        | (Operand.Reg _ | Operand.Mem _ | Operand.Imm _) as op -> op)
+      i.operands
+  in
+  if not !found then invalid_arg "Instruction.with_rel: no Rel operand";
+  { i with operands }

@@ -1,0 +1,29 @@
+(** A fully-decoded instruction: a mnemonic plus its operands.
+
+    By x86 (Intel-syntax) convention, operand 0 is the destination. *)
+
+type t = { mnemonic : Mnemonic.t; operands : Operand.t array }
+
+val make : Mnemonic.t -> Operand.t list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [reads_memory i] — true when any source operand (or an implicit
+    access such as [POP]) references memory. *)
+val reads_memory : t -> bool
+
+(** [writes_memory i] — true when the destination operand (or an implicit
+    access such as [PUSH]) references memory. *)
+val writes_memory : t -> bool
+
+val is_branch : t -> bool
+val branch_kind : t -> Mnemonic.branch_kind
+
+(** [rel_displacement i] is the PC-relative displacement of a direct
+    branch, if the instruction has one. *)
+val rel_displacement : t -> int option
+
+(** [with_rel i disp] replaces the [Rel] operand of a direct branch.
+    Raises [Invalid_argument] if the instruction has no [Rel] operand. *)
+val with_rel : t -> int -> t

@@ -1,0 +1,89 @@
+let latency (m : Mnemonic.t) =
+  match m with
+  (* Division: the paper's canonical long-latency example. *)
+  | DIV | IDIV -> 26
+  | DIVSS -> 11
+  | DIVSD -> 14
+  | DIVPS -> 13
+  | DIVPD -> 20
+  | VDIVSS -> 11
+  | VDIVSD -> 14
+  | VDIVPS -> 21
+  | VDIVPD -> 35
+  | FDIV -> 24
+  (* Square roots. *)
+  | SQRTSS -> 11
+  | SQRTSD -> 16
+  | SQRTPS -> 14
+  | SQRTPD -> 22
+  | VSQRTPS -> 28
+  | VSQRTPD -> 43
+  | VSQRTSD -> 16
+  | FSQRT -> 24
+  (* Transcendentals (x87 microcode). *)
+  | FSIN | FCOS -> 90
+  | FPTAN -> 120
+  | F2XM1 -> 70
+  | FYL2X -> 100
+  (* Multiplies. *)
+  | IMUL | MUL -> 3
+  | MULSS | MULSD | MULPS | MULPD | VMULPS | VMULPD | VMULSS | VMULSD -> 5
+  | PMULLD | VPMULLD -> 10
+  | FMUL -> 5
+  (* FP add/sub/cmp. *)
+  | ADDSS | ADDSD | SUBSS | SUBSD | ADDPS | ADDPD | SUBPS | SUBPD
+  | VADDPS | VADDPD | VSUBPS | VSUBPD | VADDSS | VADDSD | VSUBSS
+  | MAXSS | MINSS | MAXPS | MINPS | VMAXPS | VMINPS | CMPPS
+  | FADD | FSUB -> 3
+  | COMISS | COMISD | UCOMISS | UCOMISD | VUCOMISD | VCOMISS | FCOM | FCOMI
+    -> 2
+  (* FMA. *)
+  | VFMADD213PS | VFMADD213PD | VFMADD231SS | VFMADD231SD -> 5
+  (* Conversions. *)
+  | CVTSI2SS | CVTSI2SD | CVTSD2SI | CVTSS2SI | CVTSS2SD | CVTSD2SS
+  | CVTTSD2SI | VCVTSI2SD | VCVTSD2SI -> 4
+  (* Shuffles / lane moves. *)
+  | SHUFPS | UNPCKLPS | UNPCKHPS | MOVHLPS | MOVLHPS | PSHUFD | PUNPCKLDQ
+  | VSHUFPS | VPERMILPS | VPBROADCASTD -> 1
+  | VBROADCASTSS | VBROADCASTSD -> 3
+  | VINSERTF128 | VEXTRACTF128 | VPERM2F128 -> 3
+  | VGATHERDPS -> 12
+  (* Synchronisation: serialising and slow. *)
+  | XADD | CMPXCHG -> 8
+  | LOCK_XADD | LOCK_CMPXCHG -> 22
+  | MFENCE -> 33
+  | LFENCE | SFENCE -> 6
+  (* System. *)
+  | CPUID -> 100
+  | RDTSC -> 27
+  | SYSCALL | SYSRET -> 75
+  | HLT -> 20
+  | PAUSE -> 9
+  (* x87 data movement. *)
+  | FLD | FST | FSTP | FXCH | FILD | FISTP | FABS | FCHS -> 1
+  (* Everything else is simple single-cycle integer work.  Listing the
+     remaining mnemonics explicitly would add no information; the model is
+     "1 cycle unless stated above". *)
+  | MOV | MOVZX | MOVSX | MOVSXD | LEA | XCHG | CMOVZ | CMOVNZ
+  | SETZ | SETNZ | SETLE | PUSH | POP
+  | ADD | ADC | SUB | SBB | INC | DEC | NEG | CDQ | CDQE
+  | AND | OR | XOR | NOT | TEST | CMP
+  | SHL | SHR | SAR | ROL | ROR
+  | JMP | JZ | JNZ | JLE | JNLE | JL | JNL | JB | JNB | JBE | JNBE | JS | JNS
+  | CALL_NEAR | RET_NEAR | NOP
+  | MOVSS | MOVSD | MOVAPS | MOVUPS | MOVAPD | MOVUPD | MOVDQA | MOVDQU
+  | VMOVAPS | VMOVUPS | VMOVAPD | VMOVUPD | VMOVSS | VMOVSD
+  | ANDPS | ORPS | XORPS | ANDPD | XORPD | PAND | POR | PXOR
+  | VANDPS | VXORPS | VXORPD | VPAND | VPXOR
+  | PADDD | PADDQ | PSUBD | PCMPEQD | PSLLD | PSRLD | VPADDD
+  | VZEROUPPER | VZEROALL -> 1
+
+let memory_access_cost = 4
+let long_latency_threshold = 10
+let is_long_latency m = latency m >= long_latency_threshold
+
+let cost (i : Instruction.t) =
+  let base = latency i.mnemonic in
+  if Instruction.reads_memory i || Instruction.writes_memory i then
+    base + memory_access_cost
+  else base

@@ -1,0 +1,24 @@
+(** Instruction latency model.
+
+    Latencies are loosely modelled on published Ivy Bridge numbers (Fog's
+    instruction tables, which the paper cites as [22]).  They drive the
+    simulator's timing and — critically for the reproduction — define which
+    instructions cast a {e shadow} over subsequent PMU samples
+    (paper section III.A). *)
+
+(** Cycles until the result of the instruction is available. *)
+val latency : Mnemonic.t -> int
+
+(** Additional cycles charged when the instruction accesses memory
+    (a flat L1-hit cost). *)
+val memory_access_cost : int
+
+(** Threshold above which an instruction is considered "long latency"
+    and creates a sampling shadow. *)
+val long_latency_threshold : int
+
+val is_long_latency : Mnemonic.t -> bool
+
+(** [cost i] is the total timing charge for one execution of [i]:
+    [latency i.mnemonic] plus [memory_access_cost] if it touches memory. *)
+val cost : Instruction.t -> int

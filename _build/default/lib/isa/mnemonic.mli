@@ -1,0 +1,151 @@
+(** Instruction mnemonics of the synthetic x86-flavoured ISA.
+
+    The set is large enough to express the workload families the paper
+    evaluates: base integer code, x87 scalar floating point, SSE
+    scalar/packed, AVX/AVX2 and FMA.  Every mnemonic carries static
+    attributes (ISA set, category, vector packing, element type) that the
+    analyzer uses to build instruction taxonomies and pivot tables. *)
+
+(** ISA extension a mnemonic belongs to (cf. the paper's "INST SET"
+    breakdown in Table 8). *)
+type isa_set =
+  | Base  (** Scalar integer / control flow. *)
+  | X87  (** Legacy x87 floating-point stack. *)
+  | Sse  (** 128-bit SSE/SSE2, scalar and packed. *)
+  | Avx  (** 256-bit AVX. *)
+  | Avx2  (** AVX2 integer / FMA. *)
+
+(** Coarse functional category, used for taxonomies and for the
+    instrumentation-cost and latency models. *)
+type category =
+  | Data_transfer
+  | Arithmetic
+  | Logical
+  | Shift
+  | Compare
+  | Branch  (** Conditional and unconditional jumps. *)
+  | Call
+  | Ret
+  | Convert  (** CVT* data conversions (paper section VIII.E). *)
+  | Divide
+  | Sqrt
+  | Transcendental  (** FSIN and friends: very long latency. *)
+  | Fma
+  | Shuffle  (** Shuffles, permutes, unpacks, broadcasts. *)
+  | Stack  (** PUSH/POP. *)
+  | Sync  (** LOCK-prefixed and fences (paper's example group). *)
+  | Nop
+  | System  (** CPUID, RDTSC, SYSCALL/SYSRET, HLT. *)
+
+(** Vector packing attribute (Table 8 distinguishes SCALAR vs PACKED). *)
+type packing =
+  | Packed
+  | Scalar_fp  (** Scalar floating point (SSE/AVX scalar, x87). *)
+  | Not_vector
+
+(** Element type operated on. *)
+type element =
+  | Int_elem
+  | Fp32
+  | Fp64
+  | No_elem
+
+(** Branch behaviour of a mnemonic. *)
+type branch_kind =
+  | Cond_jump
+  | Uncond_jump
+  | Call_branch
+  | Ret_branch
+  | Not_branch
+
+type t =
+  (* Base data transfer *)
+  | MOV | MOVZX | MOVSX | MOVSXD | LEA | XCHG | CMOVZ | CMOVNZ
+  | SETZ | SETNZ | SETLE
+  | PUSH | POP
+  (* Base arithmetic *)
+  | ADD | ADC | SUB | SBB | INC | DEC | NEG | IMUL | MUL | IDIV | DIV
+  | CDQ | CDQE
+  (* Base logical / compare / shift *)
+  | AND | OR | XOR | NOT | TEST | CMP
+  | SHL | SHR | SAR | ROL | ROR
+  (* Branches *)
+  | JMP | JZ | JNZ | JLE | JNLE | JL | JNL | JB | JNB | JBE | JNBE | JS | JNS
+  | CALL_NEAR | RET_NEAR
+  (* System / sync *)
+  | NOP | PAUSE | CPUID | RDTSC | SYSCALL | SYSRET | HLT
+  | XADD | CMPXCHG | LOCK_XADD | LOCK_CMPXCHG | MFENCE | LFENCE | SFENCE
+  (* x87 *)
+  | FLD | FST | FSTP | FXCH | FILD | FISTP
+  | FADD | FSUB | FMUL | FDIV | FSQRT | FABS | FCHS | FCOM | FCOMI
+  | FSIN | FCOS | FPTAN | F2XM1 | FYL2X
+  (* SSE scalar fp *)
+  | MOVSS | MOVSD
+  | ADDSS | ADDSD | SUBSS | SUBSD | MULSS | MULSD | DIVSS | DIVSD
+  | SQRTSS | SQRTSD | MAXSS | MINSS
+  | COMISS | COMISD | UCOMISS | UCOMISD
+  | CVTSI2SS | CVTSI2SD | CVTSD2SI | CVTSS2SI | CVTSS2SD | CVTSD2SS
+  | CVTTSD2SI
+  (* SSE packed fp *)
+  | MOVAPS | MOVUPS | MOVAPD | MOVUPD
+  | ADDPS | ADDPD | SUBPS | SUBPD | MULPS | MULPD | DIVPS | DIVPD
+  | SQRTPS | SQRTPD | MAXPS | MINPS
+  | ANDPS | ORPS | XORPS | ANDPD | XORPD
+  | SHUFPS | UNPCKLPS | UNPCKHPS | MOVHLPS | MOVLHPS | CMPPS
+  (* SSE integer *)
+  | MOVDQA | MOVDQU
+  | PADDD | PADDQ | PSUBD | PMULLD | PAND | POR | PXOR
+  | PSLLD | PSRLD | PCMPEQD | PSHUFD | PUNPCKLDQ
+  (* AVX *)
+  | VMOVAPS | VMOVUPS | VMOVAPD | VMOVUPD | VMOVSS | VMOVSD
+  | VADDPS | VADDPD | VSUBPS | VSUBPD | VMULPS | VMULPD
+  | VDIVPS | VDIVPD | VSQRTPS | VSQRTPD
+  | VADDSS | VADDSD | VSUBSS | VMULSS | VMULSD | VDIVSS | VDIVSD | VSQRTSD
+  | VMAXPS | VMINPS | VANDPS | VXORPS | VXORPD | VSHUFPS
+  | VBROADCASTSS | VBROADCASTSD | VINSERTF128 | VEXTRACTF128
+  | VPERM2F128 | VPERMILPS | VZEROUPPER | VZEROALL
+  | VCVTSI2SD | VCVTSD2SI | VUCOMISD | VCOMISS
+  (* AVX2 / FMA *)
+  | VFMADD213PS | VFMADD213PD | VFMADD231SS | VFMADD231SD
+  | VPADDD | VPMULLD | VPAND | VPXOR | VPBROADCASTD | VGATHERDPS
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [to_string m] is the canonical upper-case mnemonic string, e.g.
+    ["RET_NEAR"]. *)
+val to_string : t -> string
+
+(** [of_string s] parses a canonical mnemonic string (case-sensitive). *)
+val of_string : string -> t option
+
+(** Stable numeric code used by the binary encoding.  Codes are dense in
+    [0, max_code]. *)
+val to_code : t -> int
+
+val of_code : int -> t option
+val max_code : int
+
+(** All mnemonics, in code order. *)
+val all : t list
+
+val isa_set : t -> isa_set
+val category : t -> category
+val packing : t -> packing
+val element : t -> element
+val branch_kind : t -> branch_kind
+
+(** [is_branch m] is true for every mnemonic that can redirect control
+    flow (jumps, calls, returns, syscall/sysret). *)
+val is_branch : t -> bool
+
+val isa_set_to_string : isa_set -> string
+val category_to_string : category -> string
+val packing_to_string : packing -> string
+val pp_isa_set : Format.formatter -> isa_set -> unit
+val pp_category : Format.formatter -> category -> unit
+val pp_packing : Format.formatter -> packing -> unit
+val equal_isa_set : isa_set -> isa_set -> bool
+val equal_category : category -> category -> bool
+val equal_packing : packing -> packing -> bool

@@ -1,0 +1,30 @@
+type gpr =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+[@@deriving show { with_path = false }, eq, ord, enum]
+
+type reg = Gpr of gpr | Xmm of int | Ymm of int | St of int
+[@@deriving show { with_path = false }, eq, ord]
+
+type mem = { base : gpr; index : gpr option; scale : int; disp : int }
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = Reg of reg | Mem of mem | Imm of int64 | Rel of int
+[@@deriving show { with_path = false }, eq, ord]
+
+let gpr_code = gpr_to_enum
+let gpr_of_code = gpr_of_enum
+
+let all_gprs =
+  let rec collect code acc =
+    if code < min_gpr then acc
+    else
+      match gpr_of_enum code with
+      | Some g -> collect (code - 1) (g :: acc)
+      | None -> collect (code - 1) acc
+  in
+  collect max_gpr []
+
+let mem ?index ?(scale = 1) ?(disp = 0) base = Mem { base; index; scale; disp }
+
+let is_mem = function Mem _ -> true | Reg _ | Imm _ | Rel _ -> false

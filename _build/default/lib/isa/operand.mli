@@ -1,0 +1,43 @@
+(** Registers and instruction operands. *)
+
+(** General-purpose 64-bit registers. *)
+type gpr =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+(** Any architectural register. *)
+type reg =
+  | Gpr of gpr
+  | Xmm of int  (** [Xmm i], 0 <= i < 16 — 128-bit vector register. *)
+  | Ymm of int  (** [Ymm i], 0 <= i < 16 — 256-bit vector register. *)
+  | St of int  (** [St i], 0 <= i < 8 — x87 stack slot, relative to top. *)
+
+(** A memory reference: [base + index*scale + disp]. *)
+type mem = {
+  base : gpr;
+  index : gpr option;
+  scale : int;  (** 1, 2, 4 or 8; meaningful only when [index] is set. *)
+  disp : int;
+}
+
+type t =
+  | Reg of reg
+  | Mem of mem
+  | Imm of int64
+  | Rel of int
+      (** PC-relative branch displacement, from the address of the {e next}
+          instruction, in bytes. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_gpr : Format.formatter -> gpr -> unit
+val equal_gpr : gpr -> gpr -> bool
+
+val gpr_code : gpr -> int
+val gpr_of_code : int -> gpr option
+val all_gprs : gpr list
+
+(** [mem base] is a simple [base + 0] reference. *)
+val mem : ?index:gpr -> ?scale:int -> ?disp:int -> gpr -> t
+
+val is_mem : t -> bool

@@ -1,0 +1,66 @@
+type group = { name : string; matches : Instruction.t -> bool }
+
+let make name matches = { name; matches }
+
+let long_latency =
+  make "long latency instructions" (fun (i : Instruction.t) ->
+      Latency.is_long_latency i.mnemonic
+      || (Mnemonic.equal i.mnemonic XCHG && Instruction.writes_memory i))
+
+let synchronization =
+  make "synchronization instructions" (fun (i : Instruction.t) ->
+      match Mnemonic.category i.mnemonic with
+      | Mnemonic.Sync -> true
+      | _ -> Mnemonic.equal i.mnemonic XCHG && Instruction.writes_memory i)
+
+let memory_read = make "memory read" Instruction.reads_memory
+let memory_write = make "memory write" Instruction.writes_memory
+
+let vector_packed =
+  make "packed vector" (fun (i : Instruction.t) ->
+      Mnemonic.equal_packing (Mnemonic.packing i.mnemonic) Mnemonic.Packed)
+
+let vector_scalar_fp =
+  make "scalar fp" (fun (i : Instruction.t) ->
+      Mnemonic.equal_packing (Mnemonic.packing i.mnemonic) Mnemonic.Scalar_fp)
+
+let control_flow = make "control flow" Instruction.is_branch
+
+let fp_math =
+  make "fp math" (fun (i : Instruction.t) ->
+      (match Mnemonic.element i.mnemonic with
+      | Mnemonic.Fp32 | Mnemonic.Fp64 -> true
+      | Mnemonic.Int_elem | Mnemonic.No_elem -> false)
+      &&
+      match Mnemonic.category i.mnemonic with
+      | Mnemonic.Arithmetic | Mnemonic.Divide | Mnemonic.Sqrt
+      | Mnemonic.Transcendental | Mnemonic.Fma ->
+          true
+      | _ -> false)
+
+let builtins =
+  [
+    long_latency;
+    synchronization;
+    memory_read;
+    memory_write;
+    vector_packed;
+    vector_scalar_fp;
+    control_flow;
+    fp_math;
+  ]
+
+let classify groups i =
+  List.filter_map (fun g -> if g.matches i then Some g.name else None) groups
+
+let of_isa_set s =
+  make
+    (Mnemonic.isa_set_to_string s)
+    (fun (i : Instruction.t) ->
+      Mnemonic.equal_isa_set (Mnemonic.isa_set i.mnemonic) s)
+
+let of_category c =
+  make
+    (Mnemonic.category_to_string c)
+    (fun (i : Instruction.t) ->
+      Mnemonic.equal_category (Mnemonic.category i.mnemonic) c)

@@ -1,0 +1,37 @@
+(** Instruction taxonomies.
+
+    The paper's analyzer "enables the easy creation of custom instruction
+    taxonomies based on instruction properties" (section V.B) — e.g. a
+    user-defined "long latency instructions" group containing DIV, SQRT,
+    XCHG R,M, or a "synchronization instructions" group with XADD and LOCK
+    variants.  A {!group} is a named predicate over instructions; built-in
+    groups cover the paper's examples. *)
+
+type group = { name : string; matches : Instruction.t -> bool }
+
+val make : string -> (Instruction.t -> bool) -> group
+
+(** Paper's example: DIV, SQRT, transcendentals, "XCHG R,M", … *)
+val long_latency : group
+
+(** Paper's example: XADD, LOCK variants, fences. *)
+val synchronization : group
+
+val memory_read : group
+val memory_write : group
+val vector_packed : group
+val vector_scalar_fp : group
+val control_flow : group
+val fp_math : group
+
+(** All built-in groups, in a stable order. *)
+val builtins : group list
+
+(** [classify groups i] is the names of every group [i] belongs to. *)
+val classify : group list -> Instruction.t -> string list
+
+(** [of_isa_set s] / [of_category c] build groups from static attributes —
+    the dimensions used by pivot tables. *)
+val of_isa_set : Mnemonic.isa_set -> group
+
+val of_category : Mnemonic.category -> group

@@ -1,0 +1,1 @@
+lib/mltree/cart.ml: Array Dataset Fun

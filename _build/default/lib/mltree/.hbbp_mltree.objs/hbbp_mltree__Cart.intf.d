@@ -1,0 +1,1 @@
+lib/mltree/cart.mli: Dataset

@@ -1,0 +1,1 @@
+lib/mltree/dataset.mli:

@@ -1,0 +1,1 @@
+lib/mltree/render.ml: Array Buffer Cart Dataset Printf

@@ -1,0 +1,1 @@
+lib/mltree/render.mli: Cart Dataset

@@ -1,0 +1,198 @@
+type params = {
+  max_depth : int;
+  min_samples_leaf : int;
+  min_impurity_decrease : float;
+}
+
+let default_params =
+  { max_depth = 6; min_samples_leaf = 8; min_impurity_decrease = 1e-4 }
+
+type leaf = {
+  class_idx : int;
+  gini : float;
+  samples : int;
+  weight : float;
+  class_weights : float array;
+}
+
+type t = Leaf of leaf | Node of node
+
+and node = {
+  feature : int;
+  threshold : float;
+  gini : float;
+  samples : int;
+  weight : float;
+  importance : float;
+  left : t;
+  right : t;
+}
+
+let gini_impurity class_weights =
+  let total = Array.fold_left ( +. ) 0.0 class_weights in
+  if total <= 0.0 then 0.0
+  else
+    1.0
+    -. Array.fold_left
+         (fun acc w ->
+           let p = w /. total in
+           acc +. (p *. p))
+         0.0 class_weights
+
+let argmax a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
+  !best
+
+type split = {
+  s_feature : int;
+  s_threshold : float;
+  s_decrease : float;  (* weighted impurity decrease, un-normalised *)
+  s_left : int array;
+  s_right : int array;
+}
+
+(* Best split of [indices] on [feature]: sort by feature value, sweep the
+   class-weight prefix, evaluate every boundary between distinct values. *)
+let best_split_on_feature (d : Dataset.t) params indices feature parent_gini
+    parent_weight =
+  let sorted = Array.copy indices in
+  Array.sort
+    (fun a b -> compare d.features.(a).(feature) d.features.(b).(feature))
+    sorted;
+  let n = Array.length sorted in
+  let nc = Dataset.n_classes d in
+  let left = Array.make nc 0.0 in
+  let right = Dataset.class_weights d sorted in
+  let best = ref None in
+  for i = 0 to n - 2 do
+    let s = sorted.(i) in
+    left.(d.labels.(s)) <- left.(d.labels.(s)) +. d.weights.(s);
+    right.(d.labels.(s)) <- right.(d.labels.(s)) -. d.weights.(s);
+    let v = d.features.(s).(feature)
+    and v' = d.features.(sorted.(i + 1)).(feature) in
+    if v < v' && i + 1 >= params.min_samples_leaf
+       && n - i - 1 >= params.min_samples_leaf
+    then begin
+      let wl = Array.fold_left ( +. ) 0.0 left in
+      let wr = Array.fold_left ( +. ) 0.0 right in
+      if wl > 0.0 && wr > 0.0 then begin
+        let child_gini =
+          ((wl *. gini_impurity left) +. (wr *. gini_impurity right))
+          /. (wl +. wr)
+        in
+        let decrease = parent_weight *. (parent_gini -. child_gini) in
+        let better =
+          match !best with
+          | None -> true
+          | Some b -> decrease > b.s_decrease
+        in
+        if better then
+          best :=
+            Some
+              {
+                s_feature = feature;
+                s_threshold = (v +. v') /. 2.0;
+                s_decrease = decrease;
+                s_left = Array.sub sorted 0 (i + 1);
+                s_right = Array.sub sorted (i + 1) (n - i - 1);
+              }
+      end
+    end
+  done;
+  !best
+
+let train ?(params = default_params) (d : Dataset.t) =
+  let total_weight = Dataset.total_weight d in
+  let rec grow indices depth =
+    let cw = Dataset.class_weights d indices in
+    let gini = gini_impurity cw in
+    let weight = Array.fold_left ( +. ) 0.0 cw in
+    let make_leaf () =
+      Leaf
+        {
+          class_idx = argmax cw;
+          gini;
+          samples = Array.length indices;
+          weight;
+          class_weights = cw;
+        }
+    in
+    if
+      depth >= params.max_depth
+      || Array.length indices < 2 * params.min_samples_leaf
+      || gini = 0.0
+    then make_leaf ()
+    else begin
+      let best = ref None in
+      for feature = 0 to Dataset.n_features d - 1 do
+        match best_split_on_feature d params indices feature gini weight with
+        | Some s ->
+            let better =
+              match !best with
+              | None -> true
+              | Some b -> s.s_decrease > b.s_decrease
+            in
+            if better then best := Some s
+        | None -> ()
+      done;
+      match !best with
+      | Some s
+        when s.s_decrease /. total_weight >= params.min_impurity_decrease ->
+          Node
+            {
+              feature = s.s_feature;
+              threshold = s.s_threshold;
+              gini;
+              samples = Array.length indices;
+              weight;
+              importance = s.s_decrease /. total_weight;
+              left = grow s.s_left (depth + 1);
+              right = grow s.s_right (depth + 1);
+            }
+      | Some _ | None -> make_leaf ()
+    end
+  in
+  grow (Array.init (Dataset.length d) Fun.id) 0
+
+let rec predict t x =
+  match t with
+  | Leaf l -> l.class_idx
+  | Node n ->
+      if x.(n.feature) <= n.threshold then predict n.left x
+      else predict n.right x
+
+let rec predict_proba t x =
+  match t with
+  | Leaf l ->
+      let total = Array.fold_left ( +. ) 0.0 l.class_weights in
+      if total <= 0.0 then Array.map (fun _ -> 0.0) l.class_weights
+      else Array.map (fun w -> w /. total) l.class_weights
+  | Node n ->
+      if x.(n.feature) <= n.threshold then predict_proba n.left x
+      else predict_proba n.right x
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node n -> 1 + max (depth n.left) (depth n.right)
+
+let rec leaf_count = function
+  | Leaf _ -> 1
+  | Node n -> leaf_count n.left + leaf_count n.right
+
+let feature_importances t ~n_features =
+  let raw = Array.make n_features 0.0 in
+  let rec collect = function
+    | Leaf _ -> ()
+    | Node n ->
+        raw.(n.feature) <- raw.(n.feature) +. n.importance;
+        collect n.left;
+        collect n.right
+  in
+  collect t;
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  if total <= 0.0 then raw else Array.map (fun v -> v /. total) raw
+
+let root_split = function
+  | Leaf _ -> None
+  | Node n -> Some (n.feature, n.threshold)

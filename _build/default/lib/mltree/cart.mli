@@ -1,0 +1,53 @@
+(** CART classification trees (Breiman et al., the paper's reference
+    [16]): binary splits on numeric features chosen by weighted Gini
+    impurity decrease. *)
+
+type params = {
+  max_depth : int;
+  min_samples_leaf : int;
+  min_impurity_decrease : float;
+}
+
+val default_params : params
+
+type leaf = {
+  class_idx : int;
+  gini : float;
+  samples : int;
+  weight : float;
+  class_weights : float array;
+}
+
+type t =
+  | Leaf of leaf
+  | Node of node
+
+and node = {
+  feature : int;
+  threshold : float;  (** Go left when [x.(feature) <= threshold]. *)
+  gini : float;
+  samples : int;
+  weight : float;
+  importance : float;  (** Weighted impurity decrease of this split. *)
+  left : t;
+  right : t;
+}
+
+(** [gini_impurity class_weights] — 1 - sum of squared class shares.
+    0 for a pure node; exposed for testing and rendering. *)
+val gini_impurity : float array -> float
+
+val train : ?params:params -> Dataset.t -> t
+val predict : t -> float array -> int
+
+(** Class-weight shares at the reached leaf. *)
+val predict_proba : t -> float array -> float array
+
+val depth : t -> int
+val leaf_count : t -> int
+
+(** Normalised to sum to 1 (all zeros for a stump). *)
+val feature_importances : t -> n_features:int -> float array
+
+(** [root_split t] — feature index and threshold of the root split. *)
+val root_split : t -> (int * float) option

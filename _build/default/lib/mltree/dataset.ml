@@ -1,0 +1,39 @@
+type t = {
+  feature_names : string array;
+  class_names : string array;
+  features : float array array;
+  labels : int array;
+  weights : float array;
+}
+
+let create ~feature_names ~class_names ~features ~labels ~weights =
+  let n = Array.length features in
+  if Array.length labels <> n || Array.length weights <> n then
+    invalid_arg "Dataset.create: length mismatch";
+  let nf = Array.length feature_names in
+  Array.iter
+    (fun fv ->
+      if Array.length fv <> nf then
+        invalid_arg "Dataset.create: ragged feature vector")
+    features;
+  let nc = Array.length class_names in
+  Array.iter
+    (fun l ->
+      if l < 0 || l >= nc then invalid_arg "Dataset.create: label out of range")
+    labels;
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Dataset.create: negative weight")
+    weights;
+  { feature_names; class_names; features; labels; weights }
+
+let length t = Array.length t.labels
+let n_features t = Array.length t.feature_names
+let n_classes t = Array.length t.class_names
+let total_weight t = Array.fold_left ( +. ) 0.0 t.weights
+
+let class_weights t indices =
+  let out = Array.make (n_classes t) 0.0 in
+  Array.iter
+    (fun i -> out.(t.labels.(i)) <- out.(t.labels.(i)) +. t.weights.(i))
+    indices;
+  out

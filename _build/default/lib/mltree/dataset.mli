@@ -1,0 +1,27 @@
+(** A weighted, labelled dataset for classification-tree training. *)
+
+type t = {
+  feature_names : string array;
+  class_names : string array;
+  features : float array array;  (** [features.(i)] — sample i's vector. *)
+  labels : int array;  (** Class index per sample. *)
+  weights : float array;  (** Non-negative sample weights. *)
+}
+
+(** @raise Invalid_argument on ragged features, label out of range or
+    negative weight. *)
+val create :
+  feature_names:string array ->
+  class_names:string array ->
+  features:float array array ->
+  labels:int array ->
+  weights:float array ->
+  t
+
+val length : t -> int
+val n_features : t -> int
+val n_classes : t -> int
+val total_weight : t -> float
+
+(** [class_weights t indices] — summed weight per class over a subset. *)
+val class_weights : t -> int array -> float array

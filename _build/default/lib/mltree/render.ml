@@ -1,0 +1,50 @@
+let ascii (d : Dataset.t) tree =
+  let buf = Buffer.create 1024 in
+  let rec go t prefix =
+    match (t : Cart.t) with
+    | Cart.Leaf l ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s|--- class: %s (gini=%.3f, samples=%d)\n" prefix
+             d.class_names.(l.class_idx) l.gini l.samples)
+    | Cart.Node n ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s|--- %s <= %.2f (gini=%.3f, samples=%d)\n" prefix
+             d.feature_names.(n.feature) n.threshold n.gini n.samples);
+        go n.left (prefix ^ "|   ");
+        Buffer.add_string buf
+          (Printf.sprintf "%s|--- %s >  %.2f\n" prefix
+             d.feature_names.(n.feature) n.threshold);
+        go n.right (prefix ^ "|   ")
+  in
+  go tree "";
+  Buffer.contents buf
+
+let dot (d : Dataset.t) tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph tree {\n  node [shape=box];\n";
+  let counter = ref 0 in
+  let rec go t =
+    let id = !counter in
+    incr counter;
+    (match (t : Cart.t) with
+    | Cart.Leaf l ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  n%d [label=\"class = %s\\ngini = %.3f\\nsamples = %d\"];\n" id
+             d.class_names.(l.class_idx) l.gini l.samples)
+    | Cart.Node n ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  n%d [label=\"%s <= %.2f\\ngini = %.3f\\nsamples = %d\"];\n" id
+             d.feature_names.(n.feature) n.threshold n.gini n.samples);
+        let lid = go n.left in
+        let rid = go n.right in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"true\"];\n" id lid);
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"false\"];\n" id rid));
+    id
+  in
+  ignore (go tree);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Tree rendering: the white-box interpretability that motivated the
+    paper's choice of decision trees (section IV.A), and the Figure 1
+    output format. *)
+
+(** Scikit-style ASCII rendering with gini, samples and class at each
+    node. *)
+val ascii : Dataset.t -> Cart.t -> string
+
+(** Graphviz dot output. *)
+val dot : Dataset.t -> Cart.t -> string

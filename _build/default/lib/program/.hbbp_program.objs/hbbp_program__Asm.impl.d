@@ -1,0 +1,1 @@
+lib/program/asm.ml: Bytes Encoding Format Hashtbl Hbbp_isa Image Instruction Int64 List Mnemonic Operand Symbol

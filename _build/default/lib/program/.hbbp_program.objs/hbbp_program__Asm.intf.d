@@ -1,0 +1,1 @@
+lib/program/asm.mli: Hbbp_isa Image Mnemonic Operand Ring

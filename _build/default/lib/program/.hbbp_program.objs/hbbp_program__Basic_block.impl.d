@@ -1,0 +1,1 @@
+lib/program/basic_block.ml: Array Format Hbbp_isa Instruction Latency

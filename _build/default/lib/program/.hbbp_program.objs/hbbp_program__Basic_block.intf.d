@@ -1,0 +1,1 @@
+lib/program/basic_block.mli: Format Hbbp_isa Instruction

@@ -1,0 +1,1 @@
+lib/program/bb_map.ml: Array Basic_block Disasm Format Hashtbl Hbbp_isa Image Instruction List Mnemonic Symbol

@@ -1,0 +1,1 @@
+lib/program/bb_map.mli: Basic_block Disasm Format Image

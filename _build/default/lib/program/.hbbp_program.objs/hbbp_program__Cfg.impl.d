@@ -1,0 +1,1 @@
+lib/program/cfg.ml: Array Basic_block Bb_map Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/program/cfg.mli: Bb_map

@@ -1,0 +1,1 @@
+lib/program/disasm.ml: Array Encoding Format Hbbp_isa Image Instruction List

@@ -1,0 +1,1 @@
+lib/program/disasm.mli: Encoding Format Hbbp_isa Image Instruction

@@ -1,0 +1,1 @@
+lib/program/image.ml: Bytes List Ring String Symbol

@@ -1,0 +1,1 @@
+lib/program/image.mli: Ring Symbol

@@ -1,0 +1,1 @@
+lib/program/process.ml: Image List Option Printf Ring String

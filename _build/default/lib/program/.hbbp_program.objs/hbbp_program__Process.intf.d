@@ -1,0 +1,1 @@
+lib/program/process.mli: Image Symbol

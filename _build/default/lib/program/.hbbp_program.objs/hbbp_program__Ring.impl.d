@@ -1,0 +1,1 @@
+lib/program/ring.ml: Format

@@ -1,0 +1,1 @@
+lib/program/ring.mli: Format

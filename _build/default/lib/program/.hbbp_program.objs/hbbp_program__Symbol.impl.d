@@ -1,0 +1,1 @@
+lib/program/symbol.ml: Format

@@ -1,0 +1,1 @@
+lib/program/symbol.mli: Format

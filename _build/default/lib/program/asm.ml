@@ -1,0 +1,128 @@
+open Hbbp_isa
+
+type operand =
+  | R of Operand.reg
+  | M of { base : Operand.gpr; index : Operand.gpr option; scale : int; disp : int }
+  | I of int64
+  | L of string
+  | A of string
+
+type item = Label of string | Ins of Mnemonic.t * operand list
+type func = { name : string; body : item list }
+
+exception Asm_error of string
+
+let asm_error fmt = Format.kasprintf (fun s -> raise (Asm_error s)) fmt
+
+let gpr g = R (Operand.Gpr g)
+let rax = gpr Operand.RAX
+let rbx = gpr Operand.RBX
+let rcx = gpr Operand.RCX
+let rdx = gpr Operand.RDX
+let rsi = gpr Operand.RSI
+let rdi = gpr Operand.RDI
+let rbp = gpr Operand.RBP
+let rsp = gpr Operand.RSP
+let r8 = gpr Operand.R8
+let r9 = gpr Operand.R9
+let r10 = gpr Operand.R10
+let r11 = gpr Operand.R11
+let r12 = gpr Operand.R12
+let r13 = gpr Operand.R13
+let r14 = gpr Operand.R14
+let r15 = gpr Operand.R15
+let xmm n = R (Operand.Xmm n)
+let ymm n = R (Operand.Ymm n)
+let st n = R (Operand.St n)
+let imm n = I (Int64.of_int n)
+let mem ?index ?(scale = 1) ?(disp = 0) base = M { base; index; scale; disp }
+let label s = Label s
+let i m ops = Ins (m, ops)
+let func name body = { name; body }
+
+(* Size of the eventual encoding; symbolic operands have fixed sizes
+   (L -> Rel: 5 bytes, A -> Imm: 9 bytes), so layout is single-pass. *)
+let placeholder_operand = function
+  | R r -> Operand.Reg r
+  | M { base; index; scale; disp } -> Operand.Mem { base; index; scale; disp }
+  | I v -> Operand.Imm v
+  | L _ -> Operand.Rel 0
+  | A _ -> Operand.Imm 0L
+
+let item_length = function
+  | Label _ -> 0
+  | Ins (m, ops) ->
+      Encoding.encoded_length
+        (Instruction.make m (List.map placeholder_operand ops))
+
+let layout ~base funcs =
+  let labels = Hashtbl.create 64 in
+  let add_label name addr =
+    if Hashtbl.mem labels name then asm_error "duplicate label %S" name;
+    Hashtbl.add labels name addr
+  in
+  let cursor = ref base in
+  let func_spans =
+    List.map
+      (fun f ->
+        let start = !cursor in
+        add_label f.name start;
+        List.iter
+          (fun item ->
+            (match item with
+            | Label l -> add_label l !cursor
+            | Ins _ -> ());
+            cursor := !cursor + item_length item)
+          f.body;
+        (f, start, !cursor - start))
+      funcs
+  in
+  (labels, func_spans, !cursor - base)
+
+let resolve_operand labels ~next_addr = function
+  | R r -> Operand.Reg r
+  | M { base; index; scale; disp } -> Operand.Mem { base; index; scale; disp }
+  | I v -> Operand.Imm v
+  | L name -> (
+      match Hashtbl.find_opt labels name with
+      | Some target -> Operand.Rel (target - next_addr)
+      | None -> asm_error "unresolved label %S" name)
+  | A name -> (
+      match Hashtbl.find_opt labels name with
+      | Some target -> Operand.Imm (Int64.of_int target)
+      | None -> asm_error "unresolved label %S" name)
+
+let assemble ~name ~base ~ring funcs =
+  let labels, func_spans, total = layout ~base funcs in
+  let code = Bytes.create total in
+  let cursor = ref base in
+  List.iter
+    (fun (f, _, _) ->
+      List.iter
+        (fun item ->
+          match item with
+          | Label _ -> ()
+          | Ins (m, ops) ->
+              let len = item_length item in
+              let next_addr = !cursor + len in
+              let ops = List.map (resolve_operand labels ~next_addr) ops in
+              let instr = Instruction.make m ops in
+              let written = Encoding.encode code (!cursor - base) instr in
+              if written <> len then
+                asm_error "layout mismatch at %#x in %s" !cursor f.name;
+              cursor := next_addr)
+        f.body)
+    func_spans;
+  let symbols =
+    List.map
+      (fun (f, addr, size) -> Symbol.make ~name:f.name ~addr ~size)
+      func_spans
+  in
+  Image.make ~name ~base ~code ~symbols ~ring
+
+let label_addresses ~name ~base ~ring funcs =
+  ignore name;
+  ignore ring;
+  let labels, _, _ = layout ~base funcs in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -1,0 +1,67 @@
+(** A tiny assembler: the DSL in which all workloads are written.
+
+    Programs are lists of functions; each function body is a list of
+    labels and instructions.  Branch targets are symbolic ([L "loop"]) and
+    resolved at assembly time to PC-relative displacements; [A "f"] yields
+    the absolute address of a label as a 64-bit immediate, enabling
+    indirect calls (function pointers, virtual dispatch). *)
+
+open Hbbp_isa
+
+type operand =
+  | R of Operand.reg
+  | M of { base : Operand.gpr; index : Operand.gpr option; scale : int; disp : int }
+  | I of int64
+  | L of string  (** Label reference: becomes a [Rel] displacement. *)
+  | A of string  (** Absolute address of a label: becomes an [Imm]. *)
+
+type item =
+  | Label of string
+  | Ins of Mnemonic.t * operand list
+
+type func = { name : string; body : item list }
+
+exception Asm_error of string
+
+(** {1 Operand shorthands} *)
+
+val rax : operand
+val rbx : operand
+val rcx : operand
+val rdx : operand
+val rsi : operand
+val rdi : operand
+val rbp : operand
+val rsp : operand
+val r8 : operand
+val r9 : operand
+val r10 : operand
+val r11 : operand
+val r12 : operand
+val r13 : operand
+val r14 : operand
+val r15 : operand
+val xmm : int -> operand
+val ymm : int -> operand
+val st : int -> operand
+val imm : int -> operand
+val mem : ?index:Operand.gpr -> ?scale:int -> ?disp:int -> Operand.gpr -> operand
+
+(** {1 Items} *)
+
+val label : string -> item
+val i : Mnemonic.t -> operand list -> item
+val func : string -> item list -> func
+
+(** {1 Assembly} *)
+
+(** [assemble ~name ~base ~ring funcs] lays the functions out contiguously
+    from [base], resolves labels, encodes everything and returns the image
+    together with one symbol per function.
+
+    @raise Asm_error on duplicate or unresolved labels. *)
+val assemble : name:string -> base:int -> ring:Ring.t -> func list -> Image.t
+
+(** [entry_of img funcs] is the address of the first function. *)
+val label_addresses :
+  name:string -> base:int -> ring:Ring.t -> func list -> (string * int) list

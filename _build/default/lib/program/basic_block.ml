@@ -1,0 +1,61 @@
+open Hbbp_isa
+
+type terminator =
+  | Term_fallthrough
+  | Term_jump of int
+  | Term_cond of int
+  | Term_indirect_jump
+  | Term_call of int option
+  | Term_ret
+  | Term_syscall
+  | Term_sysret
+  | Term_halt
+
+type t = {
+  id : int;
+  addr : int;
+  instrs : Instruction.t array;
+  addrs : int array;
+  size : int;
+  term : terminator;
+}
+
+let length t = Array.length t.instrs
+let end_addr t = t.addr + t.size
+let last_addr t = t.addrs.(Array.length t.addrs - 1)
+let contains t a = a >= t.addr && a < end_addr t
+
+let instr_index t addr =
+  (* [addrs] is sorted: binary search for the exact address. *)
+  let lo = ref 0 and hi = ref (Array.length t.addrs - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let a = t.addrs.(mid) in
+    if a = addr then begin
+      found := Some mid;
+      lo := !hi + 1
+    end
+    else if a < addr then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let has_long_latency t =
+  Array.exists (fun (i : Instruction.t) -> Latency.is_long_latency i.mnemonic)
+    t.instrs
+
+let pp_terminator ppf = function
+  | Term_fallthrough -> Format.pp_print_string ppf "fallthrough"
+  | Term_jump a -> Format.fprintf ppf "jmp %#x" a
+  | Term_cond a -> Format.fprintf ppf "jcc %#x" a
+  | Term_indirect_jump -> Format.pp_print_string ppf "jmp*"
+  | Term_call (Some a) -> Format.fprintf ppf "call %#x" a
+  | Term_call None -> Format.pp_print_string ppf "call*"
+  | Term_ret -> Format.pp_print_string ppf "ret"
+  | Term_syscall -> Format.pp_print_string ppf "syscall"
+  | Term_sysret -> Format.pp_print_string ppf "sysret"
+  | Term_halt -> Format.pp_print_string ppf "hlt"
+
+let pp ppf t =
+  Format.fprintf ppf "BB%d @ %#x, %d instrs, %d bytes, %a" t.id t.addr
+    (length t) t.size pp_terminator t.term

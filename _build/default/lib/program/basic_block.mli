@@ -1,0 +1,44 @@
+(** A static basic block: a maximal single-entry, single-exit straight-line
+    instruction sequence.  Calls terminate blocks (they are taken branches
+    from the LBR's point of view). *)
+
+open Hbbp_isa
+
+type terminator =
+  | Term_fallthrough  (** Next address is a leader (e.g. a branch target). *)
+  | Term_jump of int  (** Unconditional direct jump to the given address. *)
+  | Term_cond of int  (** Conditional jump; taken target given. *)
+  | Term_indirect_jump
+  | Term_call of int option  (** [None] for indirect calls. *)
+  | Term_ret
+  | Term_syscall
+  | Term_sysret
+  | Term_halt
+
+type t = {
+  id : int;  (** Dense index within the enclosing {!Bb_map.t}. *)
+  addr : int;  (** Address of the first instruction. *)
+  instrs : Instruction.t array;
+  addrs : int array;  (** Address of each instruction. *)
+  size : int;  (** Total size in bytes. *)
+  term : terminator;
+}
+
+(** Number of instructions — the paper's "instruction length of a basic
+    block", the dominant HBBP feature. *)
+val length : t -> int
+
+val end_addr : t -> int
+val last_addr : t -> int
+val contains : t -> int -> bool
+
+(** [instr_index b addr] is the index within [b] of the instruction at
+    exactly [addr]. *)
+val instr_index : t -> int -> int option
+
+(** [has_long_latency b] — does the block contain an instruction that
+    casts a sampling shadow? *)
+val has_long_latency : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_terminator : Format.formatter -> terminator -> unit

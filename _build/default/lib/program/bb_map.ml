@@ -1,0 +1,153 @@
+open Hbbp_isa
+
+type t = {
+  image : Image.t;
+  blocks : Basic_block.t array;  (* sorted by address *)
+  starts : int array;  (* blocks.(i).addr, for binary search *)
+}
+
+let terminator_of (d : Disasm.decoded) : Basic_block.terminator =
+  match Mnemonic.branch_kind d.instr.mnemonic with
+  | Mnemonic.Uncond_jump -> (
+      match Disasm.branch_target d with
+      | Some a -> Term_jump a
+      | None -> Term_indirect_jump)
+  | Mnemonic.Cond_jump -> (
+      match Disasm.branch_target d with
+      | Some a -> Term_cond a
+      | None -> Term_indirect_jump)
+  | Mnemonic.Call_branch ->
+      if Mnemonic.equal d.instr.mnemonic SYSCALL then Term_syscall
+      else Term_call (Disasm.branch_target d)
+  | Mnemonic.Ret_branch ->
+      if Mnemonic.equal d.instr.mnemonic SYSRET then Term_sysret else Term_ret
+  | Mnemonic.Not_branch ->
+      if Mnemonic.equal d.instr.mnemonic HLT then Term_halt
+      else Term_fallthrough
+
+let of_decoded (image : Image.t) (decoded : Disasm.decoded array) =
+  let n = Array.length decoded in
+  let leaders = Hashtbl.create 256 in
+  Hashtbl.replace leaders image.base ();
+  List.iter
+    (fun (s : Symbol.t) -> Hashtbl.replace leaders s.addr ())
+    image.symbols;
+  Array.iter
+    (fun (d : Disasm.decoded) ->
+      (match Disasm.branch_target d with
+      | Some target when Image.contains image target ->
+          Hashtbl.replace leaders target ()
+      | Some _ | None -> ());
+      if
+        Instruction.is_branch d.instr
+        || Mnemonic.equal d.instr.mnemonic HLT
+      then Hashtbl.replace leaders (d.addr + d.len) ())
+    decoded;
+  let blocks = ref [] in
+  let flush id (items : Disasm.decoded list) =
+    match List.rev items with
+    | [] -> ()
+    | first :: _ as ordered ->
+        let last = List.nth ordered (List.length ordered - 1) in
+        let instrs =
+          Array.of_list
+            (List.map (fun (d : Disasm.decoded) -> d.instr) ordered)
+        in
+        let addrs =
+          Array.of_list (List.map (fun (d : Disasm.decoded) -> d.addr) ordered)
+        in
+        blocks :=
+          {
+            Basic_block.id;
+            addr = first.Disasm.addr;
+            instrs;
+            addrs;
+            size = last.Disasm.addr + last.Disasm.len - first.Disasm.addr;
+            term = terminator_of last;
+          }
+          :: !blocks
+  in
+  let pending = ref [] in
+  let next_id = ref 0 in
+  for k = 0 to n - 1 do
+    let d = decoded.(k) in
+    if Hashtbl.mem leaders d.addr && !pending <> [] then begin
+      flush !next_id !pending;
+      incr next_id;
+      pending := []
+    end;
+    pending := d :: !pending;
+    let ends_block =
+      Instruction.is_branch d.instr
+      || Mnemonic.equal d.instr.mnemonic HLT
+      || k = n - 1
+    in
+    if ends_block then begin
+      flush !next_id !pending;
+      incr next_id;
+      pending := []
+    end
+  done;
+  let blocks = Array.of_list (List.rev !blocks) in
+  let starts = Array.map (fun (b : Basic_block.t) -> b.addr) blocks in
+  { image; blocks; starts }
+
+let of_image img =
+  match Disasm.image img with
+  | Ok decoded -> Ok (of_decoded img decoded)
+  | Error e -> Error e
+
+let of_image_exn img =
+  match of_image img with
+  | Ok t -> t
+  | Error e -> failwith (Format.asprintf "%a" Disasm.pp_error e)
+
+let image t = t.image
+let blocks t = t.blocks
+let block_count t = Array.length t.blocks
+
+(* Index of the last block whose start address is <= addr. *)
+let floor_index t addr =
+  let lo = ref 0 and hi = ref (Array.length t.starts - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.starts.(mid) <= addr then begin
+      res := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !res
+
+let block_at t addr =
+  let k = floor_index t addr in
+  if k < 0 then None
+  else
+    let b = t.blocks.(k) in
+    if Basic_block.contains b addr then Some b else None
+
+let block_starting_at t addr =
+  let k = floor_index t addr in
+  if k >= 0 && t.starts.(k) = addr then Some t.blocks.(k) else None
+
+let next_block t (b : Basic_block.t) =
+  if b.id + 1 < Array.length t.blocks then Some t.blocks.(b.id + 1) else None
+
+let block t id =
+  if id < 0 || id >= Array.length t.blocks then
+    invalid_arg "Bb_map.block: id out of range";
+  t.blocks.(id)
+
+let instruction_count t =
+  Array.fold_left (fun acc b -> acc + Basic_block.length b) 0 t.blocks
+
+let pp_stats ppf t =
+  let lengths =
+    Array.to_list (Array.map Basic_block.length t.blocks)
+    |> List.sort compare
+  in
+  let total = List.fold_left ( + ) 0 lengths in
+  let count = List.length lengths in
+  let median = if count = 0 then 0 else List.nth lengths (count / 2) in
+  Format.fprintf ppf "%s: %d blocks, %d instrs, median block length %d"
+    t.image.name count total median

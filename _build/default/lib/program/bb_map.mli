@@ -1,0 +1,38 @@
+(** The static basic-block map of an image: the structure onto which all
+    dynamic sample information is projected (paper section V.B, "dynamic
+    (sample) information is mapped onto static basic block maps"). *)
+
+type t
+
+(** [of_image img] disassembles [img] and partitions it into basic
+    blocks.  Leaders are: the image base, every symbol entry, every direct
+    branch target within the image, and every instruction following a
+    control-flow instruction. *)
+val of_image : Image.t -> (t, Disasm.error) result
+
+(** [of_image_exn img] — raises [Failure] with a rendered error. *)
+val of_image_exn : Image.t -> t
+
+val image : t -> Image.t
+val blocks : t -> Basic_block.t array
+val block_count : t -> int
+
+(** [block_at m addr] is the block containing [addr]. *)
+val block_at : t -> int -> Basic_block.t option
+
+(** [block_starting_at m addr] is the block whose first instruction is at
+    exactly [addr]. *)
+val block_starting_at : t -> int -> Basic_block.t option
+
+(** [next_block m b] is the block laid out immediately after [b]
+    (the fall-through successor in address order). *)
+val next_block : t -> Basic_block.t -> Basic_block.t option
+
+val block : t -> int -> Basic_block.t
+(** [block m id] — by dense id.  Raises [Invalid_argument] if out of
+    range. *)
+
+(** Total number of statically distinct instructions. *)
+val instruction_count : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

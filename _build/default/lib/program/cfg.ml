@@ -1,0 +1,167 @@
+type edge_kind = Taken | Fallthrough
+
+type t = {
+  succs : (int * edge_kind) list array;
+  preds : int list array;
+  edges : int;
+}
+
+let of_bb_map map =
+  let n = Bb_map.block_count map in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let edges = ref 0 in
+  let add src dst kind =
+    succs.(src) <- (dst, kind) :: succs.(src);
+    preds.(dst) <- src :: preds.(dst);
+    incr edges
+  in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let target_block addr =
+        Option.map
+          (fun (t : Basic_block.t) -> t.id)
+          (Bb_map.block_starting_at map addr)
+      in
+      let fallthrough () =
+        match Bb_map.next_block map b with
+        | Some nb -> add b.id nb.Basic_block.id Fallthrough
+        | None -> ()
+      in
+      match b.term with
+      | Basic_block.Term_fallthrough -> fallthrough ()
+      | Basic_block.Term_jump a ->
+          Option.iter (fun id -> add b.id id Taken) (target_block a)
+      | Basic_block.Term_cond a ->
+          Option.iter (fun id -> add b.id id Taken) (target_block a);
+          fallthrough ()
+      | Basic_block.Term_call target ->
+          Option.iter
+            (fun a -> Option.iter (fun id -> add b.id id Taken) (target_block a))
+            target;
+          fallthrough ()
+      | Basic_block.Term_indirect_jump | Basic_block.Term_ret
+      | Basic_block.Term_syscall | Basic_block.Term_sysret
+      | Basic_block.Term_halt ->
+          ())
+    (Bb_map.blocks map);
+  { succs; preds; edges = !edges }
+
+let successors g id = g.succs.(id)
+let predecessors g id = g.preds.(id)
+let edge_count g = g.edges
+
+let reachable_from g entry =
+  let n = Array.length g.succs in
+  let seen = Array.make n false in
+  let rec visit id =
+    if id >= 0 && id < n && not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter (fun (s, _) -> visit s) g.succs.(id)
+    end
+  in
+  visit entry;
+  seen
+
+(* Iterative dominator computation (Cooper, Harvey, Kennedy): process in
+   reverse postorder until fixpoint, intersecting along the idom chain. *)
+let immediate_dominators g ~entry =
+  let n = Array.length g.succs in
+  let idom = Array.make n (-1) in
+  if n = 0 || entry < 0 || entry >= n then idom
+  else begin
+    (* Reverse postorder from entry. *)
+    let order = ref [] in
+    let mark = Array.make n false in
+    let rec dfs b =
+      if not mark.(b) then begin
+        mark.(b) <- true;
+        List.iter (fun (s, _) -> dfs s) g.succs.(b);
+        order := b :: !order
+      end
+    in
+    dfs entry;
+    let rpo = Array.of_list !order in
+    let rpo_index = Array.make n (-1) in
+    Array.iteri (fun k b -> rpo_index.(b) <- k) rpo;
+    idom.(entry) <- entry;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_index.(!a) > rpo_index.(!b) do
+          a := idom.(!a)
+        done;
+        while rpo_index.(!b) > rpo_index.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> entry then begin
+            let processed_preds =
+              List.filter
+                (fun p -> rpo_index.(p) >= 0 && idom.(p) <> -1)
+                g.preds.(b)
+            in
+            match processed_preds with
+            | [] -> ()
+            | first :: rest ->
+                let new_idom = List.fold_left intersect first rest in
+                if idom.(b) <> new_idom then begin
+                  idom.(b) <- new_idom;
+                  changed := true
+                end
+          end)
+        rpo
+    done;
+    idom
+  end
+
+let dominates ~idom a b =
+  if a < 0 || b < 0 || b >= Array.length idom || idom.(b) = -1 then false
+  else
+    let rec up x = x = a || (x <> idom.(x) && idom.(x) <> -1 && up idom.(x)) in
+    up b
+
+type loop = { header : int; latches : int list; body : int list }
+
+let natural_loops g ~entry =
+  let idom = immediate_dominators g ~entry in
+  let by_header = Hashtbl.create 16 in
+  Array.iteri
+    (fun b succs ->
+      List.iter
+        (fun (s, _) ->
+          (* Back edge: b -> s where s dominates b. *)
+          if idom.(b) <> -1 && dominates ~idom s b then begin
+            let latches, body =
+              Option.value ~default:([], [ s ]) (Hashtbl.find_opt by_header s)
+            in
+            (* Walk predecessors backwards from the latch until the
+               header. *)
+            let in_body = Hashtbl.create 16 in
+            List.iter (fun x -> Hashtbl.replace in_body x ()) body;
+            let rec pull x acc =
+              if Hashtbl.mem in_body x || x = s then acc
+              else begin
+                Hashtbl.replace in_body x ();
+                List.fold_left (fun acc p -> pull p acc) (x :: acc) g.preds.(x)
+              end
+            in
+            let extra = pull b [] in
+            Hashtbl.replace by_header s (b :: latches, extra @ body)
+          end)
+        succs)
+    g.succs;
+  Hashtbl.fold
+    (fun header (latches, body) acc ->
+      { header; latches = List.sort compare latches;
+        body = List.sort_uniq compare body }
+      :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)

@@ -1,0 +1,41 @@
+(** Static control-flow graph over a basic-block map. *)
+
+type edge_kind =
+  | Taken  (** Branch-taken edge (jump target, call target). *)
+  | Fallthrough  (** Not-taken / straight-line edge. *)
+
+type t
+
+val of_bb_map : Bb_map.t -> t
+
+(** [successors g id] — (block id, edge kind) pairs. Return/indirect edges
+    are not represented statically. *)
+val successors : t -> int -> (int * edge_kind) list
+
+val predecessors : t -> int -> int list
+val edge_count : t -> int
+
+(** Block ids reachable from [entry] following static edges. *)
+val reachable_from : t -> int -> bool array
+
+(** [immediate_dominators g ~entry] — [idom.(b)] is the immediate
+    dominator of [b] ([entry] dominates itself; unreachable blocks get
+    [-1]).  Cooper-Harvey-Kennedy iterative algorithm. *)
+val immediate_dominators : t -> entry:int -> int array
+
+(** [dominates g ~idom a b] — does [a] dominate [b]?  [idom] from
+    {!immediate_dominators}. *)
+val dominates : idom:int array -> int -> int -> bool
+
+(** A natural loop: a back edge [latch -> header] where [header]
+    dominates [latch], plus every block that can reach the latch without
+    passing through the header. *)
+type loop = {
+  header : int;
+  latches : int list;  (** Sources of the back edges. *)
+  body : int list;  (** Includes header and latches; sorted. *)
+}
+
+(** [natural_loops g ~entry] — loops with identical headers merged,
+    sorted by header id. *)
+val natural_loops : t -> entry:int -> loop list

@@ -1,0 +1,29 @@
+open Hbbp_isa
+
+type decoded = { addr : int; instr : Instruction.t; len : int }
+type error = { addr : int; cause : Encoding.error }
+
+let pp_error ppf { addr; cause } =
+  Format.fprintf ppf "disassembly error at %#x: %a" addr Encoding.pp_error cause
+
+let decode_at (img : Image.t) addr =
+  match Encoding.decode img.code (addr - img.base) with
+  | Ok (instr, len) -> Ok { addr; instr; len }
+  | Error cause -> Error { addr; cause }
+
+let image (img : Image.t) =
+  let size = Image.size img in
+  let rec sweep offset acc =
+    if offset >= size then Ok (Array.of_list (List.rev acc))
+    else
+      match Encoding.decode img.code offset with
+      | Ok (instr, len) ->
+          sweep (offset + len) ({ addr = img.base + offset; instr; len } :: acc)
+      | Error cause -> Error { addr = img.base + offset; cause }
+  in
+  sweep 0 []
+
+let branch_target d =
+  match Instruction.rel_displacement d.instr with
+  | Some disp when Instruction.is_branch d.instr -> Some (d.addr + d.len + disp)
+  | Some _ | None -> None

@@ -1,0 +1,20 @@
+(** Linear disassembly of a code image. *)
+
+open Hbbp_isa
+
+type decoded = { addr : int; instr : Instruction.t; len : int }
+
+type error = { addr : int; cause : Encoding.error }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [image img] decodes every instruction of [img], in address order.
+    The synthetic encoding is self-synchronising from the image base, so
+    linear sweep is exact. *)
+val image : Image.t -> (decoded array, error) result
+
+(** [decode_at img addr] decodes the single instruction at [addr]. *)
+val decode_at : Image.t -> int -> (decoded, error) result
+
+(** [branch_target d] is the resolved absolute target of a direct branch. *)
+val branch_target : decoded -> int option

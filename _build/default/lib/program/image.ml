@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  base : int;
+  code : bytes;
+  symbols : Symbol.t list;
+  ring : Ring.t;
+}
+
+let make ~name ~base ~code ~symbols ~ring =
+  let symbols =
+    List.sort (fun (a : Symbol.t) b -> compare a.addr b.addr) symbols
+  in
+  { name; base; code; symbols; ring }
+
+let size t = Bytes.length t.code
+let end_addr t = t.base + size t
+let contains t a = a >= t.base && a < end_addr t
+
+let symbol_at t addr = List.find_opt (fun s -> Symbol.contains s addr) t.symbols
+let find_symbol t name =
+  List.find_opt (fun (s : Symbol.t) -> String.equal s.name name) t.symbols
+
+let patch_code t ~from_image =
+  if t.base <> from_image.base || size t <> size from_image then
+    invalid_arg "Image.patch_code: image layout mismatch";
+  { t with code = Bytes.copy from_image.code }

@@ -1,0 +1,33 @@
+(** A loadable code image — the moral equivalent of an ELF text section
+    plus its symbol table.
+
+    Kernel images exist in two versions: the on-disk image and the live
+    image, which differ at self-patched tracepoints (paper section III.C);
+    both are plain values of this type. *)
+
+type t = {
+  name : string;  (** e.g. ["fitter-sse"] or ["vmlinux"] or ["hello.ko"]. *)
+  base : int;  (** Load address of the first byte of [code]. *)
+  code : bytes;
+  symbols : Symbol.t list;  (** Sorted by address, non-overlapping. *)
+  ring : Ring.t;
+}
+
+val make :
+  name:string -> base:int -> code:bytes -> symbols:Symbol.t list ->
+  ring:Ring.t -> t
+
+val size : t -> int
+val end_addr : t -> int
+val contains : t -> int -> bool
+
+(** [symbol_at img addr] is the symbol covering [addr], if any. *)
+val symbol_at : t -> int -> Symbol.t option
+
+val find_symbol : t -> string -> Symbol.t option
+
+(** [patch_code img ~from_image] returns [img] with its code bytes replaced
+    by [from_image]'s — the "patch the static kernel binary on disk with
+    the .text extracted from the live kernel image" remedy.  Raises
+    [Invalid_argument] if sizes or bases differ. *)
+val patch_code : t -> from_image:t -> t

@@ -1,0 +1,57 @@
+type t = { images : Image.t list (* sorted by base *) }
+
+let create images =
+  let images =
+    List.sort (fun (a : Image.t) b -> compare a.base b.base) images
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Image.end_addr a > (b : Image.t).base then
+          invalid_arg
+            (Printf.sprintf "Process.create: images %s and %s overlap"
+               (a : Image.t).name b.name);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check images;
+  { images }
+
+let images t = t.images
+let image_at t addr = List.find_opt (fun img -> Image.contains img addr) t.images
+
+let resolve t addr =
+  match image_at t addr with
+  | None -> None
+  | Some img -> Some (img, Image.symbol_at img addr)
+
+let find_image t name =
+  List.find_opt (fun (img : Image.t) -> String.equal img.name name) t.images
+
+let find_symbol t name =
+  List.fold_left
+    (fun acc img ->
+      match acc with
+      | Some _ -> acc
+      | None -> Option.map (fun s -> (img, s)) (Image.find_symbol img name))
+    None t.images
+
+let user_images t =
+  List.filter (fun (img : Image.t) -> Ring.equal img.ring Ring.User) t.images
+
+let kernel_images t =
+  List.filter (fun (img : Image.t) -> Ring.equal img.ring Ring.Kernel) t.images
+
+let with_image t img =
+  let replaced = ref false in
+  let images =
+    List.map
+      (fun (existing : Image.t) ->
+        if String.equal existing.name (img : Image.t).name then begin
+          replaced := true;
+          img
+        end
+        else existing)
+      t.images
+  in
+  if not !replaced then invalid_arg "Process.with_image: no such image";
+  create images

@@ -1,0 +1,26 @@
+(** A process address space: the set of images mapped for one run (user
+    program, kernel, kernel modules).  This is what the loader hands to
+    the machine and what perf-style mmap records describe. *)
+
+type t
+
+(** [create images] — images must not overlap.
+    @raise Invalid_argument on overlap. *)
+val create : Image.t list -> t
+
+val images : t -> Image.t list
+val image_at : t -> int -> Image.t option
+
+(** [resolve p addr] — enclosing image and symbol, if mapped. *)
+val resolve : t -> int -> (Image.t * Symbol.t option) option
+
+val find_image : t -> string -> Image.t option
+
+(** [find_symbol p name] searches all images. *)
+val find_symbol : t -> string -> (Image.t * Symbol.t) option
+
+val user_images : t -> Image.t list
+val kernel_images : t -> Image.t list
+
+(** [with_image p img] replaces the image with the same name. *)
+val with_image : t -> Image.t -> t

@@ -1,0 +1,8 @@
+type t = User | Kernel
+
+let equal a b = match (a, b) with
+  | User, User | Kernel, Kernel -> true
+  | User, Kernel | Kernel, User -> false
+
+let to_string = function User -> "user" | Kernel -> "kernel"
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,11 @@
+(** Privilege level of code.
+
+    Software instrumentation can only observe [User] code; the PMU observes
+    both — reproducing this asymmetry is one of the paper's selling points
+    (section VIII.D). *)
+
+type t = User | Kernel
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

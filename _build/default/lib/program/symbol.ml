@@ -1,0 +1,8 @@
+type t = { name : string; addr : int; size : int }
+
+let make ~name ~addr ~size = { name; addr; size }
+let contains t a = a >= t.addr && a < t.addr + t.size
+let end_addr t = t.addr + t.size
+
+let pp ppf t =
+  Format.fprintf ppf "%s @ %#x (+%d)" t.name t.addr t.size

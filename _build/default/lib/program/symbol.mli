@@ -1,0 +1,8 @@
+(** A named code range (function) within an image. *)
+
+type t = { name : string; addr : int; size : int }
+
+val make : name:string -> addr:int -> size:int -> t
+val contains : t -> int -> bool
+val end_addr : t -> int
+val pp : Format.formatter -> t -> unit

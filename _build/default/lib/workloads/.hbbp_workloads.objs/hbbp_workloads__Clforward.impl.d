@@ -1,0 +1,1 @@
+lib/workloads/clforward.ml: Codegen Hbbp_collector Hbbp_isa Hbbp_program Mnemonic Operand

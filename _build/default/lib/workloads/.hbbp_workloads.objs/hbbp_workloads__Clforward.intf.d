@@ -1,0 +1,1 @@
+lib/workloads/clforward.mli: Hbbp_core

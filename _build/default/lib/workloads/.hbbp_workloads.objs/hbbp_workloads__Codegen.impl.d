@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Array Asm Hbbp_core Hbbp_cpu Hbbp_isa Hbbp_program Layout List Mnemonic Operand Printf Prng Ring

@@ -1,0 +1,1 @@
+lib/workloads/codegen.mli: Asm Hbbp_collector Hbbp_core Hbbp_isa Hbbp_program Operand

@@ -1,0 +1,1 @@
+lib/workloads/fitter.ml: Array Asm Disasm Hbbp_collector Hbbp_core Hbbp_cpu Hbbp_isa Hbbp_program Instruction Layout List Mnemonic Operand Ring

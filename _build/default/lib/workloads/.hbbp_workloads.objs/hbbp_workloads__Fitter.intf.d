@@ -1,0 +1,1 @@
+lib/workloads/fitter.mli: Hbbp_core

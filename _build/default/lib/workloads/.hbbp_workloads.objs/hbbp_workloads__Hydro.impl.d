@@ -1,0 +1,1 @@
+lib/workloads/hydro.ml: Codegen Hbbp_collector

@@ -1,0 +1,1 @@
+lib/workloads/kernelbench.ml: Asm Hbbp_collector Hbbp_core Hbbp_cpu Hbbp_isa Hbbp_program Image Kernel Kernel_abi Layout Mnemonic Operand Ring Symbol

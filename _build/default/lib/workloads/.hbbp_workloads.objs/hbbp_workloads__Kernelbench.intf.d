@@ -1,0 +1,1 @@
+lib/workloads/kernelbench.mli: Hbbp_core

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Clforward Fitter Hydro Kernelbench List Option Printf Spec String Test40 Training_set

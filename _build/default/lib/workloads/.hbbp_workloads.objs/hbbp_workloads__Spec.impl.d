@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Codegen Hashtbl Hbbp_collector Hbbp_isa Int64 List Printf String

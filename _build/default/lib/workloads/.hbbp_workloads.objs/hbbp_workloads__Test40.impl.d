@@ -1,0 +1,1 @@
+lib/workloads/test40.ml: Codegen Hbbp_collector

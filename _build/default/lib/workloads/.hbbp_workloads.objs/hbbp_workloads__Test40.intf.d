@@ -1,0 +1,1 @@
+lib/workloads/test40.mli: Hbbp_core

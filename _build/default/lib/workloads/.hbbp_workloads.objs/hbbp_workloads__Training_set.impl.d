@@ -1,0 +1,1 @@
+lib/workloads/training_set.ml: Codegen Hbbp_analyzer Hbbp_collector Hbbp_core List

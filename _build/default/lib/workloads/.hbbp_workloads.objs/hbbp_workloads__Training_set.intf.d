@@ -1,0 +1,1 @@
+lib/workloads/training_set.mli: Hbbp_core

@@ -1,0 +1,68 @@
+open Hbbp_isa
+open Hbbp_program.Asm
+
+type variant = Before | After
+
+let variant_name = function
+  | Before -> "clforward-before"
+  | After -> "clforward-after"
+
+let elements = 64  (* per reduction *)
+let reductions = function Before -> 6_000 | After -> 6_000
+
+(* Scalar AVX reduction: one element per iteration — the broken build. *)
+let scalar_body =
+  [
+    i Mnemonic.VMOVSS [ xmm 1; mem Operand.RBP ~index:Operand.R13 ~scale:8 ];
+    i Mnemonic.VMULSS [ xmm 1; xmm 1; xmm 2 ];
+    i Mnemonic.VADDSS [ xmm 0; xmm 0; xmm 1 ];
+    i Mnemonic.VMOVSS [ xmm 3; mem Operand.RBP ~index:Operand.R13 ~scale:8 ~disp:512 ];
+    i Mnemonic.VMULSS [ xmm 3; xmm 3; xmm 3 ];
+    i Mnemonic.VADDSS [ xmm 0; xmm 0; xmm 3 ];
+  ]
+
+(* Packed AVX reduction: 8 elements per iteration — the fixed build. *)
+let packed_body =
+  [
+    i Mnemonic.VMOVAPS [ ymm 1; mem Operand.RBP ~index:Operand.R13 ~scale:8 ];
+    i Mnemonic.VMULPS [ ymm 1; ymm 1; ymm 2 ];
+    i Mnemonic.VADDPS [ ymm 0; ymm 0; ymm 1 ];
+    i Mnemonic.VMOVAPS [ ymm 3; mem Operand.RBP ~index:Operand.R13 ~scale:8 ~disp:512 ];
+    i Mnemonic.VFMADD213PS [ ymm 3; ymm 3; ymm 0 ];
+    i Mnemonic.VMOVAPS [ ymm 0; ymm 3 ];
+  ]
+
+let main_func variant =
+  let inner_iters, body =
+    match variant with
+    | Before -> (elements, scalar_body)
+    | After -> (elements / 8, packed_body)
+  in
+  func "clforward_main"
+    ([
+       i Mnemonic.MOV [ r12; imm (reductions variant) ];
+       label "clred";
+       i Mnemonic.VXORPS [ ymm 0; ymm 0; ymm 0 ];
+       i Mnemonic.VBROADCASTSS [ ymm 2; mem Operand.RBP ~disp:0x700 ];
+       i Mnemonic.MOV [ r13; imm inner_iters ];
+       label "clelem";
+     ]
+    @ body
+    @ [
+        i Mnemonic.DEC [ r13 ];
+        i Mnemonic.JNZ [ L "clelem" ];
+        (* Base (scalar integer) bookkeeping between reductions. *)
+        i Mnemonic.MOV [ rax; mem Operand.RBP ~disp:0x708 ];
+        i Mnemonic.ADD [ rax; imm 1 ];
+        i Mnemonic.MOV [ mem Operand.RBP ~disp:0x708; rax ];
+        i Mnemonic.VMOVAPS [ mem Operand.RBP ~disp:0x740; ymm 0 ];
+        i Mnemonic.DEC [ r12 ];
+        i Mnemonic.JNZ [ L "clred" ];
+        i Mnemonic.RET_NEAR [];
+      ])
+
+let workload variant =
+  Codegen.user_workload
+    ~description:"CLForward reduction (vectorization case study)"
+    ~runtime_class:Hbbp_collector.Period.Seconds ~name:(variant_name variant)
+    [ main_func variant ]

@@ -1,0 +1,11 @@
+(** CLForward — an online HPC code with a vectorization bug
+    (paper section VIII.E and Table 8): the [Before] build burns a large
+    number of {e scalar} AVX instructions inside an [#omp simd]
+    reduction; the [After] build, made compiler-friendly, replaces them
+    with a much smaller number of {e packed} instructions and runs
+    faster. *)
+
+type variant = Before | After
+
+val variant_name : variant -> string
+val workload : variant -> Hbbp_core.Workload.t

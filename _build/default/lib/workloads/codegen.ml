@@ -1,0 +1,296 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_program.Asm
+open Hbbp_cpu
+
+type ctx = { prng : Prng.t; mutable uid : int }
+
+let create_ctx ~seed = { prng = Prng.create ~seed; uid = 0 }
+
+let fresh ctx prefix =
+  ctx.uid <- ctx.uid + 1;
+  Printf.sprintf "%s_%d" prefix ctx.uid
+
+type fp_flavor =
+  | No_fp
+  | X87_fp
+  | Sse_scalar_fp
+  | Sse_packed_fp
+  | Avx_fp
+  | Avx_fma_fp
+  | Mixed_fp
+
+type profile_params = {
+  fp : fp_flavor;
+  fp_rate : float;
+  mem_rate : float;
+  long_rate : float;
+  simd_int_rate : float;
+}
+
+let int_only =
+  { fp = No_fp; fp_rate = 0.0; mem_rate = 0.15; long_rate = 0.0;
+    simd_int_rate = 0.0 }
+
+(* Scratch integer registers (RSP/RBP/R10/R12-R15 excluded by convention,
+   R14 reserved for the kernel). *)
+let scratch =
+  [| Operand.RAX; Operand.RBX; Operand.RCX; Operand.RDX; Operand.RSI;
+     Operand.RDI; Operand.R8; Operand.R9; Operand.R11 |]
+
+let rnd_gpr ctx = scratch.(Prng.int ctx.prng (Array.length scratch))
+let rnd_xmm ctx = xmm (Prng.int ctx.prng 16)
+let rnd_ymm ctx = ymm (Prng.int ctx.prng 16)
+
+let rnd_gpr_op ctx = R (Operand.Gpr (rnd_gpr ctx))
+
+(* 8-byte aligned reference into the user data region. *)
+let rnd_mem ctx = mem Operand.RBP ~disp:(8 * Prng.int ctx.prng 65536)
+
+let rnd_imm ctx = imm (1 + Prng.int ctx.prng 1000)
+
+(* --- filler unit pools; each returns a short item list ---------------- *)
+
+let int_unit ctx =
+  match Prng.int ctx.prng 8 with
+  | 0 -> [ i Mnemonic.ADD [ rnd_gpr_op ctx; rnd_imm ctx ] ]
+  | 1 -> [ i Mnemonic.SUB [ rnd_gpr_op ctx; rnd_imm ctx ] ]
+  | 2 -> [ i Mnemonic.XOR [ rnd_gpr_op ctx; rnd_gpr_op ctx ] ]
+  | 3 -> [ i Mnemonic.AND [ rnd_gpr_op ctx; rnd_imm ctx ] ]
+  | 4 -> [ i Mnemonic.MOV [ rnd_gpr_op ctx; rnd_imm ctx ] ]
+  | 5 -> [ i Mnemonic.IMUL [ rnd_gpr_op ctx; rnd_gpr_op ctx ] ]
+  | 6 -> [ i Mnemonic.SHL [ rnd_gpr_op ctx; imm (Prng.int ctx.prng 5) ] ]
+  | _ ->
+      [
+        i Mnemonic.LEA
+          [
+            rnd_gpr_op ctx;
+            mem (rnd_gpr ctx) ~index:(rnd_gpr ctx) ~scale:8
+              ~disp:(Prng.int ctx.prng 64);
+          ];
+      ]
+
+let mem_unit ctx =
+  if Prng.bool ctx.prng 0.6 then
+    [ i Mnemonic.MOV [ rnd_gpr_op ctx; rnd_mem ctx ] ]
+  else [ i Mnemonic.MOV [ rnd_mem ctx; rnd_gpr_op ctx ] ]
+
+let simd_int_unit ctx =
+  match Prng.int ctx.prng 4 with
+  | 0 -> [ i Mnemonic.PADDD [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 1 -> [ i Mnemonic.PXOR [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 2 -> [ i Mnemonic.PMULLD [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | _ -> [ i Mnemonic.MOVDQA [ rnd_xmm ctx; rnd_mem ctx ] ]
+
+let sse_scalar_unit ctx =
+  match Prng.int ctx.prng 6 with
+  | 0 -> [ i Mnemonic.ADDSD [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 1 -> [ i Mnemonic.MULSD [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 2 -> [ i Mnemonic.SUBSS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 3 -> [ i Mnemonic.MOVSD [ rnd_xmm ctx; rnd_mem ctx ] ]
+  | 4 -> [ i Mnemonic.MOVSD [ rnd_mem ctx; rnd_xmm ctx ] ]
+  | _ -> [ i Mnemonic.CVTSI2SD [ rnd_xmm ctx; rnd_gpr_op ctx ] ]
+
+let sse_packed_unit ctx =
+  match Prng.int ctx.prng 6 with
+  | 0 -> [ i Mnemonic.ADDPS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 1 -> [ i Mnemonic.MULPS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 2 -> [ i Mnemonic.SUBPS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | 3 -> [ i Mnemonic.MOVAPS [ rnd_xmm ctx; rnd_mem ctx ] ]
+  | 4 -> [ i Mnemonic.SHUFPS [ rnd_xmm ctx; rnd_xmm ctx; imm 0x1B ] ]
+  | _ -> [ i Mnemonic.XORPS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+
+let avx_unit ctx =
+  match Prng.int ctx.prng 6 with
+  | 0 -> [ i Mnemonic.VADDPS [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+  | 1 -> [ i Mnemonic.VMULPS [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+  | 2 -> [ i Mnemonic.VSUBPS [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+  | 3 -> [ i Mnemonic.VMOVAPS [ rnd_ymm ctx; rnd_mem ctx ] ]
+  | 4 -> [ i Mnemonic.VXORPS [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+  | _ -> [ i Mnemonic.VBROADCASTSS [ rnd_ymm ctx; rnd_xmm ctx ] ]
+
+let fma_unit ctx =
+  match Prng.int ctx.prng 3 with
+  | 0 -> [ i Mnemonic.VFMADD213PS [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+  | 1 -> [ i Mnemonic.VFMADD213PD [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+  | _ -> [ i Mnemonic.VADDPD [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+
+(* x87 units keep the register stack balanced (push, ops, pop-store). *)
+let x87_unit ctx =
+  let m = rnd_mem ctx in
+  match Prng.int ctx.prng 4 with
+  | 0 -> [ i Mnemonic.FLD [ m ]; i Mnemonic.FADD [ rnd_mem ctx ];
+           i Mnemonic.FSTP [ rnd_mem ctx ] ]
+  | 1 -> [ i Mnemonic.FLD [ m ]; i Mnemonic.FMUL [ rnd_mem ctx ];
+           i Mnemonic.FSTP [ rnd_mem ctx ] ]
+  | 2 -> [ i Mnemonic.FILD [ m ]; i Mnemonic.FCHS []; i Mnemonic.FSTP [ m ] ]
+  | _ -> [ i Mnemonic.FLD [ m ]; i Mnemonic.FABS []; i Mnemonic.FSTP [ m ] ]
+
+let resolve_flavor ctx = function
+  | Mixed_fp -> (
+      match Prng.int ctx.prng 4 with
+      | 0 -> X87_fp
+      | 1 -> Sse_scalar_fp
+      | 2 -> Sse_packed_fp
+      | _ -> Avx_fp)
+  | f -> f
+
+let fp_unit ctx flavor =
+  match resolve_flavor ctx flavor with
+  | No_fp -> int_unit ctx
+  | X87_fp -> x87_unit ctx
+  | Sse_scalar_fp -> sse_scalar_unit ctx
+  | Sse_packed_fp -> sse_packed_unit ctx
+  | Avx_fp -> avx_unit ctx
+  | Avx_fma_fp -> fma_unit ctx
+  | Mixed_fp -> assert false
+
+(* Long-latency units: shadow-casters for the EBS model. *)
+let long_unit ctx flavor =
+  match resolve_flavor ctx flavor with
+  | No_fp ->
+      [
+        i Mnemonic.MOV [ rax; rnd_imm ctx ];
+        i Mnemonic.MOV [ r11; imm (3 + Prng.int ctx.prng 97) ];
+        i Mnemonic.DIV [ r11 ];
+      ]
+  | X87_fp ->
+      let m = rnd_mem ctx in
+      if Prng.bool ctx.prng 0.3 then
+        [ i Mnemonic.FLD [ m ]; i Mnemonic.FSIN []; i Mnemonic.FSTP [ m ] ]
+      else
+        [ i Mnemonic.FLD [ m ]; i Mnemonic.FSQRT []; i Mnemonic.FSTP [ m ] ]
+  | Sse_scalar_fp ->
+      if Prng.bool ctx.prng 0.5 then
+        [ i Mnemonic.DIVSD [ rnd_xmm ctx; rnd_xmm ctx ] ]
+      else [ i Mnemonic.SQRTSD [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | Sse_packed_fp ->
+      if Prng.bool ctx.prng 0.5 then
+        [ i Mnemonic.DIVPS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+      else [ i Mnemonic.SQRTPS [ rnd_xmm ctx; rnd_xmm ctx ] ]
+  | Avx_fp | Avx_fma_fp ->
+      if Prng.bool ctx.prng 0.5 then
+        [ i Mnemonic.VDIVPS [ rnd_ymm ctx; rnd_ymm ctx; rnd_ymm ctx ] ]
+      else [ i Mnemonic.VSQRTPS [ rnd_ymm ctx; rnd_ymm ctx ] ]
+  | Mixed_fp -> assert false
+
+let unit ctx p =
+  let roll = Prng.float ctx.prng in
+  if roll < p.long_rate then long_unit ctx p.fp
+  else if roll < p.long_rate +. p.fp_rate then fp_unit ctx p.fp
+  else if roll < p.long_rate +. p.fp_rate +. p.simd_int_rate then
+    simd_int_unit ctx
+  else if roll < p.long_rate +. p.fp_rate +. p.simd_int_rate +. p.mem_rate
+  then mem_unit ctx
+  else int_unit ctx
+
+let filler ctx params ~len =
+  let rec emit count acc =
+    if count >= len then List.concat (List.rev acc)
+    else
+      let u = unit ctx params in
+      emit (count + List.length u) (u :: acc)
+  in
+  emit 0 []
+
+let counted_loop ctx ~reg ~times body =
+  let top = fresh ctx "loop" in
+  ((i Mnemonic.MOV [ R (Operand.Gpr reg); imm (max 1 times) ] :: label top
+    :: body)
+  @ [ i Mnemonic.DEC [ R (Operand.Gpr reg) ]; i Mnemonic.JNZ [ L top ] ])
+
+let data_init ctx ~words =
+  let top = fresh ctx "init" in
+  [
+    i Mnemonic.MOV [ rcx; imm (max 1 words) ];
+    label top;
+    i Mnemonic.MOV
+      [ mem Operand.RBP ~index:Operand.RCX ~scale:8 ~disp:(-8); rcx ];
+    i Mnemonic.DEC [ rcx ];
+    i Mnemonic.JNZ [ L top ];
+  ]
+
+type func_params = {
+  blocks : int;
+  mean_len : int;
+  len_jitter : int;
+  iterations : int;
+  call_rate : float;
+  indirect_calls : bool;
+  profile : profile_params;
+}
+
+let helper_name name k = Printf.sprintf "%s_helper_%d" name k
+
+let synthetic_funcs ctx ~name ~helpers (p : func_params) =
+  let helper_funcs =
+    List.init helpers (fun k ->
+        func (helper_name name k)
+          (filler ctx p.profile ~len:(3 + Prng.int ctx.prng 6)
+          @ [ i Mnemonic.RET_NEAR [] ]))
+  in
+  let block_labels =
+    Array.init (p.blocks + 1) (fun k -> fresh ctx (Printf.sprintf "%s_b%d" name k))
+  in
+  let block k =
+    let len =
+      max 1 (p.mean_len - p.len_jitter + Prng.int ctx.prng (2 * p.len_jitter + 1))
+    in
+    let body = filler ctx p.profile ~len in
+    let call =
+      if helpers > 0 && Prng.bool ctx.prng p.call_rate then begin
+        let target = helper_name name (Prng.int ctx.prng helpers) in
+        if p.indirect_calls then
+          [ i Mnemonic.MOV [ r11; A target ]; i Mnemonic.CALL_NEAR [ r11 ] ]
+        else [ i Mnemonic.CALL_NEAR [ L target ] ]
+      end
+      else []
+    in
+    let skip =
+      if k < p.blocks - 1 then begin
+        (* Key the branch on an iteration-counter bit: data-dependent but
+           terminating (forward skip only). *)
+        let mask = 1 lsl Prng.int ctx.prng 4 in
+        let target = block_labels.(min (k + 2) p.blocks) in
+        [ i Mnemonic.TEST [ r10; imm mask ]; i Mnemonic.JZ [ L target ] ]
+      end
+      else []
+    in
+    (label block_labels.(k) :: body) @ call @ skip
+  in
+  let chain = List.concat (List.init p.blocks block) @ [ label block_labels.(p.blocks) ] in
+  let body =
+    (i Mnemonic.XOR [ r10; r10 ]
+    :: counted_loop ctx ~reg:Operand.R12 ~times:p.iterations
+         ((i Mnemonic.INC [ r10 ] :: chain)))
+    @ [ i Mnemonic.RET_NEAR [] ]
+  in
+  func name body :: helper_funcs
+
+let estimated_instructions (p : func_params) =
+  let per_block =
+    float_of_int (p.mean_len + 2) +. (p.call_rate *. 10.0)
+  in
+  int_of_float
+    (float_of_int p.iterations *. float_of_int p.blocks *. per_block *. 0.8)
+
+let user_workload ?(description = "") ?runtime_class ~name funcs =
+  let entry_target =
+    match funcs with
+    | f :: _ -> f.Asm.name
+    | [] -> invalid_arg "Codegen.user_workload: no functions"
+  in
+  let start =
+    func "_start"
+      [
+        i Mnemonic.MOV [ rbp; imm Layout.user_data_base ];
+        i Mnemonic.CALL_NEAR [ L entry_target ];
+        i Mnemonic.RET_NEAR [];
+      ]
+  in
+  let img =
+    Asm.assemble ~name ~base:Layout.user_code_base ~ring:Ring.User
+      (start :: funcs)
+  in
+  Hbbp_core.Workload.of_user_image ~description ?runtime_class img
+    ~entry_symbol:"_start"

@@ -1,0 +1,89 @@
+(** Workload construction toolkit.
+
+    Builds deterministic synthetic programs in the assembler DSL with
+    controllable characteristics — basic-block length distribution,
+    floating-point flavour, long-latency density, memory traffic,
+    call structure — the knobs that decide how EBS, LBR and HBBP behave
+    on a workload.
+
+    Register conventions: RBP holds the user data base; R12/R13/R15 are
+    loop counters; R10 is the iteration counter feeding synthetic branch
+    conditions; R14 is never used (clobbered by syscalls); everything
+    else is scratch. *)
+
+open Hbbp_isa
+open Hbbp_program
+
+type ctx
+
+val create_ctx : seed:int64 -> ctx
+
+(** Fresh unique label with the given prefix. *)
+val fresh : ctx -> string -> string
+
+(** Floating-point flavour of generated filler code. *)
+type fp_flavor =
+  | No_fp
+  | X87_fp
+  | Sse_scalar_fp
+  | Sse_packed_fp
+  | Avx_fp
+  | Avx_fma_fp
+  | Mixed_fp
+
+type profile_params = {
+  fp : fp_flavor;
+  fp_rate : float;  (** Fraction of filler units that are FP. *)
+  mem_rate : float;  (** Fraction of filler units touching memory. *)
+  long_rate : float;  (** Fraction that are divides/sqrts (shadow-casters). *)
+  simd_int_rate : float;
+}
+
+val int_only : profile_params
+
+(** [filler ctx params ~len] — roughly [len] straight-line instructions
+    drawn from the weighted pools.  Never touches RSP/RBP/R10/R12-R15 or
+    control flow; x87 units keep the FP stack balanced. *)
+val filler : ctx -> profile_params -> len:int -> Asm.item list
+
+(** [counted_loop ctx ~reg ~times body] — [body] repeated [times] times
+    using [reg] as the down-counter. *)
+val counted_loop :
+  ctx -> reg:Operand.gpr -> times:int -> Asm.item list -> Asm.item list
+
+(** [data_init ~words] — a preamble storing nonzero values into the first
+    [words] 8-byte slots of the user data region. *)
+val data_init : ctx -> words:int -> Asm.item list
+
+(** Parameters of a synthetic function body. *)
+type func_params = {
+  blocks : int;  (** Conditional-skip chained blocks per iteration. *)
+  mean_len : int;  (** Mean filler length per block. *)
+  len_jitter : int;  (** Uniform +- jitter on block length. *)
+  iterations : int;  (** Outer-loop trip count. *)
+  call_rate : float;  (** Chance a block ends by calling a helper. *)
+  indirect_calls : bool;  (** Use function-pointer calls (OO style). *)
+  profile : profile_params;
+}
+
+(** [synthetic_funcs ctx ~name ~helpers params] — the main function plus
+    [helpers] small callees.  The body is a counted loop over a chain of
+    blocks separated by data-dependent (iteration-counter keyed)
+    conditional skips; all branches are forward, so termination is
+    structural. *)
+val synthetic_funcs :
+  ctx -> name:string -> helpers:int -> func_params -> Asm.func list
+
+(** [program name funcs] — assembles at the standard user base with a
+    [main] that sets up RBP and calls [entry] (the first function), and
+    wraps everything into a workload. *)
+val user_workload :
+  ?description:string ->
+  ?runtime_class:Hbbp_collector.Period.runtime_class ->
+  name:string ->
+  Asm.func list ->
+  Hbbp_core.Workload.t
+
+(** Estimated dynamic instructions per call of a synthetic function —
+    used to pick [iterations] for a target run length. *)
+val estimated_instructions : func_params -> int

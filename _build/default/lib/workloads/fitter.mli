@@ -1,0 +1,17 @@
+(** Fitter — a compact, CPU-intensive, vectorisable track-fitting kernel
+    (paper section VIII.C): sparse 3D position measurements fitted into
+    object-movement tracks, in four build variants.
+
+    [Avx_noinline] reproduces the paper's compiler-regression case study:
+    the AVX build where inlining silently broke, multiplying CALL counts
+    ~60x and wrecking the time per track, while the number of vector
+    instructions stayed unsuspicious. *)
+
+type variant = X87 | Sse | Avx | Avx_noinline
+
+val variant_name : variant -> string
+val all_variants : variant list
+val workload : variant -> Hbbp_core.Workload.t
+
+(** Tracks fitted per run (for time-per-track numbers). *)
+val tracks : int

@@ -1,0 +1,31 @@
+open Codegen
+
+let workload () =
+  let ctx = create_ctx ~seed:0x42D420L in
+  let profile =
+    {
+      fp = Avx_fma_fp;
+      fp_rate = 0.8;
+      mem_rate = 0.12;
+      long_rate = 0.02;
+      simd_int_rate = 0.0;
+    }
+  in
+  let params =
+    {
+      blocks = 10;
+      mean_len = 18;
+      len_jitter = 8;
+      iterations = 1;
+      call_rate = 0.05;
+      indirect_calls = false;
+      profile;
+    }
+  in
+  let per_iteration = max 1 (estimated_instructions params) in
+  let iterations = max 1 (3_000_000 / per_iteration) in
+  let funcs =
+    synthetic_funcs ctx ~name:"hydro_post" ~helpers:2 { params with iterations }
+  in
+  user_workload ~description:"Hydro post-processing (AVX/FMA heavy)"
+    ~runtime_class:Hbbp_collector.Period.Minutes_1_2 ~name:"hydro-post" funcs

@@ -1,0 +1,5 @@
+(** Hydro-post — a large-scale scientific post-processing kernel
+    (Table 1's worst instrumentation case, 76.6x): wide-vector FMA-heavy
+    number crunching, the kind of code emulation slows the most. *)
+
+val workload : unit -> Hbbp_core.Workload.t

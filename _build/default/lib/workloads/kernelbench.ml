@@ -1,0 +1,120 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_program.Asm
+open Hbbp_cpu
+
+let syscall_number = Kernel_abi.first_module_syscall
+let user_function = "hello_u"
+let kernel_function = "hello_k"
+
+(* Prime counting below [limit] with divisibility tested by repeated
+   addition (no DIV — the mnemonic set matches Table 7: ADD, CDQE, CMP,
+   IMUL, JLE, JNLE, JNZ, JZ, MOV, MOVSXD, SUB, TEST).  Candidate in RSI,
+   trial divisor in RDI, accumulator in RDX, prime count in R8. *)
+let prime_search ~prefix ~limit =
+  let l s = prefix ^ s in
+  [
+    i Mnemonic.MOV [ rsi; imm 3 ];
+    i Mnemonic.MOV [ r8; imm 0 ];
+    label (l "cand");
+    i Mnemonic.TEST [ rsi; imm 1 ];
+    i Mnemonic.JZ [ L (l "next") ];  (* even: skip *)
+    i Mnemonic.MOV [ rdi; imm 2 ];
+    label (l "div");
+    i Mnemonic.MOV [ rax; rdi ];
+    i Mnemonic.CDQE [];
+    i Mnemonic.IMUL [ rax; rdi ];
+    i Mnemonic.CMP [ rax; rsi ];
+    i Mnemonic.JNLE [ L (l "prime") ];  (* d*d > n: no divisor found *)
+    i Mnemonic.MOV [ rdx; rdi ];
+    i Mnemonic.MOVSXD [ rdx; rdx ];
+    label (l "acc");
+    (* m += d while n > m; on exit ZF says whether d divides n exactly. *)
+    i Mnemonic.ADD [ rdx; rdi ];
+    i Mnemonic.CMP [ rsi; rdx ];
+    i Mnemonic.JNLE [ L (l "acc") ];
+    i Mnemonic.SUB [ rdx; rsi ];
+    i Mnemonic.JZ [ L (l "next") ];  (* exact multiple: not prime *)
+    i Mnemonic.ADD [ rdi; imm 1 ];
+    i Mnemonic.JNZ [ L (l "div") ];  (* rdi > 0: always taken *)
+    label (l "prime");
+    i Mnemonic.ADD [ r8; imm 1 ];
+    label (l "next");
+    i Mnemonic.ADD [ rsi; imm 2 ];
+    i Mnemonic.CMP [ rsi; imm limit ];
+    i Mnemonic.JLE [ L (l "cand") ];
+    i Mnemonic.RET_NEAR [];
+  ]
+
+let limit = 60
+let prime_limit = limit
+
+let user_image () =
+  let hello_u = func user_function (prime_search ~prefix:"hu_" ~limit) in
+  (* Filler between kernel calls: "calls to kernel code are separated in
+     time to simulate real behavior". *)
+  let spacer =
+    func "spacer"
+      [
+        i Mnemonic.MOV [ rcx; imm 60 ];
+        label "sp_loop";
+        i Mnemonic.MOV [ rbx; mem Operand.RBP ~index:Operand.RCX ~scale:8 ];
+        i Mnemonic.ADD [ rbx; rcx ];
+        i Mnemonic.MOV [ mem Operand.RBP ~index:Operand.RCX ~scale:8; rbx ];
+        i Mnemonic.DEC [ rcx ];
+        i Mnemonic.JNZ [ L "sp_loop" ];
+        i Mnemonic.RET_NEAR [];
+      ]
+  in
+  let main =
+    func "main"
+      [
+        i Mnemonic.MOV [ r15; imm 2000 ];  (* rounds *)
+        label "m_round";
+        i Mnemonic.CALL_NEAR [ L user_function ];
+        i Mnemonic.CALL_NEAR [ L "spacer" ];
+        i Mnemonic.MOV [ rax; imm syscall_number ];
+        i Mnemonic.SYSCALL [];
+        i Mnemonic.CALL_NEAR [ L "spacer" ];
+        i Mnemonic.DEC [ r15 ];
+        i Mnemonic.JNZ [ L "m_round" ];
+        i Mnemonic.RET_NEAR [];
+      ]
+  in
+  let start =
+    func "_start"
+      [
+        i Mnemonic.MOV [ rbp; imm Layout.user_data_base ];
+        i Mnemonic.CALL_NEAR [ L "main" ];
+        i Mnemonic.RET_NEAR [];
+      ]
+  in
+  Asm.assemble ~name:"hello" ~base:Layout.user_code_base ~ring:Ring.User
+    [ start; main; hello_u; spacer ]
+
+let module_image () =
+  let hello_k = func kernel_function (prime_search ~prefix:"hk_" ~limit) in
+  Asm.assemble ~name:"hello.ko" ~base:Layout.module_code_base
+    ~ring:Ring.Kernel [ hello_k ]
+
+let workload () =
+  let user = user_image () in
+  let hello_ko = module_image () in
+  let entry_addr =
+    match Image.find_symbol hello_ko kernel_function with
+    | Some s -> s.Symbol.addr
+    | None -> assert false
+  in
+  let kernel =
+    Kernel.build
+      ~external_services:
+        [ { Kernel.number = syscall_number; name = "hello"; entry_addr } ]
+      ()
+  in
+  let base =
+    Hbbp_core.Workload.of_user_image
+      ~description:"prime search in user and kernel space"
+      ~runtime_class:Hbbp_collector.Period.Seconds user ~entry_symbol:"_start"
+  in
+  Hbbp_core.Workload.with_kernel base ~disk:kernel.Kernel.disk
+    ~live:kernel.Kernel.live ~modules:[ hello_ko ]

@@ -1,0 +1,20 @@
+(** The synthetic kernel benchmark (paper section VIII.D): a prime-number
+    search compiled once as a user function ([hello_u]) and once as a
+    kernel-module function ([hello.ko]'s [hello_k]), triggered from user
+    space through a syscall, with calls separated in time by filler work.
+
+    Software instrumentation sees only [hello_u]; HBBP sees both — the
+    Table 7 demonstration. *)
+
+val syscall_number : int
+
+(** User image + disk/live kernels + hello.ko module, all wired up. *)
+val workload : unit -> Hbbp_core.Workload.t
+
+(** Name of the user-space function, for per-symbol views. *)
+val user_function : string
+
+val kernel_function : string
+
+(** Candidates searched per call (primes in (2, limit]). *)
+val prime_limit : int

@@ -1,0 +1,29 @@
+let specials =
+  [
+    ("test40", fun () -> Test40.workload ());
+    ("hydro-post", fun () -> Hydro.workload ());
+    ("hello", fun () -> Kernelbench.workload ());
+    ("fitter-x87", fun () -> Fitter.workload Fitter.X87);
+    ("fitter-sse", fun () -> Fitter.workload Fitter.Sse);
+    ("fitter-avx", fun () -> Fitter.workload Fitter.Avx);
+    ("fitter-avx-noinline", fun () -> Fitter.workload Fitter.Avx_noinline);
+    ("clforward-before", fun () -> Clforward.workload Clforward.Before);
+    ("clforward-after", fun () -> Clforward.workload Clforward.After);
+  ]
+
+let names =
+  Spec.names @ List.map fst specials @ Training_set.names
+
+let find name =
+  match List.assoc_opt name specials with
+  | Some build -> build ()
+  | None ->
+      if List.mem name Spec.names then Spec.find name
+      else if List.mem name Training_set.names then
+        List.nth (Training_set.all ())
+          (Option.get
+             (List.find_index (String.equal name) Training_set.names))
+      else
+        invalid_arg
+          (Printf.sprintf "unknown workload %S; available: %s" name
+             (String.concat ", " names))

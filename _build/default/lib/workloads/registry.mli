@@ -1,0 +1,8 @@
+(** Name-based registry of every workload in the suite — the CLI tool's
+    and examples' entry point. *)
+
+val names : string list
+
+(** [find name] — builds the workload.
+    @raise Invalid_argument for unknown names (message lists options). *)
+val find : string -> Hbbp_core.Workload.t

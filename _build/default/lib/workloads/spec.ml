@@ -1,0 +1,131 @@
+open Codegen
+
+type def = {
+  name : string;
+  blocks : int;
+  mean_len : int;
+  len_jitter : int;
+  call_rate : float;
+  indirect_calls : bool;
+  helpers : int;
+  profile : profile_params;
+  target : int;  (* dynamic instructions *)
+}
+
+let prof ?(fp = No_fp) ?(fp_rate = 0.0) ?(mem = 0.15) ?(long = 0.0)
+    ?(simd = 0.0) () =
+  { fp; fp_rate; mem_rate = mem; long_rate = long; simd_int_rate = simd }
+
+let m = 1_000_000
+
+let defs =
+  [
+    { name = "perlbench"; blocks = 40; mean_len = 5; len_jitter = 3;
+      call_rate = 0.3; indirect_calls = false; helpers = 6;
+      profile = prof ~mem:0.2 (); target = 4 * m };
+    { name = "bzip2"; blocks = 25; mean_len = 8; len_jitter = 4;
+      call_rate = 0.05; indirect_calls = false; helpers = 2;
+      profile = prof ~mem:0.3 (); target = 4 * m };
+    { name = "gcc"; blocks = 80; mean_len = 4; len_jitter = 2;
+      call_rate = 0.2; indirect_calls = false; helpers = 8;
+      profile = prof ~mem:0.2 (); target = 4 * m };
+    { name = "mcf"; blocks = 15; mean_len = 6; len_jitter = 3;
+      call_rate = 0.05; indirect_calls = false; helpers = 1;
+      profile = prof ~mem:0.45 (); target = 3 * m };
+    { name = "gobmk"; blocks = 50; mean_len = 5; len_jitter = 3;
+      call_rate = 0.35; indirect_calls = false; helpers = 6;
+      profile = prof ~mem:0.2 (); target = 4 * m };
+    { name = "hmmer"; blocks = 12; mean_len = 9; len_jitter = 5;
+      call_rate = 0.0; indirect_calls = false; helpers = 0;
+      profile = prof ~mem:0.25 ~long:0.06 (); target = 4 * m };
+    { name = "sjeng"; blocks = 35; mean_len = 5; len_jitter = 3;
+      call_rate = 0.2; indirect_calls = false; helpers = 4;
+      profile = prof ~mem:0.2 (); target = 4 * m };
+    { name = "libquantum"; blocks = 6; mean_len = 7; len_jitter = 3;
+      call_rate = 0.0; indirect_calls = false; helpers = 0;
+      profile = prof ~mem:0.2 ~simd:0.5 (); target = 3 * m };
+    { name = "h264ref"; blocks = 30; mean_len = 7; len_jitter = 4;
+      call_rate = 0.1; indirect_calls = false; helpers = 3;
+      profile = prof ~mem:0.3 ~simd:0.2 (); target = 4 * m };
+    { name = "x264ref"; blocks = 28; mean_len = 7; len_jitter = 4;
+      call_rate = 0.1; indirect_calls = false; helpers = 3;
+      profile = prof ~mem:0.3 ~simd:0.25 (); target = 4 * m };
+    { name = "omnetpp"; blocks = 45; mean_len = 3; len_jitter = 1;
+      call_rate = 0.5; indirect_calls = true; helpers = 10;
+      profile = prof ~mem:0.25 (); target = 4 * m };
+    { name = "astar"; blocks = 20; mean_len = 5; len_jitter = 2;
+      call_rate = 0.15; indirect_calls = false; helpers = 2;
+      profile = prof ~mem:0.35 (); target = 3 * m };
+    { name = "xalancbmk"; blocks = 60; mean_len = 4; len_jitter = 2;
+      call_rate = 0.45; indirect_calls = true; helpers = 8;
+      profile = prof ~mem:0.25 (); target = 4 * m };
+    { name = "milc"; blocks = 15; mean_len = 12; len_jitter = 5;
+      call_rate = 0.05; indirect_calls = false; helpers = 1;
+      profile = prof ~fp:Sse_packed_fp ~fp_rate:0.5 ~long:0.02 ();
+      target = 4 * m };
+    { name = "namd"; blocks = 12; mean_len = 22; len_jitter = 8;
+      call_rate = 0.05; indirect_calls = false; helpers = 1;
+      profile = prof ~fp:Sse_packed_fp ~fp_rate:0.6 ~long:0.02 ();
+      target = 4 * m };
+    { name = "dealII"; blocks = 30; mean_len = 8; len_jitter = 4;
+      call_rate = 0.25; indirect_calls = true; helpers = 5;
+      profile = prof ~fp:Mixed_fp ~fp_rate:0.4 (); target = 4 * m };
+    { name = "soplex"; blocks = 20; mean_len = 10; len_jitter = 5;
+      call_rate = 0.1; indirect_calls = false; helpers = 2;
+      profile = prof ~fp:Sse_scalar_fp ~fp_rate:0.45 ~long:0.05 ();
+      target = 4 * m };
+    { name = "povray"; blocks = 35; mean_len = 6; len_jitter = 3;
+      call_rate = 0.3; indirect_calls = false; helpers = 6;
+      profile = prof ~fp:Sse_scalar_fp ~fp_rate:0.5 ~long:0.04 ();
+      target = 4 * m };
+    { name = "gamess"; blocks = 25; mean_len = 4; len_jitter = 2;
+      call_rate = 0.25; indirect_calls = false; helpers = 4;
+      profile = prof ~fp:X87_fp ~fp_rate:0.45 (); target = 4 * m };
+    { name = "lbm"; blocks = 8; mean_len = 26; len_jitter = 8;
+      call_rate = 0.0; indirect_calls = false; helpers = 0;
+      profile = prof ~fp:Sse_packed_fp ~fp_rate:0.55 ~long:0.08 ();
+      target = 4 * m };
+    { name = "sphinx3"; blocks = 25; mean_len = 6; len_jitter = 3;
+      call_rate = 0.15; indirect_calls = false; helpers = 3;
+      profile = prof ~fp:Sse_scalar_fp ~fp_rate:0.35 ~mem:0.3 ();
+      target = 4 * m };
+  ]
+
+let names = List.map (fun d -> d.name) defs
+
+let seed_of_name name =
+  (* Stable per-benchmark seed so each program is reproducible alone. *)
+  let h = Hashtbl.hash name in
+  Int64.of_int ((h * 2654435761) land 0x3FFFFFFF)
+
+let build (d : def) =
+  let ctx = create_ctx ~seed:(seed_of_name d.name) in
+  let params_for_estimate =
+    {
+      blocks = d.blocks;
+      mean_len = d.mean_len;
+      len_jitter = d.len_jitter;
+      iterations = 1;
+      call_rate = d.call_rate;
+      indirect_calls = d.indirect_calls;
+      profile = d.profile;
+    }
+  in
+  let per_iteration = max 1 (estimated_instructions params_for_estimate) in
+  let iterations = max 1 (d.target / per_iteration) in
+  let funcs =
+    synthetic_funcs ctx ~name:("spec_" ^ d.name) ~helpers:d.helpers
+      { params_for_estimate with iterations }
+  in
+  user_workload
+    ~description:(Printf.sprintf "SPEC-like benchmark %s" d.name)
+    ~runtime_class:Hbbp_collector.Period.Minutes_spec ~name:d.name funcs
+
+let find name =
+  match List.find_opt (fun d -> String.equal d.name name) defs with
+  | Some d -> build d
+  | None -> invalid_arg (Printf.sprintf "Spec.find: unknown benchmark %S" name)
+
+let all () = List.map build defs
+let buggy_benchmark = "x264ref"
+let bug_mnemonic = Hbbp_isa.Mnemonic.MOV

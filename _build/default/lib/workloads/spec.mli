@@ -1,0 +1,26 @@
+(** The SPEC CPU2006-like benchmark suite.
+
+    Each benchmark is a synthetic program whose characteristics (block
+    length distribution, FP flavour, long-latency density, call
+    structure) follow what the paper reports or implies about the real
+    benchmark: povray is scalar-SSE- and sqrt-heavy and the worst case
+    for instrumentation; omnetpp is short-block OO code; hmmer's divides
+    shadow EBS samples; lbm has long blocks directly after long-latency
+    instructions (the one case where HBBP loses to LBR); gamess leans on
+    x87 in tight loops. *)
+
+val names : string list
+
+(** [find name] builds the benchmark.
+    @raise Invalid_argument for unknown names. *)
+val find : string -> Hbbp_core.Workload.t
+
+(** All benchmarks, in [names] order. *)
+val all : unit -> Hbbp_core.Workload.t list
+
+(** The benchmark on which the instrumentation tool miscounts (paper
+    footnote 2) — profile it with
+    [{ sde with bug_mnemonic = Some bug_mnemonic }] to reproduce. *)
+val buggy_benchmark : string
+
+val bug_mnemonic : Hbbp_isa.Mnemonic.t

@@ -1,0 +1,33 @@
+open Codegen
+
+let workload () =
+  let ctx = create_ctx ~seed:0x7E5740L in
+  let profile =
+    {
+      fp = Mixed_fp;
+      fp_rate = 0.25;
+      mem_rate = 0.25;
+      long_rate = 0.02;
+      simd_int_rate = 0.0;
+    }
+  in
+  let params =
+    {
+      blocks = 60;
+      mean_len = 3;
+      len_jitter = 1;
+      iterations = 1;
+      call_rate = 0.6;
+      indirect_calls = true;  (* virtual dispatch *)
+      profile;
+    }
+  in
+  let per_iteration = max 1 (estimated_instructions params) in
+  let iterations = max 1 (5_000_000 / per_iteration) in
+  let funcs =
+    synthetic_funcs ctx ~name:"geant4_stepping" ~helpers:14
+      { params with iterations }
+  in
+  user_workload
+    ~description:"Geant4-like particle transport (short OO methods)"
+    ~runtime_class:Hbbp_collector.Period.Seconds ~name:"test40" funcs

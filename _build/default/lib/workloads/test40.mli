@@ -1,0 +1,6 @@
+(** Test40 — a Geant4-like particle-transport workload (paper
+    section VIII.B): "complex, object-oriented" code with short methods
+    reached through virtual dispatch, which is "difficult to deal with
+    using EBS, because its methods are short". *)
+
+val workload : unit -> Hbbp_core.Workload.t

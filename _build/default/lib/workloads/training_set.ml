@@ -1,0 +1,86 @@
+open Codegen
+
+type def = {
+  name : string;
+  seed : int64;
+  blocks : int;
+  mean_len : int;
+  len_jitter : int;
+  call_rate : float;
+  helpers : int;
+  profile : profile_params;
+  target : int;
+}
+
+let m = 1_000_000
+
+let defs =
+  [
+    { name = "train-short-int"; seed = 0xA1L; blocks = 150; mean_len = 3;
+      len_jitter = 1; call_rate = 0.1; helpers = 4;
+      profile = int_only; target = 4 * m };
+    { name = "train-mid-int"; seed = 0xA2L; blocks = 120; mean_len = 8;
+      len_jitter = 4; call_rate = 0.05; helpers = 2;
+      profile = int_only; target = 4 * m };
+    { name = "train-long-fp"; seed = 0xA3L; blocks = 80; mean_len = 24;
+      len_jitter = 9; call_rate = 0.0; helpers = 0;
+      profile = { fp = Sse_packed_fp; fp_rate = 0.5; mem_rate = 0.2;
+                  long_rate = 0.005; simd_int_rate = 0.0 };
+      target = 4 * m };
+    { name = "train-longer"; seed = 0xA4L; blocks = 50; mean_len = 34;
+      len_jitter = 12; call_rate = 0.0; helpers = 0;
+      profile = { fp = Avx_fp; fp_rate = 0.4; mem_rate = 0.2;
+                  long_rate = 0.0; simd_int_rate = 0.0 };
+      target = 4 * m };
+    { name = "train-shadow"; seed = 0xA5L; blocks = 100; mean_len = 10;
+      len_jitter = 6; call_rate = 0.0; helpers = 0;
+      profile = { fp = Sse_scalar_fp; fp_rate = 0.3; mem_rate = 0.2;
+                  long_rate = 0.08; simd_int_rate = 0.0 };
+      target = 4 * m };
+    { name = "train-branchy"; seed = 0xA6L; blocks = 160; mean_len = 4;
+      len_jitter = 2; call_rate = 0.4; helpers = 8;
+      profile = int_only; target = 4 * m };
+    { name = "train-x87"; seed = 0xA7L; blocks = 80; mean_len = 6;
+      len_jitter = 3; call_rate = 0.1; helpers = 2;
+      profile = { fp = X87_fp; fp_rate = 0.4; mem_rate = 0.2;
+                  long_rate = 0.03; simd_int_rate = 0.0 };
+      target = 4 * m };
+    { name = "train-mixed"; seed = 0xA8L; blocks = 120; mean_len = 12;
+      len_jitter = 8; call_rate = 0.15; helpers = 4;
+      profile = { fp = Mixed_fp; fp_rate = 0.35; mem_rate = 0.2;
+                  long_rate = 0.03; simd_int_rate = 0.05 };
+      target = 4 * m };
+  ]
+
+let names = List.map (fun d -> d.name) defs
+
+let build d =
+  let ctx = create_ctx ~seed:d.seed in
+  let params =
+    {
+      blocks = d.blocks;
+      mean_len = d.mean_len;
+      len_jitter = d.len_jitter;
+      iterations = 1;
+      call_rate = d.call_rate;
+      indirect_calls = false;
+      profile = d.profile;
+    }
+  in
+  let per_iteration = max 1 (estimated_instructions params) in
+  let iterations = max 1 (d.target / per_iteration) in
+  let funcs =
+    synthetic_funcs ctx ~name:("train_" ^ d.name) ~helpers:d.helpers
+      { params with iterations }
+  in
+  user_workload ~description:"HBBP training workload"
+    ~runtime_class:Hbbp_collector.Period.Seconds ~name:d.name funcs
+
+let all () = List.map build defs
+
+let total_static_blocks () =
+  List.fold_left
+    (fun acc (w : Hbbp_core.Workload.t) ->
+      let static = Hbbp_analyzer.Static.create_exn w.analysis_process in
+      acc + Hbbp_analyzer.Static.total_blocks static)
+    0 (all ())

@@ -1,0 +1,11 @@
+(** The non-SPEC training corpus (paper section IV.B): "approximately
+    1,100 basic blocks of training input from non-SPEC benchmarks",
+    spanning the block-length, FP-flavour and long-latency spectrum so
+    the classifier sees both EBS- and LBR-favoured regimes. *)
+
+val names : string list
+val all : unit -> Hbbp_core.Workload.t list
+
+(** Static basic-block count over the whole corpus (for the ~1,100
+    sanity check). *)
+val total_static_blocks : unit -> int

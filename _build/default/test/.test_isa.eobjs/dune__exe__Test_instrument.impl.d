@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Bb_map Hbbp_cpu Hbbp_instrument Hbbp_isa Hbbp_program Image Int64 Kernel Kernel_abi Layout List Machine Mnemonic Option Process Ring Sde Symbol

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Encoding Hbbp_isa Instruction Int64 Latency List Mnemonic Operand Option QCheck2 QCheck_alcotest Taxonomy

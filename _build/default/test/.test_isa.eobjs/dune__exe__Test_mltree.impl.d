@@ -1,0 +1,1 @@
+test/test_mltree.ml: Alcotest Array Cart Dataset Hbbp_mltree QCheck2 QCheck_alcotest Render String

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Error Float Hbbp_analyzer Hbbp_collector Hbbp_core Hbbp_cpu Hbbp_instrument Hbbp_workloads List Pipeline String Training

@@ -1,0 +1,300 @@
+(* Tests for the HBBP core: criteria, fusion, error metrics, training
+   and the end-to-end pipeline. *)
+
+open Hbbp_isa
+open Hbbp_core
+
+let checkb = Alcotest.(check bool)
+let checkf_eps eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Error metrics: the paper's worked example (section VI.B).           *)
+
+let test_error_metric_paper_example () =
+  (* "if we obtain a reference value of 500 executions of MOV, and
+     measure 510 ... the error for that mnemonic is reported as
+     10/500 = 2%". *)
+  let report =
+    Error.compare_mixes
+      ~reference:[ (Mnemonic.MOV, 500.0) ]
+      ~measured:[ (Mnemonic.MOV, 510.0) ]
+  in
+  checkf_eps 1e-9 "2% error" 0.02
+    (Option.get (Error.error_for report Mnemonic.MOV));
+  checkf_eps 1e-9 "weighted equals single error" 0.02
+    report.Error.avg_weighted_error
+
+let test_error_metric_weighting () =
+  (* 90% of the stream exact, 10% off by 50% -> weighted error 5%. *)
+  let report =
+    Error.compare_mixes
+      ~reference:[ (Mnemonic.MOV, 900.0); (Mnemonic.DIV, 100.0) ]
+      ~measured:[ (Mnemonic.MOV, 900.0); (Mnemonic.DIV, 150.0) ]
+  in
+  checkf_eps 1e-9 "weighted" 0.05 report.Error.avg_weighted_error
+
+let test_error_spurious () =
+  let report =
+    Error.compare_mixes
+      ~reference:[ (Mnemonic.MOV, 10.0) ]
+      ~measured:[ (Mnemonic.MOV, 10.0); (Mnemonic.FSIN, 3.0) ]
+  in
+  checkb "spurious mnemonic reported" true
+    (List.exists
+       (fun (m, _) -> Mnemonic.equal m Mnemonic.FSIN)
+       report.Error.spurious)
+
+let test_block_errors () =
+  let errors =
+    Error.block_errors ~reference:[| 100.0; 0.0; 50.0 |]
+      ~measured:[| 110.0; 5.0; 25.0 |]
+  in
+  checkf_eps 1e-9 "10% over" 0.1 errors.(0);
+  checkf_eps 1e-9 "zero reference skipped" 0.0 errors.(1);
+  checkf_eps 1e-9 "50% under" 0.5 errors.(2)
+
+let gen_mix =
+  QCheck2.Gen.(
+    list_size (int_range 1 20)
+      (map2
+         (fun code count ->
+           ( Option.value ~default:Mnemonic.NOP
+               (Mnemonic.of_code (code mod (Mnemonic.max_code + 1))),
+             float_of_int (1 + (count mod 100000)) ))
+         nat nat))
+
+let dedup mix =
+  (* Sum duplicates so the reference is a well-formed histogram. *)
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (m, c) ->
+      Hashtbl.replace table m
+        (c +. Option.value ~default:0.0 (Hashtbl.find_opt table m)))
+    mix;
+  Hashtbl.fold (fun m c acc -> (m, c) :: acc) table []
+
+let prop_error_zero_on_identity =
+  QCheck2.Test.make ~name:"identical mixes have zero error" ~count:100 gen_mix
+    (fun mix ->
+      let mix = dedup mix in
+      let r = Error.compare_mixes ~reference:mix ~measured:mix in
+      Float.abs r.Error.avg_weighted_error < 1e-9
+      && List.for_all (fun (e : Error.per_mnemonic) -> e.error < 1e-9)
+           r.Error.per_mnemonic)
+
+let prop_error_scaling =
+  QCheck2.Test.make ~name:"uniform scaling k gives error |1-k|" ~count:100
+    QCheck2.Gen.(pair gen_mix (float_range 0.1 3.0))
+    (fun (mix, k) ->
+      let mix = dedup mix in
+      let measured = List.map (fun (m, c) -> (m, c *. k)) mix in
+      let r = Error.compare_mixes ~reference:mix ~measured in
+      Float.abs (r.Error.avg_weighted_error -. Float.abs (1.0 -. k)) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Criteria                                                            *)
+
+let feature_vec ~len ~bias ~disparity =
+  let v = Array.make (Array.length Feature.names) 0.0 in
+  v.(Feature.index_block_length) <- len;
+  v.(Feature.index_bias) <- (if bias then 1.0 else 0.0);
+  v.(Feature.index_disparity) <- disparity;
+  v
+
+let test_length_rule () =
+  let c = Criteria.default in
+  checkb "short block -> LBR" true
+    (Criteria.decide c (feature_vec ~len:5.0 ~bias:false ~disparity:0.0)
+    = Criteria.Use_lbr);
+  checkb "18 -> LBR (inclusive)" true
+    (Criteria.decide c (feature_vec ~len:18.0 ~bias:false ~disparity:0.0)
+    = Criteria.Use_lbr);
+  checkb "19 -> EBS" true
+    (Criteria.decide c (feature_vec ~len:19.0 ~bias:false ~disparity:0.0)
+    = Criteria.Use_ebs);
+  checkb "biased short disparate -> EBS" true
+    (Criteria.decide c (feature_vec ~len:5.0 ~bias:true ~disparity:0.6)
+    = Criteria.Use_ebs);
+  checkb "biased tiny consistent -> LBR" true
+    (Criteria.decide c (feature_vec ~len:3.0 ~bias:true ~disparity:0.05)
+    = Criteria.Use_lbr);
+  checkb "length_only ignores bias" true
+    (Criteria.decide Criteria.length_only
+       (feature_vec ~len:5.0 ~bias:true ~disparity:0.9)
+    = Criteria.Use_lbr)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end pipeline on a small workload.                            *)
+
+let small_workload () =
+  let ctx = Hbbp_workloads.Codegen.create_ctx ~seed:0xBEEFL in
+  let funcs =
+    Hbbp_workloads.Codegen.synthetic_funcs ctx ~name:"small" ~helpers:2
+      {
+        Hbbp_workloads.Codegen.blocks = 15;
+        mean_len = 5;
+        len_jitter = 3;
+        iterations = 8000;
+        call_rate = 0.2;
+        indirect_calls = false;
+        profile = Hbbp_workloads.Codegen.int_only;
+      }
+  in
+  Hbbp_workloads.Codegen.user_workload ~name:"small-test" funcs
+
+let profile = lazy (Pipeline.run (small_workload ()))
+
+let test_pipeline_reference_total () =
+  let p = Lazy.force profile in
+  (* The reference BBEC expands to exactly the executed user
+     instructions. *)
+  checkf_eps 1.0 "reference mass = retired"
+    (float_of_int (p.Pipeline.stats.Hbbp_cpu.Machine.retired
+                   - p.Pipeline.stats.Hbbp_cpu.Machine.kernel_retired))
+    (Hbbp_analyzer.Bbec.total_instructions p.Pipeline.static
+       p.Pipeline.reference)
+
+let test_pipeline_estimates_sane () =
+  let p = Lazy.force profile in
+  let total = float_of_int p.Pipeline.stats.Hbbp_cpu.Machine.retired in
+  List.iter
+    (fun bbec ->
+      let mass =
+        Hbbp_analyzer.Bbec.total_instructions p.Pipeline.static bbec
+      in
+      checkb "estimate within 50% of truth" true
+        (mass > 0.5 *. total && mass < 1.5 *. total))
+    [
+      p.Pipeline.ebs.Hbbp_analyzer.Ebs_estimator.bbec;
+      p.Pipeline.lbr.Hbbp_analyzer.Lbr_estimator.bbec;
+      p.Pipeline.hbbp;
+    ]
+
+let test_pipeline_errors_reasonable () =
+  let p = Lazy.force profile in
+  let err = (Pipeline.error_report p p.Pipeline.hbbp).Error.avg_weighted_error in
+  checkb "HBBP error below 10%" true (err < 0.10)
+
+let test_pipeline_cross_check_clean () =
+  let p = Lazy.force profile in
+  checkb "SDE matches PMU totals" true (Pipeline.sde_pmu_discrepancy p < 0.001)
+
+let test_pipeline_overheads () =
+  let p = Lazy.force profile in
+  checkb "collection overhead < 5%" true (p.Pipeline.collection_overhead < 0.05);
+  checkb "SDE slowdown > 2x" true (p.Pipeline.sde_slowdown > 2.0)
+
+let test_pipeline_decisions_follow_criteria () =
+  let p = Lazy.force profile in
+  let decisions =
+    Combine.decisions p.Pipeline.static ~criteria:Criteria.length_only
+      ~bias:p.Pipeline.bias ~ebs:p.Pipeline.ebs ~lbr:p.Pipeline.lbr
+  in
+  Array.iteri
+    (fun gid d ->
+      let _, _, block = Hbbp_analyzer.Static.block p.Pipeline.static gid in
+      let len = Hbbp_program.Basic_block.length block in
+      checkb "length_only decision matches rule" true
+        (if len <= 18 then d = Criteria.Use_lbr else d = Criteria.Use_ebs))
+    decisions
+
+let test_fuse_picks_sources () =
+  let p = Lazy.force profile in
+  let fused =
+    Combine.fuse p.Pipeline.static ~criteria:Criteria.length_only
+      ~bias:p.Pipeline.bias ~ebs:p.Pipeline.ebs ~lbr:p.Pipeline.lbr
+  in
+  Hbbp_analyzer.Static.iter
+    (fun gid _ block ->
+      let len = Hbbp_program.Basic_block.length block in
+      let expected =
+        if len <= 18 then
+          Hbbp_analyzer.Bbec.count p.Pipeline.lbr.Hbbp_analyzer.Lbr_estimator.bbec gid
+        else Hbbp_analyzer.Bbec.count p.Pipeline.ebs.Hbbp_analyzer.Ebs_estimator.bbec gid
+      in
+      checkf_eps 1e-9 "fused value comes from the chosen source" expected
+        (Hbbp_analyzer.Bbec.count fused gid))
+    p.Pipeline.static
+
+(* ------------------------------------------------------------------ *)
+(* Training                                                            *)
+
+let test_training_examples () =
+  let p = Lazy.force profile in
+  let examples = Training.examples p in
+  checkb "examples exist" true (List.length examples > 5);
+  List.iter
+    (fun (e : Training.example) ->
+      checkb "weight positive" true (e.weight > 0.0);
+      checkb "label valid" true
+        (e.label = Criteria.class_ebs || e.label = Criteria.class_lbr);
+      Alcotest.(check int)
+        "feature arity"
+        (Array.length Feature.names)
+        (Array.length e.features))
+    examples
+
+let test_training_dataset_and_tree () =
+  let p = Lazy.force profile in
+  let tree, dataset = Training.train [ p ] in
+  checkb "dataset matches examples" true (Hbbp_mltree.Dataset.length dataset > 5);
+  (* Predictions are valid decisions for any block. *)
+  Hbbp_analyzer.Static.iter
+    (fun gid _ _ ->
+      let d = Criteria.decide (Criteria.Tree tree) (Pipeline.features p gid) in
+      checkb "decision valid" true (d = Criteria.Use_ebs || d = Criteria.Use_lbr))
+    p.Pipeline.static
+
+let test_workload_constructors () =
+  let w = small_workload () in
+  checkb "analysis = live for user-only" true
+    (w.Workload.analysis_process == w.Workload.live_process);
+  match
+    Workload.of_user_image
+      (List.hd (Hbbp_program.Process.images w.Workload.live_process))
+      ~entry_symbol:"no_such_symbol"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected missing-symbol rejection"
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "error",
+        [
+          Alcotest.test_case "paper example" `Quick
+            test_error_metric_paper_example;
+          Alcotest.test_case "weighting" `Quick test_error_metric_weighting;
+          Alcotest.test_case "spurious" `Quick test_error_spurious;
+          Alcotest.test_case "block errors" `Quick test_block_errors;
+        ] );
+      ( "error properties",
+        [
+          QCheck_alcotest.to_alcotest prop_error_zero_on_identity;
+          QCheck_alcotest.to_alcotest prop_error_scaling;
+        ] );
+      ("criteria", [ Alcotest.test_case "length rule" `Quick test_length_rule ]);
+      ( "pipeline",
+        [
+          Alcotest.test_case "reference total" `Quick
+            test_pipeline_reference_total;
+          Alcotest.test_case "estimates sane" `Quick
+            test_pipeline_estimates_sane;
+          Alcotest.test_case "errors reasonable" `Quick
+            test_pipeline_errors_reasonable;
+          Alcotest.test_case "cross-check clean" `Quick
+            test_pipeline_cross_check_clean;
+          Alcotest.test_case "overheads" `Quick test_pipeline_overheads;
+          Alcotest.test_case "decisions follow criteria" `Quick
+            test_pipeline_decisions_follow_criteria;
+          Alcotest.test_case "fusion sources" `Quick test_fuse_picks_sources;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "examples" `Quick test_training_examples;
+          Alcotest.test_case "dataset+tree" `Quick test_training_dataset_and_tree;
+        ] );
+      ( "workload",
+        [ Alcotest.test_case "constructors" `Quick test_workload_constructors ]
+      );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the software-instrumentation (SDE/PIN-like) reference tool. *)
+
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_program.Asm
+open Hbbp_cpu
+open Hbbp_instrument
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checki64 = Alcotest.(check int64)
+
+let loop_program n =
+  [
+    func "main"
+      [
+        i Mnemonic.MOV [ rcx; imm n ];
+        label "l";
+        i Mnemonic.ADD [ rax; imm 1 ];
+        i Mnemonic.IMUL [ rbx; rax ];
+        i Mnemonic.DEC [ rcx ];
+        i Mnemonic.JNZ [ L "l" ];
+        i Mnemonic.RET_NEAR [];
+      ];
+  ]
+
+let instrumented ?config ?kernel funcs =
+  let img =
+    assemble ~name:"t" ~base:Layout.user_code_base ~ring:Ring.User funcs
+  in
+  let images = match kernel with None -> [ img ] | Some k -> [ img; k ] in
+  let process = Process.create images in
+  let machine = Machine.create ~process () in
+  let map = Bb_map.of_image_exn img in
+  let sde =
+    Sde.create (Option.value ~default:Sde.default_config config) [ map ]
+  in
+  Machine.add_observer machine (Sde.observer sde);
+  let entry = (Option.get (Image.find_symbol img "main")).Symbol.addr in
+  let stats = Machine.run machine ~entry () in
+  (sde, map, stats)
+
+let test_exact_block_counts () =
+  let sde, map, _ = instrumented (loop_program 500) in
+  let addrs =
+    label_addresses ~name:"t" ~base:Layout.user_code_base ~ring:Ring.User
+      (loop_program 500)
+  in
+  let loop_block =
+    Option.get (Bb_map.block_starting_at map (List.assoc "l" addrs))
+  in
+  checki "loop block executed 500x" 500 (Sde.block_count sde map loop_block)
+
+let test_exact_histogram () =
+  let sde, _, stats = instrumented (loop_program 500) in
+  let hist = Sde.histogram sde in
+  checki64 "ADD count" 500L (List.assoc Mnemonic.ADD hist);
+  checki64 "IMUL count" 500L (List.assoc Mnemonic.IMUL hist);
+  checki64 "JNZ count" 500L (List.assoc Mnemonic.JNZ hist);
+  checki64 "MOV once" 1L (List.assoc Mnemonic.MOV hist);
+  checki64 "total matches machine"
+    (Int64.of_int stats.Machine.retired)
+    (Sde.total_instructions sde)
+
+let test_kernel_invisible () =
+  let kernel = Kernel.build () in
+  let sde, _, stats =
+    instrumented ~kernel:kernel.Kernel.live
+      [
+        func "main"
+          [
+            i Mnemonic.MOV [ rax; imm Kernel_abi.sys_bufclear ];
+            i Mnemonic.SYSCALL [];
+            i Mnemonic.RET_NEAR [];
+          ];
+      ]
+  in
+  checkb "kernel work happened" true (stats.Machine.kernel_retired > 100);
+  checki "all kernel instructions lost" stats.Machine.kernel_retired
+    (Sde.lost_kernel_instructions sde);
+  checki64 "only user instructions counted"
+    (Int64.of_int (stats.Machine.retired - stats.Machine.kernel_retired))
+    (Sde.total_instructions sde)
+
+let test_slowdown_model () =
+  let sde, _, stats = instrumented (loop_program 1000) in
+  let slowdown =
+    float_of_int (Sde.instrumented_cycles sde) /. float_of_int stats.Machine.cycles
+  in
+  checkb "instrumentation is slower" true (slowdown > 2.0);
+  checkb "but bounded" true (slowdown < 200.0)
+
+let test_vector_code_slower_under_emulation () =
+  let int_body = [ i Mnemonic.ADD [ rax; imm 1 ] ] in
+  let avx_body = [ i Mnemonic.VFMADD213PS [ ymm 0; ymm 1; ymm 2 ] ] in
+  let program body =
+    [
+      func "main"
+        ([ i Mnemonic.MOV [ rcx; imm 1000 ]; label "l" ]
+        @ body
+        @ [ i Mnemonic.DEC [ rcx ]; i Mnemonic.JNZ [ L "l" ];
+            i Mnemonic.RET_NEAR [] ]);
+    ]
+  in
+  let factor body =
+    let sde, _, stats = instrumented (program body) in
+    float_of_int (Sde.instrumented_cycles sde) /. float_of_int stats.Machine.cycles
+  in
+  checkb "AVX emulates slower than integer code" true
+    (factor avx_body > factor int_body)
+
+let test_injected_bug () =
+  let config = { Sde.default_config with bug_mnemonic = Some Mnemonic.ADD } in
+  let sde, _, stats = instrumented ~config (loop_program 500) in
+  let hist = Sde.histogram sde in
+  checki64 "ADD undercounted by half" 250L (List.assoc Mnemonic.ADD hist);
+  checkb "total fails PMU cross-check" true
+    (Int64.to_int (Sde.total_instructions sde) < stats.Machine.retired)
+
+let test_reset () =
+  let sde, _, _ = instrumented (loop_program 10) in
+  Sde.reset sde;
+  checki64 "total cleared" 0L (Sde.total_instructions sde);
+  checki "counts cleared" 0 (List.length (Sde.block_counts sde))
+
+let () =
+  Alcotest.run "instrument"
+    [
+      ( "sde",
+        [
+          Alcotest.test_case "exact block counts" `Quick test_exact_block_counts;
+          Alcotest.test_case "exact histogram" `Quick test_exact_histogram;
+          Alcotest.test_case "kernel invisible" `Quick test_kernel_invisible;
+          Alcotest.test_case "slowdown model" `Quick test_slowdown_model;
+          Alcotest.test_case "vector emulation cost" `Quick
+            test_vector_code_slower_under_emulation;
+          Alcotest.test_case "injected bug" `Quick test_injected_bug;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Unit and property tests for the ISA layer: mnemonic attributes, the
+   binary encoding, latency model and taxonomies. *)
+
+open Hbbp_isa
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let gen_mnemonic =
+  QCheck2.Gen.map
+    (fun code ->
+      match Mnemonic.of_code (code mod (Mnemonic.max_code + 1)) with
+      | Some m -> m
+      | None -> Mnemonic.NOP)
+    QCheck2.Gen.nat
+
+let gen_gpr =
+  QCheck2.Gen.map
+    (fun code -> Option.get (Operand.gpr_of_code (code mod 16)))
+    QCheck2.Gen.nat
+
+let gen_reg =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun g -> Operand.Gpr g) gen_gpr;
+        map (fun i -> Operand.Xmm (i mod 16)) nat;
+        map (fun i -> Operand.Ymm (i mod 16)) nat;
+        map (fun i -> Operand.St (i mod 8)) nat;
+      ])
+
+let gen_operand =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun r -> Operand.Reg r) gen_reg;
+        map3
+          (fun base index disp ->
+            Operand.Mem { base; index; scale = 8; disp = disp mod 100000 })
+          gen_gpr
+          (opt gen_gpr)
+          nat;
+        map (fun v -> Operand.Imm (Int64.of_int v)) int;
+        map (fun d -> Operand.Rel ((d mod 100000) - 50000)) nat;
+      ])
+
+let gen_instruction =
+  QCheck2.Gen.(
+    map2
+      (fun m ops -> Instruction.make m ops)
+      gen_mnemonic
+      (list_size (int_bound 3) gen_operand))
+
+(* ------------------------------------------------------------------ *)
+(* Mnemonic tests                                                      *)
+
+let test_code_roundtrip () =
+  List.iter
+    (fun m ->
+      match Mnemonic.of_code (Mnemonic.to_code m) with
+      | Some m' -> checkb "roundtrip" true (Mnemonic.equal m m')
+      | None -> Alcotest.fail "of_code failed")
+    Mnemonic.all
+
+let test_string_roundtrip () =
+  List.iter
+    (fun m ->
+      match Mnemonic.of_string (Mnemonic.to_string m) with
+      | Some m' -> checkb "roundtrip" true (Mnemonic.equal m m')
+      | None -> Alcotest.fail ("of_string failed for " ^ Mnemonic.to_string m))
+    Mnemonic.all
+
+let test_all_dense () =
+  checki "all mnemonics enumerated" (Mnemonic.max_code + 1)
+    (List.length Mnemonic.all)
+
+let test_branch_kind_consistent () =
+  List.iter
+    (fun m ->
+      let k = Mnemonic.branch_kind m in
+      checkb
+        ("is_branch consistent for " ^ Mnemonic.to_string m)
+        (k <> Mnemonic.Not_branch) (Mnemonic.is_branch m))
+    Mnemonic.all
+
+let test_known_attributes () =
+  checkb "DIVSD is SSE" true
+    (Mnemonic.equal_isa_set (Mnemonic.isa_set DIVSD) Mnemonic.Sse);
+  checkb "VADDPS is AVX" true
+    (Mnemonic.equal_isa_set (Mnemonic.isa_set VADDPS) Mnemonic.Avx);
+  checkb "FSIN is transcendental" true
+    (Mnemonic.equal_category (Mnemonic.category FSIN) Mnemonic.Transcendental);
+  checkb "ADDPS is packed" true
+    (Mnemonic.equal_packing (Mnemonic.packing ADDPS) Mnemonic.Packed);
+  checkb "ADDSD is scalar fp" true
+    (Mnemonic.equal_packing (Mnemonic.packing ADDSD) Mnemonic.Scalar_fp);
+  checkb "RET is a ret branch" true
+    (Mnemonic.branch_kind RET_NEAR = Mnemonic.Ret_branch);
+  checkb "SYSCALL is a call branch" true
+    (Mnemonic.branch_kind SYSCALL = Mnemonic.Call_branch)
+
+let test_packed_implies_vector_isa () =
+  List.iter
+    (fun m ->
+      match Mnemonic.packing m with
+      | Mnemonic.Packed ->
+          checkb
+            ("packed implies SIMD isa: " ^ Mnemonic.to_string m)
+            true
+            (match Mnemonic.isa_set m with
+            | Mnemonic.Sse | Mnemonic.Avx | Mnemonic.Avx2 -> true
+            | Mnemonic.Base | Mnemonic.X87 -> false)
+      | _ -> ())
+    Mnemonic.all
+
+(* ------------------------------------------------------------------ *)
+(* Instruction predicates                                              *)
+
+let ins = Instruction.make
+let memop = Operand.mem Operand.RAX
+
+let test_memory_predicates () =
+  checkb "MOV r, [m] reads" true
+    (Instruction.reads_memory (ins MOV [ Operand.Reg (Gpr RBX); memop ]));
+  checkb "MOV r, [m] does not write" false
+    (Instruction.writes_memory (ins MOV [ Operand.Reg (Gpr RBX); memop ]));
+  checkb "MOV [m], r writes" true
+    (Instruction.writes_memory (ins MOV [ memop; Operand.Reg (Gpr RBX) ]));
+  checkb "MOV [m], r does not read" false
+    (Instruction.reads_memory (ins MOV [ memop; Operand.Reg (Gpr RBX) ]));
+  checkb "ADD [m], r reads (rmw)" true
+    (Instruction.reads_memory (ins ADD [ memop; Operand.Reg (Gpr RBX) ]));
+  checkb "ADD [m], r writes (rmw)" true
+    (Instruction.writes_memory (ins ADD [ memop; Operand.Reg (Gpr RBX) ]));
+  checkb "CMP [m], r reads only" true
+    (Instruction.reads_memory (ins CMP [ memop; Operand.Reg (Gpr RBX) ]));
+  checkb "CMP [m], r no write" false
+    (Instruction.writes_memory (ins CMP [ memop; Operand.Reg (Gpr RBX) ]));
+  checkb "LEA never reads" false
+    (Instruction.reads_memory (ins LEA [ Operand.Reg (Gpr RBX); memop ]));
+  checkb "PUSH writes stack" true
+    (Instruction.writes_memory (ins PUSH [ Operand.Reg (Gpr RBX) ]));
+  checkb "POP reads stack" true
+    (Instruction.reads_memory (ins POP [ Operand.Reg (Gpr RBX) ]))
+
+let test_rel_helpers () =
+  let j = ins JMP [ Operand.Rel 42 ] in
+  check Alcotest.(option int) "rel" (Some 42) (Instruction.rel_displacement j);
+  let j' = Instruction.with_rel j (-7) in
+  check Alcotest.(option int) "rel updated" (Some (-7))
+    (Instruction.rel_displacement j');
+  Alcotest.check_raises "with_rel without Rel" (Invalid_argument
+    "Instruction.with_rel: no Rel operand") (fun () ->
+      ignore (Instruction.with_rel (ins NOP []) 0))
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let test_encode_lengths () =
+  let i = ins NOP [] in
+  checki "nop is 3 bytes" 3 (Encoding.encoded_length i);
+  let i = ins MOV [ Operand.Reg (Gpr RAX); Operand.Imm 5L ] in
+  checki "mov r, imm is 3+3+9" 15 (Encoding.encoded_length i)
+
+let test_decode_errors () =
+  let buf = Bytes.make 2 '\255' in
+  (match Encoding.decode buf 0 with
+  | Error Encoding.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  let buf = Bytes.make 8 '\255' in
+  (match Encoding.decode buf 0 with
+  | Error (Encoding.Bad_mnemonic _) -> ()
+  | _ -> Alcotest.fail "expected Bad_mnemonic");
+  (* Valid mnemonic, bad operand tag. *)
+  let buf = Bytes.make 8 '\000' in
+  Bytes.set_uint8 buf 2 1;
+  Bytes.set_uint8 buf 3 0x7f;
+  match Encoding.decode buf 0 with
+  | Error (Encoding.Bad_operand_tag 0x7f) -> ()
+  | _ -> Alcotest.fail "expected Bad_operand_tag"
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"encode/decode roundtrip" ~count:500 gen_instruction
+    (fun i ->
+      let buf = Encoding.encode_to_bytes i in
+      match Encoding.decode buf 0 with
+      | Ok (i', len) ->
+          Instruction.equal i i'
+          && len = Bytes.length buf
+          && len = Encoding.encoded_length i
+      | Error _ -> false)
+
+let prop_length_positive =
+  QCheck2.Test.make ~name:"encoded length >= 3" ~count:200 gen_instruction
+    (fun i -> Encoding.encoded_length i >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Latency and taxonomy                                                *)
+
+let test_latency_positive () =
+  List.iter
+    (fun m ->
+      checkb ("latency positive: " ^ Mnemonic.to_string m) true
+        (Latency.latency m >= 1))
+    Mnemonic.all
+
+let test_long_latency_examples () =
+  checkb "DIV is long" true (Latency.is_long_latency DIV);
+  checkb "FSIN is long" true (Latency.is_long_latency FSIN);
+  checkb "ADD is short" false (Latency.is_long_latency ADD);
+  checkb "MOV is short" false (Latency.is_long_latency MOV)
+
+let test_cost_includes_memory () =
+  let reg_form = ins ADD [ Operand.Reg (Gpr RAX); Operand.Reg (Gpr RBX) ] in
+  let mem_form = ins ADD [ Operand.Reg (Gpr RAX); memop ] in
+  checki "memory cost delta" Latency.memory_access_cost
+    (Latency.cost mem_form - Latency.cost reg_form)
+
+let test_taxonomy_groups () =
+  let div = ins DIV [ Operand.Reg (Gpr RBX) ] in
+  let fence = ins MFENCE [] in
+  let addps = ins ADDPS [ Operand.Reg (Xmm 0); Operand.Reg (Xmm 1) ] in
+  checkb "DIV in long latency group" true (Taxonomy.long_latency.matches div);
+  checkb "MFENCE in sync group" true (Taxonomy.synchronization.matches fence);
+  checkb "ADDPS in packed group" true (Taxonomy.vector_packed.matches addps);
+  checkb "ADDPS in fp math" true (Taxonomy.fp_math.matches addps);
+  let names = Taxonomy.classify Taxonomy.builtins div in
+  checkb "classify includes long latency" true
+    (List.mem "long latency instructions" names)
+
+let test_taxonomy_of_attributes () =
+  let g = Taxonomy.of_isa_set Mnemonic.Avx in
+  checkb "VADDPS in Avx group" true
+    (g.Taxonomy.matches (ins VADDPS [ Operand.Reg (Ymm 0); Operand.Reg (Ymm 1); Operand.Reg (Ymm 2) ]));
+  checkb "ADD not in Avx group" false
+    (g.Taxonomy.matches (ins ADD [ Operand.Reg (Gpr RAX); Operand.Imm 1L ]))
+
+(* Decoding arbitrary bytes must never raise — it returns a value or a
+   typed error. *)
+let prop_decode_total =
+  QCheck2.Test.make ~name:"decode is total on random bytes" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Encoding.decode (Bytes.of_string s) 0 with
+      | Ok (_, len) -> len > 0
+      | Error _ -> true)
+
+(* Attributes agree pairwise: an Fp element implies an FP-capable isa
+   set for computational categories. *)
+let prop_fp_attribute_consistency =
+  QCheck2.Test.make ~name:"fp arithmetic lives in fp isa sets" ~count:200
+    gen_mnemonic (fun m ->
+      match (Mnemonic.category m, Mnemonic.element m) with
+      | (Mnemonic.Divide | Mnemonic.Sqrt | Mnemonic.Fma), _ -> true
+      | Mnemonic.Arithmetic, (Mnemonic.Fp32 | Mnemonic.Fp64) -> (
+          match Mnemonic.isa_set m with
+          | Mnemonic.Base -> false
+          | _ -> true)
+      | _ -> true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_length_positive; prop_decode_total;
+      prop_fp_attribute_consistency ]
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "mnemonic",
+        [
+          Alcotest.test_case "code roundtrip" `Quick test_code_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "dense codes" `Quick test_all_dense;
+          Alcotest.test_case "branch kinds" `Quick test_branch_kind_consistent;
+          Alcotest.test_case "known attributes" `Quick test_known_attributes;
+          Alcotest.test_case "packed implies simd" `Quick
+            test_packed_implies_vector_isa;
+        ] );
+      ( "instruction",
+        [
+          Alcotest.test_case "memory predicates" `Quick test_memory_predicates;
+          Alcotest.test_case "rel helpers" `Quick test_rel_helpers;
+        ] );
+      ( "encoding",
+        Alcotest.test_case "lengths" `Quick test_encode_lengths
+        :: Alcotest.test_case "decode errors" `Quick test_decode_errors
+        :: qsuite );
+      ( "latency+taxonomy",
+        [
+          Alcotest.test_case "latency positive" `Quick test_latency_positive;
+          Alcotest.test_case "long latency" `Quick test_long_latency_examples;
+          Alcotest.test_case "memory cost" `Quick test_cost_includes_memory;
+          Alcotest.test_case "builtin groups" `Quick test_taxonomy_groups;
+          Alcotest.test_case "attribute groups" `Quick
+            test_taxonomy_of_attributes;
+        ] );
+    ]

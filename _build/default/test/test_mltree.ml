@@ -1,0 +1,143 @@
+(* Tests for the CART classification-tree library. *)
+
+open Hbbp_mltree
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_gini () =
+  checkf "pure node" 0.0 (Cart.gini_impurity [| 10.0; 0.0 |]);
+  checkf "balanced binary" 0.5 (Cart.gini_impurity [| 5.0; 5.0 |]);
+  checkf "empty" 0.0 (Cart.gini_impurity [| 0.0; 0.0 |]);
+  checkf "three-way uniform" (1.0 -. (3.0 /. 9.0))
+    (Cart.gini_impurity [| 1.0; 1.0; 1.0 |])
+
+let test_dataset_validation () =
+  let ok () =
+    Dataset.create ~feature_names:[| "x" |] ~class_names:[| "a"; "b" |]
+      ~features:[| [| 1.0 |]; [| 2.0 |] |]
+      ~labels:[| 0; 1 |] ~weights:[| 1.0; 1.0 |]
+  in
+  ignore (ok ());
+  (match
+     Dataset.create ~feature_names:[| "x" |] ~class_names:[| "a" |]
+       ~features:[| [| 1.0 |] |] ~labels:[| 5 |] ~weights:[| 1.0 |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "label out of range accepted");
+  (match
+     Dataset.create ~feature_names:[| "x" |] ~class_names:[| "a" |]
+       ~features:[| [| 1.0; 2.0 |] |] ~labels:[| 0 |] ~weights:[| 1.0 |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged features accepted");
+  match
+    Dataset.create ~feature_names:[| "x" |] ~class_names:[| "a" |]
+      ~features:[| [| 1.0 |] |] ~labels:[| 0 |] ~weights:[| -1.0 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weight accepted"
+
+(* A linearly separable dataset on feature 1 with threshold 10. *)
+let separable n =
+  let features =
+    Array.init n (fun k -> [| float_of_int (k mod 3); float_of_int k |])
+  in
+  let labels = Array.map (fun f -> if f.(1) <= 10.0 then 0 else 1) features in
+  Dataset.create ~feature_names:[| "noise"; "value" |]
+    ~class_names:[| "low"; "high" |] ~features ~labels
+    ~weights:(Array.make n 1.0)
+
+let test_separable_perfect () =
+  let d = separable 100 in
+  let params = { Cart.default_params with min_samples_leaf = 1 } in
+  let tree = Cart.train ~params d in
+  Array.iteri
+    (fun k f -> checki "prediction" d.Dataset.labels.(k) (Cart.predict tree f))
+    d.Dataset.features;
+  (match Cart.root_split tree with
+  | Some (feature, threshold) ->
+      checki "split on the informative feature" 1 feature;
+      checkb "threshold between 10 and 11" true
+        (threshold > 10.0 && threshold < 11.0)
+  | None -> Alcotest.fail "expected a split");
+  let imp = Cart.feature_importances tree ~n_features:2 in
+  checkb "value feature dominates" true (imp.(1) > 0.9)
+
+let test_stump_on_pure_data () =
+  let d =
+    Dataset.create ~feature_names:[| "x" |] ~class_names:[| "a"; "b" |]
+      ~features:(Array.init 20 (fun k -> [| float_of_int k |]))
+      ~labels:(Array.make 20 0)
+      ~weights:(Array.make 20 1.0)
+  in
+  let tree = Cart.train d in
+  checki "no split needed" 1 (Cart.leaf_count tree);
+  checki "depth 0" 0 (Cart.depth tree)
+
+let test_max_depth_respected () =
+  let d = separable 200 in
+  let params = { Cart.default_params with max_depth = 2; min_samples_leaf = 1 } in
+  let tree = Cart.train ~params d in
+  checkb "depth bounded" true (Cart.depth tree <= 2)
+
+let test_weights_matter () =
+  (* Two conflicting points; the heavier one wins the leaf label. *)
+  let d =
+    Dataset.create ~feature_names:[| "x" |] ~class_names:[| "a"; "b" |]
+      ~features:[| [| 1.0 |]; [| 1.0 |] |]
+      ~labels:[| 0; 1 |]
+      ~weights:[| 1.0; 10.0 |]
+  in
+  let tree = Cart.train d in
+  checki "heavy class wins" 1 (Cart.predict tree [| 1.0 |])
+
+let test_predict_proba () =
+  let d = separable 100 in
+  let tree = Cart.train d in
+  let proba = Cart.predict_proba tree [| 0.0; 0.0 |] in
+  checkf "probabilities sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 proba)
+
+let test_render () =
+  let d = separable 100 in
+  let tree = Cart.train d in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go k = k + m <= n && (String.equal (String.sub s k m) sub || go (k + 1)) in
+    go 0
+  in
+  let text = Render.ascii d tree in
+  checkb "mentions feature name" true (contains text "value");
+  checkb "mentions class name" true (contains text "class:");
+  let dot = Render.dot d tree in
+  checkb "dot output well-formed" true (contains dot "digraph")
+
+let prop_predictions_valid =
+  QCheck2.Test.make ~name:"predictions are valid classes" ~count:50
+    QCheck2.Gen.(int_range 2 200)
+    (fun n ->
+      let d = separable n in
+      let tree = Cart.train d in
+      Array.for_all
+        (fun f ->
+          let c = Cart.predict tree f in
+          c >= 0 && c < 2)
+        d.Dataset.features)
+
+let () =
+  Alcotest.run "mltree"
+    [
+      ( "cart",
+        [
+          Alcotest.test_case "gini" `Quick test_gini;
+          Alcotest.test_case "dataset validation" `Quick test_dataset_validation;
+          Alcotest.test_case "separable data" `Quick test_separable_perfect;
+          Alcotest.test_case "pure data stump" `Quick test_stump_on_pure_data;
+          Alcotest.test_case "max depth" `Quick test_max_depth_respected;
+          Alcotest.test_case "weights" `Quick test_weights_matter;
+          Alcotest.test_case "predict proba" `Quick test_predict_proba;
+          Alcotest.test_case "render" `Quick test_render;
+          QCheck_alcotest.to_alcotest prop_predictions_valid;
+        ] );
+    ]

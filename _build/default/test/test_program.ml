@@ -1,0 +1,404 @@
+(* Tests for the program layer: assembler, disassembler, basic-block
+   maps, CFG and processes. *)
+
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_program.Asm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_program =
+  [
+    func "main"
+      [
+        i Mnemonic.MOV [ rcx; imm 10 ];
+        label "loop";
+        i Mnemonic.ADD [ rax; imm 1 ];
+        i Mnemonic.DEC [ rcx ];
+        i Mnemonic.JNZ [ L "loop" ];
+        i Mnemonic.CALL_NEAR [ L "leaf" ];
+        i Mnemonic.RET_NEAR [];
+      ];
+    func "leaf" [ i Mnemonic.XOR [ rax; rax ]; i Mnemonic.RET_NEAR [] ];
+  ]
+
+let assemble_small () =
+  assemble ~name:"small" ~base:0x1000 ~ring:Ring.User small_program
+
+(* ------------------------------------------------------------------ *)
+(* Assembler                                                           *)
+
+let test_assemble_symbols () =
+  let img = assemble_small () in
+  checki "two symbols" 2 (List.length img.Image.symbols);
+  let main = Option.get (Image.find_symbol img "main") in
+  checki "main at base" 0x1000 main.Symbol.addr;
+  let leaf = Option.get (Image.find_symbol img "leaf") in
+  checkb "leaf after main" true (leaf.Symbol.addr > main.Symbol.addr);
+  checki "symbols cover image" (Image.size img)
+    (List.fold_left (fun acc (s : Symbol.t) -> acc + s.size) 0 img.Image.symbols)
+
+let test_duplicate_label () =
+  let bad = [ func "f" [ label "x"; label "x"; i Mnemonic.RET_NEAR [] ] ] in
+  match assemble ~name:"bad" ~base:0 ~ring:Ring.User bad with
+  | exception Asm_error _ -> ()
+  | _ -> Alcotest.fail "expected Asm_error"
+
+let test_unresolved_label () =
+  let bad = [ func "f" [ i Mnemonic.JMP [ L "nowhere" ] ] ] in
+  match assemble ~name:"bad" ~base:0 ~ring:Ring.User bad with
+  | exception Asm_error _ -> ()
+  | _ -> Alcotest.fail "expected Asm_error"
+
+let test_label_addresses () =
+  let addrs =
+    label_addresses ~name:"small" ~base:0x1000 ~ring:Ring.User small_program
+  in
+  checkb "has loop label" true (List.mem_assoc "loop" addrs);
+  checkb "has function labels" true (List.mem_assoc "leaf" addrs)
+
+(* ------------------------------------------------------------------ *)
+(* Disassembler                                                        *)
+
+let test_disasm_roundtrip () =
+  let img = assemble_small () in
+  match Disasm.image img with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Disasm.pp_error e)
+  | Ok decoded ->
+      checki "eight instructions" 8 (Array.length decoded);
+      (* Addresses are contiguous. *)
+      Array.iteri
+        (fun k (d : Disasm.decoded) ->
+          if k > 0 then
+            checki "contiguous"
+              (decoded.(k - 1).Disasm.addr + decoded.(k - 1).Disasm.len)
+              d.Disasm.addr)
+        decoded
+
+let test_branch_target_resolution () =
+  let img = assemble_small () in
+  let decoded = Result.get_ok (Disasm.image img) in
+  let jnz =
+    Array.to_list decoded
+    |> List.find (fun (d : Disasm.decoded) ->
+           Mnemonic.equal d.instr.Instruction.mnemonic Mnemonic.JNZ)
+  in
+  let target = Option.get (Disasm.branch_target jnz) in
+  let addrs =
+    label_addresses ~name:"small" ~base:0x1000 ~ring:Ring.User small_program
+  in
+  checki "jnz targets loop label" (List.assoc "loop" addrs) target
+
+(* ------------------------------------------------------------------ *)
+(* Basic-block map                                                     *)
+
+let test_bb_map_partition () =
+  let img = assemble_small () in
+  let map = Bb_map.of_image_exn img in
+  let decoded = Result.get_ok (Disasm.image img) in
+  checki "instruction conservation" (Array.length decoded)
+    (Bb_map.instruction_count map);
+  (* Every instruction address belongs to exactly one block. *)
+  Array.iter
+    (fun (d : Disasm.decoded) ->
+      match Bb_map.block_at map d.addr with
+      | None -> Alcotest.fail "instruction outside any block"
+      | Some b ->
+          checkb "index found" true
+            (Option.is_some (Basic_block.instr_index b d.addr)))
+    decoded;
+  (* Blocks are disjoint and sorted. *)
+  let blocks = Bb_map.blocks map in
+  Array.iteri
+    (fun k b ->
+      if k > 0 then
+        checkb "sorted disjoint" true
+          (Basic_block.end_addr blocks.(k - 1) <= b.Basic_block.addr))
+    blocks
+
+let test_bb_map_leaders () =
+  let img = assemble_small () in
+  let map = Bb_map.of_image_exn img in
+  (* main: [mov rcx] [add/dec/jnz] [call] [ret]; leaf: [xor/ret] -> but
+     xor;ret has a RET terminator so leaf is one block of 2. *)
+  checki "block count" 5 (Bb_map.block_count map);
+  let addrs =
+    label_addresses ~name:"small" ~base:0x1000 ~ring:Ring.User small_program
+  in
+  let loop_block =
+    Option.get (Bb_map.block_starting_at map (List.assoc "loop" addrs))
+  in
+  checki "loop block has 3 instrs" 3 (Basic_block.length loop_block);
+  match loop_block.Basic_block.term with
+  | Basic_block.Term_cond t -> checki "backedge" (List.assoc "loop" addrs) t
+  | _ -> Alcotest.fail "expected conditional terminator"
+
+let test_next_block_chain () =
+  let img = assemble_small () in
+  let map = Bb_map.of_image_exn img in
+  let first = Bb_map.block map 0 in
+  let second = Option.get (Bb_map.next_block map first) in
+  checki "chain address" (Basic_block.end_addr first) second.Basic_block.addr;
+  let last = Bb_map.block map (Bb_map.block_count map - 1) in
+  checkb "last has no next" true (Option.is_none (Bb_map.next_block map last))
+
+(* ------------------------------------------------------------------ *)
+(* CFG                                                                 *)
+
+let test_dominators () =
+  let img = assemble_small () in
+  let map = Bb_map.of_image_exn img in
+  let cfg = Cfg.of_bb_map map in
+  let idom = Cfg.immediate_dominators cfg ~entry:0 in
+  checki "entry dominates itself" 0 idom.(0);
+  (* Every reachable block's idom chain terminates at the entry. *)
+  Array.iteri
+    (fun b d ->
+      if d >= 0 then checkb "entry dominates all" true (Cfg.dominates ~idom 0 b))
+    idom
+
+let test_natural_loops () =
+  let img = assemble_small () in
+  let map = Bb_map.of_image_exn img in
+  let cfg = Cfg.of_bb_map map in
+  let loops = Cfg.natural_loops cfg ~entry:0 in
+  checki "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  let addrs =
+    label_addresses ~name:"small" ~base:0x1000 ~ring:Ring.User small_program
+  in
+  let loop_block =
+    Option.get (Bb_map.block_starting_at map (List.assoc "loop" addrs))
+  in
+  checki "header is the loop label block" loop_block.Basic_block.id
+    l.Cfg.header;
+  checkb "header in body" true (List.mem l.Cfg.header l.Cfg.body);
+  checkb "self-latch" true (List.mem l.Cfg.header l.Cfg.latches);
+  checki "tight loop body" 1 (List.length l.Cfg.body)
+
+let test_nested_loops () =
+  (* Two-level nest: outer and inner both detected; inner body is a
+     subset of outer body. *)
+  let funcs =
+    [
+      func "main"
+        [
+          i Mnemonic.MOV [ rbx; imm 3 ];
+          label "outer";
+          i Mnemonic.MOV [ rcx; imm 5 ];
+          label "inner";
+          i Mnemonic.ADD [ rax; imm 1 ];
+          i Mnemonic.DEC [ rcx ];
+          i Mnemonic.JNZ [ L "inner" ];
+          i Mnemonic.DEC [ rbx ];
+          i Mnemonic.JNZ [ L "outer" ];
+          i Mnemonic.RET_NEAR [];
+        ];
+    ]
+  in
+  let img = assemble ~name:"nest" ~base:0x1000 ~ring:Ring.User funcs in
+  let map = Bb_map.of_image_exn img in
+  let cfg = Cfg.of_bb_map map in
+  let loops = Cfg.natural_loops cfg ~entry:0 in
+  checki "two loops" 2 (List.length loops);
+  let outer =
+    List.find (fun l -> List.length l.Cfg.body > 1) loops
+  and inner = List.find (fun l -> List.length l.Cfg.body = 1) loops in
+  checkb "inner inside outer" true
+    (List.for_all (fun b -> List.mem b outer.Cfg.body) inner.Cfg.body)
+
+let test_cfg_edges () =
+  let img = assemble_small () in
+  let map = Bb_map.of_image_exn img in
+  let cfg = Cfg.of_bb_map map in
+  (* Loop block: taken edge to itself, fallthrough to the call block. *)
+  let addrs =
+    label_addresses ~name:"small" ~base:0x1000 ~ring:Ring.User small_program
+  in
+  let loop_block =
+    Option.get (Bb_map.block_starting_at map (List.assoc "loop" addrs))
+  in
+  let succs = Cfg.successors cfg loop_block.Basic_block.id in
+  checki "two successors" 2 (List.length succs);
+  checkb "self edge" true
+    (List.exists (fun (s, k) -> s = loop_block.Basic_block.id && k = Cfg.Taken) succs);
+  let reach = Cfg.reachable_from cfg 0 in
+  checkb "all blocks reachable from entry" true (Array.for_all Fun.id reach)
+
+(* ------------------------------------------------------------------ *)
+(* Process                                                             *)
+
+let test_process_overlap () =
+  let a = assemble ~name:"a" ~base:0x1000 ~ring:Ring.User small_program in
+  let b = assemble ~name:"b" ~base:0x1004 ~ring:Ring.User small_program in
+  match Process.create [ a; b ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected overlap rejection"
+
+let test_process_resolve () =
+  let a = assemble ~name:"a" ~base:0x1000 ~ring:Ring.User small_program in
+  let b = assemble ~name:"b" ~base:0x10000 ~ring:Ring.Kernel small_program in
+  let p = Process.create [ a; b ] in
+  (match Process.resolve p 0x1000 with
+  | Some (img, Some sym) ->
+      Alcotest.(check string) "image" "a" img.Image.name;
+      Alcotest.(check string) "symbol" "main" sym.Symbol.name
+  | _ -> Alcotest.fail "resolution failed");
+  checki "user images" 1 (List.length (Process.user_images p));
+  checki "kernel images" 1 (List.length (Process.kernel_images p));
+  checkb "unmapped address" true (Option.is_none (Process.resolve p 0x500))
+
+let test_image_patch () =
+  let a = assemble ~name:"a" ~base:0x1000 ~ring:Ring.User small_program in
+  let patched_code = Bytes.copy a.Image.code in
+  Bytes.set_uint8 patched_code 0 0xAB;
+  let live = Image.make ~name:"a" ~base:0x1000 ~code:patched_code
+      ~symbols:a.Image.symbols ~ring:Ring.User in
+  let patched = Image.patch_code a ~from_image:live in
+  checki "patched byte" 0xAB (Bytes.get_uint8 patched.Image.code 0);
+  (* Mismatched layout is rejected. *)
+  let other = assemble ~name:"a" ~base:0x2000 ~ring:Ring.User small_program in
+  match Image.patch_code a ~from_image:other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected layout mismatch rejection"
+
+(* ------------------------------------------------------------------ *)
+(* Property: random synthetic programs partition cleanly.              *)
+
+let prop_bb_partition =
+  QCheck2.Test.make ~name:"bb map partitions any synthetic program" ~count:30
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let ctx = Hbbp_workloads.Codegen.create_ctx ~seed:(Int64.of_int seed) in
+      let funcs =
+        Hbbp_workloads.Codegen.synthetic_funcs ctx ~name:"p" ~helpers:2
+          {
+            Hbbp_workloads.Codegen.blocks = 10;
+            mean_len = 4;
+            len_jitter = 2;
+            iterations = 1;
+            call_rate = 0.3;
+            indirect_calls = false;
+            profile = Hbbp_workloads.Codegen.int_only;
+          }
+      in
+      let img = assemble ~name:"p" ~base:0x400000 ~ring:Ring.User funcs in
+      let map = Bb_map.of_image_exn img in
+      let decoded = Result.get_ok (Disasm.image img) in
+      Bb_map.instruction_count map = Array.length decoded
+      && Array.for_all
+           (fun (d : Disasm.decoded) ->
+             Option.is_some (Bb_map.block_at map d.addr))
+           decoded)
+
+(* The assembler and disassembler agree on every synthetic program: the
+   decoded mnemonic stream equals the emitted one. *)
+let prop_asm_disasm_agree =
+  QCheck2.Test.make ~name:"asm/disasm mnemonic streams agree" ~count:20
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let ctx = Hbbp_workloads.Codegen.create_ctx ~seed:(Int64.of_int seed) in
+      let funcs =
+        Hbbp_workloads.Codegen.synthetic_funcs ctx ~name:"p" ~helpers:1
+          {
+            Hbbp_workloads.Codegen.blocks = 6;
+            mean_len = 5;
+            len_jitter = 3;
+            iterations = 1;
+            call_rate = 0.2;
+            indirect_calls = false;
+            profile =
+              { Hbbp_workloads.Codegen.fp = Hbbp_workloads.Codegen.Mixed_fp;
+                fp_rate = 0.3; mem_rate = 0.2; long_rate = 0.05;
+                simd_int_rate = 0.1 };
+          }
+      in
+      let emitted =
+        List.concat_map
+          (fun (f : Asm.func) ->
+            List.filter_map
+              (function Asm.Ins (m, _) -> Some m | Asm.Label _ -> None)
+              f.Asm.body)
+          funcs
+      in
+      let img = assemble ~name:"p" ~base:0x400000 ~ring:Ring.User funcs in
+      let decoded = Result.get_ok (Disasm.image img) in
+      let got =
+        Array.to_list decoded
+        |> List.map (fun (d : Disasm.decoded) -> d.instr.Instruction.mnemonic)
+      in
+      List.length emitted = List.length got
+      && List.for_all2 Mnemonic.equal emitted got)
+
+(* CFG edges reference valid block ids and mirror into predecessors. *)
+let prop_cfg_well_formed =
+  QCheck2.Test.make ~name:"cfg edges well-formed" ~count:20
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let ctx = Hbbp_workloads.Codegen.create_ctx ~seed:(Int64.of_int seed) in
+      let funcs =
+        Hbbp_workloads.Codegen.synthetic_funcs ctx ~name:"p" ~helpers:2
+          {
+            Hbbp_workloads.Codegen.blocks = 8;
+            mean_len = 4;
+            len_jitter = 2;
+            iterations = 1;
+            call_rate = 0.3;
+            indirect_calls = false;
+            profile = Hbbp_workloads.Codegen.int_only;
+          }
+      in
+      let img = assemble ~name:"p" ~base:0x400000 ~ring:Ring.User funcs in
+      let map = Bb_map.of_image_exn img in
+      let cfg = Cfg.of_bb_map map in
+      let n = Bb_map.block_count map in
+      let ok = ref true in
+      for b = 0 to n - 1 do
+        List.iter
+          (fun (s, _) ->
+            if s < 0 || s >= n then ok := false
+            else if not (List.mem b (Cfg.predecessors cfg s)) then ok := false)
+          (Cfg.successors cfg b)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "program"
+    [
+      ( "asm",
+        [
+          Alcotest.test_case "symbols" `Quick test_assemble_symbols;
+          Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+          Alcotest.test_case "unresolved label" `Quick test_unresolved_label;
+          Alcotest.test_case "label addresses" `Quick test_label_addresses;
+        ] );
+      ( "disasm",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_disasm_roundtrip;
+          Alcotest.test_case "branch targets" `Quick
+            test_branch_target_resolution;
+        ] );
+      ( "bb_map",
+        [
+          Alcotest.test_case "partition" `Quick test_bb_map_partition;
+          Alcotest.test_case "leaders" `Quick test_bb_map_leaders;
+          Alcotest.test_case "next chain" `Quick test_next_block_chain;
+          QCheck_alcotest.to_alcotest prop_bb_partition;
+          QCheck_alcotest.to_alcotest prop_asm_disasm_agree;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "edges" `Quick test_cfg_edges;
+          Alcotest.test_case "dominators" `Quick test_dominators;
+          Alcotest.test_case "natural loops" `Quick test_natural_loops;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          QCheck_alcotest.to_alcotest prop_cfg_well_formed;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "overlap" `Quick test_process_overlap;
+          Alcotest.test_case "resolve" `Quick test_process_resolve;
+          Alcotest.test_case "patch" `Quick test_image_patch;
+        ] );
+    ]

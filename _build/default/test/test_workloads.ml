@@ -1,0 +1,249 @@
+(* Tests for the workload suite: every program must assemble, run to
+   completion within budget, and exhibit its designed characteristics. *)
+
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_cpu
+open Hbbp_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let run_workload (w : Workload.t) =
+  let machine = Machine.create ~process:w.Workload.live_process () in
+  let stats =
+    Machine.run machine ~entry:w.Workload.entry
+      ~max_instructions:200_000_000 ()
+  in
+  (machine, stats)
+
+let test_spec_names_unique () =
+  let names = Hbbp_workloads.Spec.names in
+  checki "all distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  checkb "contains povray" true (List.mem "povray" names);
+  checkb "contains omnetpp" true (List.mem "omnetpp" names);
+  checkb "buggy benchmark is in the suite" true
+    (List.mem Hbbp_workloads.Spec.buggy_benchmark names)
+
+let test_spec_unknown () =
+  match Hbbp_workloads.Spec.find "doom" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unknown-benchmark rejection"
+
+let test_spec_runs () =
+  (* A sample across characteristics; the full suite runs in bench. *)
+  List.iter
+    (fun name ->
+      let w = Hbbp_workloads.Spec.find name in
+      let _, stats = run_workload w in
+      checkb (name ^ " retires ~millions") true
+        (stats.Machine.retired > 1_000_000
+        && stats.Machine.retired < 50_000_000))
+    [ "bzip2"; "povray"; "lbm"; "omnetpp" ]
+
+let test_spec_determinism () =
+  let run () =
+    let w = Hbbp_workloads.Spec.find "mcf" in
+    let _, stats = run_workload w in
+    stats.Machine.retired
+  in
+  checki "identical retirement counts" (run ()) (run ())
+
+let test_test40_shape () =
+  let w = Hbbp_workloads.Test40.workload () in
+  let _, stats = run_workload w in
+  checkb "short-block OO code is branchy" true
+    (float_of_int stats.Machine.taken_branches
+     /. float_of_int stats.Machine.retired
+    > 0.10)
+
+let test_hydro_is_vector_heavy () =
+  let w = Hbbp_workloads.Hydro.workload () in
+  let img = List.hd (Process.images w.Workload.live_process) in
+  let decoded = Result.get_ok (Disasm.image img) in
+  let vector =
+    Array.fold_left
+      (fun acc (d : Disasm.decoded) ->
+        match Mnemonic.isa_set d.instr.Instruction.mnemonic with
+        | Mnemonic.Avx | Mnemonic.Avx2 -> acc + 1
+        | _ -> acc)
+      0 decoded
+  in
+  checkb "mostly AVX statically" true
+    (float_of_int vector /. float_of_int (Array.length decoded) > 0.3)
+
+let test_fitter_variants () =
+  List.iter
+    (fun v ->
+      let w = Hbbp_workloads.Fitter.workload v in
+      let _, stats = run_workload w in
+      checkb
+        (Hbbp_workloads.Fitter.variant_name v ^ " runs")
+        true
+        (stats.Machine.retired > 500_000))
+    Hbbp_workloads.Fitter.all_variants
+
+let test_fitter_quirk_tuning () =
+  (* The SSE build must contain a quirky branch; the AVX build none. *)
+  let model = Pmu_model.default in
+  let branches variant =
+    let w = Hbbp_workloads.Fitter.workload variant in
+    let img = List.hd (Process.images w.Workload.live_process) in
+    let decoded = Result.get_ok (Disasm.image img) in
+    Array.to_list decoded
+    |> List.filter_map (fun (d : Disasm.decoded) ->
+           if Instruction.is_branch d.instr then Some d.addr else None)
+  in
+  checkb "sse has a quirky branch" true
+    (List.exists (Pmu_model.is_quirk_branch model)
+       (branches Hbbp_workloads.Fitter.Sse));
+  checkb "avx is quirk-free" true
+    (List.for_all
+       (fun a -> not (Pmu_model.is_quirk_branch model a))
+       (branches Hbbp_workloads.Fitter.Avx))
+
+let test_fitter_noinline_calls () =
+  let calls variant =
+    let w = Hbbp_workloads.Fitter.workload variant in
+    let machine = Machine.create ~process:w.Workload.live_process () in
+    let pmu =
+      Pmu.create Pmu_model.default
+        [ { Pmu.event = Pmu_event.Inst_retired_any; mode = Pmu.Counting } ]
+    in
+    Machine.add_observer machine (Pmu.observer pmu);
+    let stats = Machine.run machine ~entry:w.Workload.entry () in
+    stats.Machine.taken_branches
+  in
+  checkb "broken build takes far more branches (calls)" true
+    (calls Hbbp_workloads.Fitter.Avx_noinline
+    > 3 * calls Hbbp_workloads.Fitter.Avx)
+
+let test_clforward_packing_shift () =
+  let static_counts variant =
+    let w = Hbbp_workloads.Clforward.workload variant in
+    let img = List.hd (Process.images w.Workload.live_process) in
+    let decoded = Result.get_ok (Disasm.image img) in
+    let scalar = ref 0 and packed = ref 0 in
+    Array.iter
+      (fun (d : Disasm.decoded) ->
+        match Mnemonic.packing d.instr.Instruction.mnemonic with
+        | Mnemonic.Scalar_fp -> incr scalar
+        | Mnemonic.Packed -> incr packed
+        | Mnemonic.Not_vector -> ())
+      decoded;
+    (!scalar, !packed)
+  in
+  let s_before, _ = static_counts Hbbp_workloads.Clforward.Before in
+  let s_after, p_after = static_counts Hbbp_workloads.Clforward.After in
+  checkb "before is scalar" true (s_before > 0);
+  checkb "after is packed" true (p_after > s_after)
+
+let test_clforward_speedup () =
+  let cycles variant =
+    let w = Hbbp_workloads.Clforward.workload variant in
+    let _, stats = run_workload w in
+    stats.Machine.cycles
+  in
+  checkb "after is faster" true
+    (cycles Hbbp_workloads.Clforward.After
+    < cycles Hbbp_workloads.Clforward.Before)
+
+let test_kernelbench_prime_count () =
+  (* The user-space prime search leaves the prime count in R8; check it
+     against an OCaml sieve for primes in (2, 600]. *)
+  let w = Hbbp_workloads.Kernelbench.workload () in
+  let machine = Machine.create ~process:w.Workload.live_process () in
+  let img =
+    Option.get (Process.find_image w.Workload.live_process "hello")
+  in
+  let entry =
+    (Option.get (Image.find_symbol img Hbbp_workloads.Kernelbench.user_function))
+      .Symbol.addr
+  in
+  let _ = Machine.run machine ~entry () in
+  let expected =
+    let is_prime n =
+      let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+      n >= 2 && go 2
+    in
+    let c = ref 0 in
+    for n = 3 to Hbbp_workloads.Kernelbench.prime_limit do
+      if n mod 2 = 1 && is_prime n then incr c
+    done;
+    !c
+  in
+  Alcotest.(check int64)
+    "prime count matches sieve" (Int64.of_int expected)
+    (State.get_gpr (Machine.state machine) Operand.R8)
+
+let test_kernelbench_rings () =
+  let w = Hbbp_workloads.Kernelbench.workload () in
+  let _, stats = run_workload w in
+  checkb "substantial kernel share" true
+    (stats.Machine.kernel_retired > stats.Machine.retired / 4);
+  checkb "substantial user share" true
+    (stats.Machine.retired - stats.Machine.kernel_retired
+    > stats.Machine.retired / 4)
+
+let test_kernelbench_disk_vs_live () =
+  let w = Hbbp_workloads.Kernelbench.workload () in
+  checkb "analysis and live processes differ" true
+    (w.Workload.analysis_process != w.Workload.live_process);
+  let disk =
+    Option.get (Process.find_image w.Workload.analysis_process "vmlinux")
+  in
+  let live = Option.get (Process.find_image w.Workload.live_process "vmlinux") in
+  checkb "kernel text differs" false (Bytes.equal disk.Image.code live.Image.code)
+
+let test_training_corpus_size () =
+  let n = Hbbp_workloads.Training_set.total_static_blocks () in
+  checkb "about 1,100 blocks (paper)" true (n > 800 && n < 1500)
+
+let test_training_runs () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let _, stats = run_workload w in
+      checkb (w.Workload.name ^ " runs") true (stats.Machine.retired > 500_000))
+    (Hbbp_workloads.Training_set.all ())
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "names" `Quick test_spec_names_unique;
+          Alcotest.test_case "unknown" `Quick test_spec_unknown;
+          Alcotest.test_case "runs" `Slow test_spec_runs;
+          Alcotest.test_case "determinism" `Slow test_spec_determinism;
+        ] );
+      ( "scientific",
+        [
+          Alcotest.test_case "test40 shape" `Slow test_test40_shape;
+          Alcotest.test_case "hydro vector-heavy" `Quick
+            test_hydro_is_vector_heavy;
+        ] );
+      ( "fitter",
+        [
+          Alcotest.test_case "variants run" `Slow test_fitter_variants;
+          Alcotest.test_case "quirk tuning" `Quick test_fitter_quirk_tuning;
+          Alcotest.test_case "noinline calls" `Slow test_fitter_noinline_calls;
+        ] );
+      ( "clforward",
+        [
+          Alcotest.test_case "packing shift" `Quick test_clforward_packing_shift;
+          Alcotest.test_case "speedup" `Quick test_clforward_speedup;
+        ] );
+      ( "kernelbench",
+        [
+          Alcotest.test_case "prime count" `Quick test_kernelbench_prime_count;
+          Alcotest.test_case "rings" `Slow test_kernelbench_rings;
+          Alcotest.test_case "disk vs live" `Quick test_kernelbench_disk_vs_live;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "corpus size" `Quick test_training_corpus_size;
+          Alcotest.test_case "all run" `Slow test_training_runs;
+        ] );
+    ]
