@@ -69,13 +69,10 @@ let cutoff_sweep ppf =
      sits where the paper's 18 does)@."
 
 (* Re-profile selected workloads under modified hardware models.  These
-   bypass the shared cache since the model differs. *)
+   bypass the shared cache since the model differs; the per-model runs
+   are independent, so they fan out over the bench domain pool. *)
 let model_ablation ppf =
   U.header ppf "Ablation 3: hardware artefact models";
-  let run name model =
-    let config = { Pipeline.default_config with model } in
-    Pipeline.run ~config (subject_workload name)
-  in
   let base = Pmu_model.default in
   let no_shadow = { base with Pmu_model.shadow_enabled = false } in
   let no_anomaly =
@@ -94,25 +91,39 @@ let model_ablation ppf =
         { Pmu_model.distances = [| 0 |]; weights = [| 1.0 |] };
     }
   in
+  let avx_variants =
+    [ ("full model", base); ("shadowing off", no_shadow);
+      ("zero precise skid", no_skid) ]
+  in
+  let sse_variants =
+    [ ("full model", base); ("LBR anomalies off", no_anomaly) ]
+  in
+  let runs =
+    List.map (fun (label, model) -> ("fitter-avx", label, model)) avx_variants
+    @ List.map (fun (label, model) -> ("fitter-sse", label, model)) sse_variants
+  in
+  let profiles =
+    Hbbp_util.Domain_pool.run ~jobs:!U.jobs
+      (fun (name, _, model) ->
+        let config = { Pipeline.default_config with model } in
+        Pipeline.run ~config (subject_workload name))
+      runs
+  in
+  let results =
+    List.map2 (fun (name, label, _) p -> ((name, label), p)) runs profiles
+  in
+  let row subject (label, _) =
+    let p = List.assoc (subject, label) results in
+    Format.fprintf ppf "%-26s %9.2f%% %9.2f%% %9.2f%%@." label
+      (100.0 *. U.ebs_error p) (100.0 *. U.lbr_error p)
+      (100.0 *. U.hbbp_error p)
+  in
   Format.fprintf ppf "%-26s %10s %10s %10s@." "model / fitter-avx" "EBS" "LBR"
     "HBBP";
-  List.iter
-    (fun (label, model) ->
-      let p = run "fitter-avx" model in
-      Format.fprintf ppf "%-26s %9.2f%% %9.2f%% %9.2f%%@." label
-        (100.0 *. U.ebs_error p) (100.0 *. U.lbr_error p)
-        (100.0 *. U.hbbp_error p))
-    [ ("full model", base); ("shadowing off", no_shadow);
-      ("zero precise skid", no_skid) ];
+  List.iter (row "fitter-avx") avx_variants;
   Format.fprintf ppf "@.%-26s %10s %10s %10s@." "model / fitter-sse" "EBS"
     "LBR" "HBBP";
-  List.iter
-    (fun (label, model) ->
-      let p = run "fitter-sse" model in
-      Format.fprintf ppf "%-26s %9.2f%% %9.2f%% %9.2f%%@." label
-        (100.0 *. U.ebs_error p) (100.0 *. U.lbr_error p)
-        (100.0 *. U.hbbp_error p))
-    [ ("full model", base); ("LBR anomalies off", no_anomaly) ];
+  List.iter (row "fitter-sse") sse_variants;
   Format.fprintf ppf
     "(with anomalies off LBR approaches ground truth — the artefacts, not \
      the estimator, are what HBBP works around; with shadowing off EBS \

@@ -1,11 +1,16 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation section from the simulated system, plus bechamel
-   microbenchmarks of the library itself.
+   microbenchmarks of the library itself and the parallel-sweep perf
+   bench.
 
    Usage:
-     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- -j 8          # everything, 8 domains
      dune exec bench/main.exe table3 figure2 micro
-*)
+     dune exec bench/main.exe pipeline         # writes BENCH_pipeline.json
+
+   Workload profiling fans out over a domain pool (-j N, or HBBP_JOBS,
+   or the host core count); results are identical for every N. *)
 
 let all : (string * (Format.formatter -> unit)) list =
   [
@@ -23,15 +28,34 @@ let all : (string * (Format.formatter -> unit)) list =
     ("figure4", Figures.figure4);
     ("ablation", Ablation.run);
     ("micro", Micro.run);
+    ("pipeline", Perf.run);
   ]
+
+(* Targets that never touch the profile cache; everything else benefits
+   from the parallel preload. *)
+let no_sweep = [ "table2"; "table4"; "micro"; "pipeline" ]
 
 let () =
   let ppf = Format.std_formatter in
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some jobs when jobs >= 1 ->
+            Bench_util.jobs := jobs;
+            parse_args acc rest
+        | Some _ | None ->
+            Format.fprintf ppf "invalid -j value %S@." n;
+            exit 2)
+    | name :: rest -> parse_args (name :: acc) rest
   in
+  let requested =
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all
+    | names -> names
+  in
+  if List.exists (fun name -> not (List.mem name no_sweep)) requested then
+    Bench_util.preload ();
   List.iter
     (fun name ->
       match List.assoc_opt name all with

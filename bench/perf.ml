@@ -1,0 +1,117 @@
+(* Performance trend bench: times the full table sweep at -j 1 vs -j N,
+   checks that the parallel profiles are byte-identical to the
+   sequential ones, measures raw executor throughput, and writes the
+   results to BENCH_pipeline.json so future PRs have a machine-readable
+   perf trajectory. *)
+
+open Hbbp_core
+module U = Bench_util
+
+let now = Unix.gettimeofday
+
+(* Byte-identity of everything the tables/figures consume. *)
+let profiles_equal (a : Pipeline.profile) (b : Pipeline.profile) =
+  compare a.stats b.stats = 0
+  && a.clean_cycles = b.clean_cycles
+  && compare a.reference.counts b.reference.counts = 0
+  && compare a.ebs.Hbbp_analyzer.Ebs_estimator.bbec.counts
+       b.ebs.Hbbp_analyzer.Ebs_estimator.bbec.counts
+     = 0
+  && compare a.lbr.Hbbp_analyzer.Lbr_estimator.bbec.counts
+       b.lbr.Hbbp_analyzer.Lbr_estimator.bbec.counts
+     = 0
+  && compare a.hbbp.counts b.hbbp.counts = 0
+  && compare a.reference_mix b.reference_mix = 0
+  && compare a.pmu_counts b.pmu_counts = 0
+  && compare a.sde_total b.sde_total = 0
+  && a.sde_lost_kernel = b.sde_lost_kernel
+  && compare a.collection_overhead b.collection_overhead = 0
+  && compare a.sde_slowdown b.sde_slowdown = 0
+  && compare a.records b.records = 0
+
+let sweep ~jobs entries =
+  let t0 = now () in
+  let profiles =
+    Hbbp_util.Domain_pool.run ~jobs
+      (fun ((config, w) : Pipeline.config * Workload.t) ->
+        Pipeline.run ~config w)
+      entries
+  in
+  (profiles, now () -. t0)
+
+(* Raw Machine.run throughput (no observers): the single-run hot path
+   the Exec_graph dense lookup optimizes.  Best of three. *)
+let machine_throughput () =
+  let w = Hbbp_workloads.Fitter.workload Hbbp_workloads.Fitter.Sse in
+  let best = ref infinity and retired = ref 0 in
+  for _ = 1 to 3 do
+    let machine =
+      Hbbp_cpu.Machine.create ~process:w.Workload.live_process ()
+    in
+    let t0 = now () in
+    let stats = Hbbp_cpu.Machine.run machine ~entry:w.Workload.entry () in
+    let dt = now () -. t0 in
+    if dt < !best then best := dt;
+    retired := stats.Hbbp_cpu.Machine.retired
+  done;
+  (w.Workload.name, !retired, !best)
+
+let run ppf =
+  U.header ppf "Pipeline sweep: -j 1 vs -j N (writes BENCH_pipeline.json)";
+  let entries = U.sweep_entries () in
+  let par_jobs = max 2 !U.jobs in
+  let seq, seq_s = sweep ~jobs:1 entries in
+  let par, par_s = sweep ~jobs:par_jobs entries in
+  let identical = List.for_all2 profiles_equal seq par in
+  let retired =
+    List.fold_left
+      (fun acc (p : Pipeline.profile) ->
+        acc + p.stats.Hbbp_cpu.Machine.retired)
+      0 seq
+  in
+  let speedup = seq_s /. par_s in
+  let mname, mretired, mseconds = machine_throughput () in
+  let mrate = float_of_int mretired /. mseconds in
+  Format.fprintf ppf "%d workloads, %d retired instructions@."
+    (List.length entries) retired;
+  Format.fprintf ppf "-j 1: %8.2f s  (%.2fM retired/s)@." seq_s
+    (float_of_int retired /. seq_s /. 1e6);
+  Format.fprintf ppf "-j %d: %8.2f s  (%.2fM retired/s)  speedup %.2fx@."
+    par_jobs par_s
+    (float_of_int retired /. par_s /. 1e6)
+    speedup;
+  Format.fprintf ppf "profiles byte-identical across job counts: %b@."
+    identical;
+  Format.fprintf ppf "Machine.run (%s, no observers): %.2fM retired/s@."
+    mname (mrate /. 1e6);
+  if not identical then
+    failwith "BENCH pipeline: parallel profiles differ from sequential";
+  let oc = open_out "BENCH_pipeline.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "pipeline",
+  "host_recommended_domains": %d,
+  "workloads": %d,
+  "total_retired": %d,
+  "sequential": { "jobs": 1, "seconds": %.3f, "retired_per_sec": %.0f },
+  "parallel": { "jobs": %d, "seconds": %.3f, "retired_per_sec": %.0f },
+  "speedup": %.3f,
+  "profiles_identical": %b,
+  "machine_run": { "workload": "%s", "retired": %d, "seconds": %.4f, "retired_per_sec": %.0f }
+}
+|}
+    (Domain.recommended_domain_count ())
+    (List.length entries) retired seq_s
+    (float_of_int retired /. seq_s)
+    par_jobs par_s
+    (float_of_int retired /. par_s)
+    speedup identical mname mretired mseconds mrate;
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_pipeline.json@.";
+  (* The sweep already profiled everything: seed the shared cache so any
+     targets after this one in the same run are free. *)
+  List.iter2
+    (fun ((_, w) : Pipeline.config * Workload.t) p ->
+      if not (Hashtbl.mem U.cache w.Workload.name) then
+        Hashtbl.replace U.cache w.Workload.name p)
+    entries seq

@@ -37,21 +37,44 @@ let workload_arg =
     & pos 0 (some string) None
     & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,hbbp list)).")
 
+let workloads_arg =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"Workload name(s) (see $(b,hbbp list)).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to fan independent workload runs over (default: \
+           $(b,HBBP_JOBS) or the host's recommended domain count). \
+           Results are identical for every N.")
+
 let profile_cmd =
-  let run name =
-    let p = profile_of name in
-    Format.printf "%a@.@." Report.summary p;
-    Report.method_comparison Format.std_formatter p;
-    Format.printf "@.Top mnemonics (HBBP):@.";
-    Pivot.render Format.std_formatter
-      (Views.top_mnemonics 15 (Pipeline.full_mix_of p p.Pipeline.hbbp));
-    Format.printf "@.Per-mnemonic errors vs instrumentation:@.";
-    Report.error_table Format.std_formatter ~top:15 p p.Pipeline.hbbp
+  let run names jobs =
+    let ws = List.map Hbbp_workloads.Registry.find names in
+    let profiles = Pipeline.run_many ?jobs ws in
+    List.iter
+      (fun (p : Pipeline.profile) ->
+        Format.printf "%a@.@." Report.summary p;
+        Report.method_comparison Format.std_formatter p;
+        Format.printf "@.Top mnemonics (HBBP):@.";
+        Pivot.render Format.std_formatter
+          (Views.top_mnemonics 15 (Pipeline.full_mix_of p p.Pipeline.hbbp));
+        Format.printf "@.Per-mnemonic errors vs instrumentation:@.";
+        Report.error_table Format.std_formatter ~top:15 p p.Pipeline.hbbp)
+      profiles
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Profile a workload end to end and report accuracy/overheads")
-    Term.(const run $ workload_arg)
+       ~doc:
+         "Profile workload(s) end to end and report accuracy/overheads; \
+          multiple workloads run in parallel (-j)")
+    Term.(const run $ workloads_arg $ jobs_arg)
 
 (* ---- mix ----------------------------------------------------------- *)
 
@@ -157,11 +180,10 @@ let train_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz instead of ASCII.")
   in
-  let run dot =
-    let profiles =
-      List.map Pipeline.run (Hbbp_workloads.Training_set.all ())
+  let run dot jobs =
+    let tree, dataset =
+      Training.build ?jobs (Hbbp_workloads.Training_set.all ())
     in
-    let tree, dataset = Training.train profiles in
     if dot then print_string (Hbbp_mltree.Render.dot dataset tree)
     else begin
       print_string (Hbbp_mltree.Render.ascii dataset tree);
@@ -179,8 +201,10 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train"
-       ~doc:"Run the HBBP criteria search on the training corpus")
-    Term.(const run $ dot)
+       ~doc:
+         "Run the HBBP criteria search on the training corpus (profiled \
+          in parallel, -j)")
+    Term.(const run $ dot $ jobs_arg)
 
 (* ---- collect / analyze --------------------------------------------- *)
 
@@ -191,23 +215,30 @@ let output_arg =
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Archive path.")
 
 let collect_cmd =
-  let run name output =
-    let archive =
-      Pipeline.collect_archive (Hbbp_workloads.Registry.find name)
-    in
-    Hbbp_collector.Perf_data.save archive ~path:output;
-    Format.printf "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@."
-      output
-      (List.length archive.Hbbp_collector.Perf_data.records)
-      (List.length archive.Hbbp_collector.Perf_data.analysis_images)
-      archive.Hbbp_collector.Perf_data.ebs_period
-      archive.Hbbp_collector.Perf_data.lbr_period
+  let run names output jobs =
+    let ws = List.map Hbbp_workloads.Registry.find names in
+    let archives = Pipeline.collect_many ?jobs ws in
+    let single = match names with [ _ ] -> true | _ -> false in
+    List.iter2
+      (fun name (archive : Hbbp_collector.Perf_data.t) ->
+        let path = if single then output else name ^ ".hbbp" in
+        Hbbp_collector.Perf_data.save archive ~path;
+        Format.printf "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@."
+          path
+          (List.length archive.Hbbp_collector.Perf_data.records)
+          (List.length archive.Hbbp_collector.Perf_data.analysis_images)
+          archive.Hbbp_collector.Perf_data.ebs_period
+          archive.Hbbp_collector.Perf_data.lbr_period)
+      names archives
   in
   Cmd.v
     (Cmd.info "collect"
        ~doc:
-         "Run only the collection side (no instrumentation) and write a           portable perf.data-style archive")
-    Term.(const run $ workload_arg $ output_arg)
+         "Run only the collection side (no instrumentation) and write \
+          portable perf.data-style archives; with several workloads the \
+          collections run in parallel (-j) and each archive lands in \
+          $(i,WORKLOAD).hbbp")
+    Term.(const run $ workloads_arg $ output_arg $ jobs_arg)
 
 let archive_arg =
   Arg.(

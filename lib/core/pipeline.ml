@@ -167,6 +167,15 @@ let run ?(config = default_config) (w : Workload.t) =
     records;
   }
 
+(* Each task builds its own machine, PMU session, SDE and PRNG from the
+   workload alone, so fanning out over domains cannot perturb results:
+   the profile of a workload is a pure function of (workload, config). *)
+let run_many ?jobs ?(config = default_config) workloads =
+  Hbbp_util.Domain_pool.run ?jobs (fun w -> run ~config w) workloads
+
+let collect_many ?jobs ?(config = default_config) workloads =
+  Hbbp_util.Domain_pool.run ?jobs (fun w -> collect_archive ~config w) workloads
+
 let mix_of profile bbec = Mix.user_only (Mix.of_bbec profile.static bbec)
 let full_mix_of profile bbec = Mix.of_bbec profile.static bbec
 

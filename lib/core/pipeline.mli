@@ -50,6 +50,14 @@ type profile = {
 
 val run : ?config:config -> Workload.t -> profile
 
+(** [run_many ?jobs workloads] — profile every workload, fanned out over
+    a {!Hbbp_util.Domain_pool} of [jobs] domains (default: [HBBP_JOBS]
+    or the host's recommended domain count).  Results come back in input
+    order and are {b byte-identical} to sequential {!run} regardless of
+    [jobs]: every machine, PMU, SDE and PRNG is private to one task and
+    no mutable state crosses domains. *)
+val run_many : ?jobs:int -> ?config:config -> Workload.t list -> profile list
+
 (** {1 Offline analysis}
 
     The production split the paper describes: collection happens on the
@@ -77,6 +85,11 @@ val reconstruct :
 (** [collect_archive ?config workload] — run only the collection side and
     package it as a portable archive. *)
 val collect_archive : ?config:config -> Workload.t -> Perf_data.t
+
+(** [collect_many ?jobs workloads] — parallel {!collect_archive} with the
+    same determinism guarantee as {!run_many}. *)
+val collect_many :
+  ?jobs:int -> ?config:config -> Workload.t list -> Perf_data.t list
 
 (** [analyze_archive ?criteria archive] — offline analysis of a loaded
     archive (applies the live-kernel-text patch from the archive). *)

@@ -43,6 +43,9 @@ let train ?params ?min_exec profiles =
   let d = dataset all in
   (Hbbp_mltree.Cart.train ?params d, d)
 
+let build ?jobs ?params ?min_exec workloads =
+  train ?params ?min_exec (Pipeline.run_many ?jobs workloads)
+
 let learned_cutoff tree =
   match Hbbp_mltree.Cart.root_split tree with
   | Some (feature, threshold) when feature = Feature.index_block_length ->

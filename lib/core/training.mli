@@ -28,6 +28,17 @@ val train :
   Pipeline.profile list ->
   Hbbp_mltree.Cart.t * Hbbp_mltree.Dataset.t
 
+(** [build workloads] — profile the training workloads (in parallel over
+    [jobs] domains, see {!Pipeline.run_many}) and fit the criteria tree.
+    The profiling dominates the cost of the criteria search; the tree is
+    identical for every [jobs]. *)
+val build :
+  ?jobs:int ->
+  ?params:Hbbp_mltree.Cart.params ->
+  ?min_exec:float ->
+  Workload.t list ->
+  Hbbp_mltree.Cart.t * Hbbp_mltree.Dataset.t
+
 (** [learned_cutoff tree] — the root-split threshold when the root splits
     on block length (the paper's headline finding). *)
 val learned_cutoff : Hbbp_mltree.Cart.t -> float option

@@ -675,13 +675,15 @@ let step (st : State.t) (node : Exec_graph.node) =
       Fall
   | PSLLD ->
       let sh = float_of_int (1 lsl (int_of_imm ops.(1) land 31)) in
-      vec_unop st { i with Instruction.operands = [| ops.(0); ops.(0) |] }
-        (fun v -> v *. sh);
+      let lanes = lanes_of i in
+      let a = rd_vec st ~lanes ~wide:false ops.(0) in
+      wr_vec st ~wide:false ops.(0) (Array.map (fun v -> v *. sh) a);
       Fall
   | PSRLD ->
       let sh = float_of_int (1 lsl (int_of_imm ops.(1) land 31)) in
-      vec_unop st { i with Instruction.operands = [| ops.(0); ops.(0) |] }
-        (fun v -> v /. sh);
+      let lanes = lanes_of i in
+      let a = rd_vec st ~lanes ~wide:false ops.(0) in
+      wr_vec st ~wide:false ops.(0) (Array.map (fun v -> v /. sh) a);
       Fall
   (* ---- shuffles ---- *)
   | SHUFPS | VSHUFPS ->

@@ -6,6 +6,7 @@ type node = {
   instr : Instruction.t;
   len : int;
   ring : Ring.t;
+  kernel : bool;
   issue_cost : int;
   latency : int;
   long_latency : bool;
@@ -13,7 +14,13 @@ type node = {
   mutable target : node option;
 }
 
-type t = { nodes : (int, node) Hashtbl.t }
+(* One contiguous decoded image.  [slots] is indexed by [addr - base],
+   making [node_at] a range check plus an array load — the Hashtbl this
+   replaces was the dominant cost of resolving indirect branches (every
+   RET) on the [Machine.run] path. *)
+type segment = { base : int; limit : int; slots : node option array }
+
+type t = { segments : segment array; count : int }
 
 (* Retirement charge: one issue slot, plus a flat memory penalty, plus a
    fraction of long latencies that out-of-order execution cannot hide. *)
@@ -32,54 +39,88 @@ let issue_cost_of instr =
   in
   1 + mem + stall
 
+let node_at t addr =
+  let segments = t.segments in
+  let n = Array.length segments in
+  let rec find k =
+    if k >= n then None
+    else
+      let s = Array.unsafe_get segments k in
+      if addr >= s.base && addr < s.limit then
+        Array.unsafe_get s.slots (addr - s.base)
+      else find (k + 1)
+  in
+  find 0
+
 let build (process : Process.t) =
-  let nodes = Hashtbl.create 4096 in
-  let decode_image (img : Image.t) =
-    match Disasm.image img with
-    | Error e -> Error e
-    | Ok decoded ->
-        Array.iter
-          (fun (d : Disasm.decoded) ->
-            let latency = Latency.latency d.instr.mnemonic in
-            Hashtbl.replace nodes d.addr
-              {
-                addr = d.addr;
-                instr = d.instr;
-                len = d.len;
-                ring = img.ring;
-                issue_cost = issue_cost_of d.instr;
-                latency;
-                long_latency = latency >= Latency.long_latency_threshold;
-                fall = None;
-                target = None;
-              })
-          decoded;
-        Ok ()
+  let rec decode_all acc = function
+    | [] -> Ok (List.rev acc)
+    | (img : Image.t) :: rest -> (
+        match Disasm.image img with
+        | Error _ as e -> e
+        | Ok decoded -> decode_all ((img, decoded) :: acc) rest)
   in
-  let rec decode_all = function
-    | [] -> Ok ()
-    | img :: rest -> (
-        match decode_image img with
-        | Ok () -> decode_all rest
-        | Error _ as e -> e)
-  in
-  match decode_all (Process.images process) with
+  match decode_all [] (Process.images process) with
   | Error e -> Error e
-  | Ok () ->
-      Hashtbl.iter
-        (fun _ node ->
-          node.fall <- Hashtbl.find_opt nodes (node.addr + node.len);
-          match Instruction.rel_displacement node.instr with
-          | Some disp when Instruction.is_branch node.instr ->
-              node.target <- Hashtbl.find_opt nodes (node.addr + node.len + disp)
-          | Some _ | None -> ())
-        nodes;
-      Ok { nodes }
+  | Ok decoded_images ->
+      let count = ref 0 in
+      let segments =
+        List.filter_map
+          (fun ((img : Image.t), (decoded : Disasm.decoded array)) ->
+            if Array.length decoded = 0 then None
+            else begin
+              let lo = ref max_int and hi = ref min_int in
+              Array.iter
+                (fun (d : Disasm.decoded) ->
+                  if d.addr < !lo then lo := d.addr;
+                  if d.addr + d.len > !hi then hi := d.addr + d.len)
+                decoded;
+              let slots = Array.make (!hi - !lo) None in
+              let kernel = Ring.equal img.ring Ring.Kernel in
+              Array.iter
+                (fun (d : Disasm.decoded) ->
+                  let latency = Latency.latency d.instr.mnemonic in
+                  let node =
+                    {
+                      addr = d.addr;
+                      instr = d.instr;
+                      len = d.len;
+                      ring = img.ring;
+                      kernel;
+                      issue_cost = issue_cost_of d.instr;
+                      latency;
+                      long_latency = latency >= Latency.long_latency_threshold;
+                      fall = None;
+                      target = None;
+                    }
+                  in
+                  if slots.(d.addr - !lo) = None then incr count;
+                  slots.(d.addr - !lo) <- Some node)
+                decoded;
+              Some { base = !lo; limit = !hi; slots }
+            end)
+          decoded_images
+      in
+      let t = { segments = Array.of_list segments; count = !count } in
+      (* Link direct control-flow edges now that every node exists. *)
+      Array.iter
+        (fun s ->
+          Array.iter
+            (function
+              | None -> ()
+              | Some node -> (
+                  node.fall <- node_at t (node.addr + node.len);
+                  match Instruction.rel_displacement node.instr with
+                  | Some disp when Instruction.is_branch node.instr ->
+                      node.target <- node_at t (node.addr + node.len + disp)
+                  | Some _ | None -> ()))
+            s.slots)
+        t.segments;
+      Ok t
 
 let build_exn process =
   match build process with
   | Ok t -> t
   | Error e -> failwith (Format.asprintf "%a" Disasm.pp_error e)
 
-let node_at t addr = Hashtbl.find_opt t.nodes addr
-let node_count t = Hashtbl.length t.nodes
+let node_count t = t.count

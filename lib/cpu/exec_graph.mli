@@ -12,6 +12,7 @@ type node = {
   instr : Instruction.t;
   len : int;
   ring : Ring.t;
+  kernel : bool;  (** [Ring.equal ring Kernel], precomputed for the run loop. *)
   issue_cost : int;  (** Cycles the retirement itself charges. *)
   latency : int;  (** Full result latency; drives the shadow model. *)
   long_latency : bool;
@@ -27,5 +28,9 @@ type t
 val build : Process.t -> (t, Disasm.error) result
 
 val build_exn : Process.t -> t
+
+(** [node_at t addr] — O(1): a per-image range check plus a dense
+    base-offset array load.  No hashing on the execution path. *)
 val node_at : t -> int -> node option
+
 val node_count : t -> int

@@ -26,7 +26,9 @@ type t = {
   graph : Exec_graph.t;
   st : State.t;
   process : Process.t;
-  mutable observers : observer array;
+  mutable observers_rev : observer list;
+      (* Accumulated in reverse; frozen to an array at [run] time so
+         [add_observer] stays O(1) instead of re-copying an array. *)
   kernel_entry : int option;
   scratch : retirement;
 }
@@ -58,7 +60,7 @@ let create ~process ?(seed = 42L) () =
     graph;
     st;
     process;
-    observers = [||];
+    observers_rev = [];
     kernel_entry;
     scratch =
       {
@@ -74,8 +76,7 @@ let create ~process ?(seed = 42L) () =
 let state t = t.st
 let process t = t.process
 
-let add_observer t obs =
-  t.observers <- Array.append t.observers [| obs |]
+let add_observer t obs = t.observers_rev <- obs :: t.observers_rev
 
 (* The sentinel "return address" pushed below the entry frame: returning
    to it ends the run. *)
@@ -93,7 +94,7 @@ let run t ~entry ?(max_instructions = 2_000_000_000) () =
   let shadow_until = ref 0 in
   let taken_branches = ref 0 in
   let kernel_retired = ref 0 in
-  let observers = t.observers in
+  let observers = Array.of_list (List.rev t.observers_rev) in
   let nobs = Array.length observers in
   let scratch = t.scratch in
   let node0 =
@@ -101,6 +102,28 @@ let run t ~entry ?(max_instructions = 2_000_000_000) () =
     | Some n -> n
     | None -> fault "entry point %#x is not mapped code" entry
   in
+  (* Resolve the node for a taken-branch target: per-node target cache
+     first, dense lookup only on a miss. *)
+  let resolve (node : Exec_graph.node) tgt =
+    match node.target with
+    | Some tn when tn.Exec_graph.addr = tgt -> tn
+    | Some _ | None -> (
+        match Exec_graph.node_at t.graph tgt with
+        | Some n -> n
+        | None -> fault "branch to unmapped address %#x" tgt)
+  in
+  let notify (node : Exec_graph.node) shadow_active =
+    scratch.node <- node;
+    scratch.retired_index <- !retired - 1;
+    scratch.cycles <- !cycles;
+    scratch.shadow_active <- shadow_active;
+    for k = 0 to nobs - 1 do
+      observers.(k) scratch
+    done
+  in
+  (* One dispatch on [control] per retirement does everything: branch
+     accounting, observer notification (scratch updates are skipped
+     entirely when nobody listens), next-node resolution. *)
   let rec loop (node : Exec_graph.node) =
     if !retired >= max_instructions then raise (Runaway !retired);
     st.ip <- node.addr;
@@ -113,64 +136,55 @@ let run t ~entry ?(max_instructions = 2_000_000_000) () =
       if until > !shadow_until then shadow_until := until
     end;
     incr retired;
-    if Ring.equal node.ring Ring.Kernel then incr kernel_retired;
-    let next_addr =
-      match control with
-      | Exec.Fall -> node.addr + node.len
-      | Exec.Taken tgt ->
-          incr taken_branches;
+    if node.kernel then incr kernel_retired;
+    match control with
+    | Exec.Fall -> (
+        if nobs > 0 then begin
+          scratch.taken_src <- -1;
+          scratch.taken_tgt <- -1;
+          notify node shadow_active
+        end;
+        match node.fall with
+        | Some n -> loop n
+        | None ->
+            fault "execution fell off code at %#x" (node.addr + node.len))
+    | Exec.Taken tgt ->
+        incr taken_branches;
+        if nobs > 0 then begin
           scratch.taken_src <- node.addr;
           scratch.taken_tgt <- tgt;
-          tgt
-      | Exec.Syscall_enter ra -> (
-          match t.kernel_entry with
-          | None -> fault "SYSCALL with no kernel mapped (at %#x)" node.addr
-          | Some kentry ->
-              State.set_gpr st Operand.RCX (Int64.of_int ra);
-              st.ring <- Ring.Kernel;
-              incr taken_branches;
+          notify node shadow_active
+        end;
+        (* Returning to the sentinel frame ends the run. *)
+        if tgt <> sentinel then loop (resolve node tgt)
+    | Exec.Syscall_enter ra -> (
+        match t.kernel_entry with
+        | None -> fault "SYSCALL with no kernel mapped (at %#x)" node.addr
+        | Some kentry ->
+            State.set_gpr st Operand.RCX (Int64.of_int ra);
+            st.ring <- Ring.Kernel;
+            incr taken_branches;
+            if nobs > 0 then begin
               scratch.taken_src <- node.addr;
               scratch.taken_tgt <- kentry;
-              kentry)
-      | Exec.Sysret_exit tgt ->
-          st.ring <- Ring.User;
-          incr taken_branches;
+              notify node shadow_active
+            end;
+            loop (resolve node kentry))
+    | Exec.Sysret_exit tgt ->
+        st.ring <- Ring.User;
+        incr taken_branches;
+        if nobs > 0 then begin
           scratch.taken_src <- node.addr;
           scratch.taken_tgt <- tgt;
-          tgt
-      | Exec.Halt -> sentinel
-    in
-    (match control with
-    | Exec.Fall | Exec.Halt ->
-        scratch.taken_src <- -1;
-        scratch.taken_tgt <- -1
-    | Exec.Taken _ | Exec.Syscall_enter _ | Exec.Sysret_exit _ -> ());
-    scratch.node <- node;
-    scratch.retired_index <- !retired - 1;
-    scratch.cycles <- !cycles;
-    scratch.shadow_active <- shadow_active;
-    for k = 0 to nobs - 1 do
-      observers.(k) scratch
-    done;
-    if next_addr <> sentinel then begin
-      let next =
-        match control with
-        | Exec.Fall -> (
-            match node.fall with
-            | Some n -> n
-            | None -> fault "execution fell off code at %#x" next_addr)
-        | Exec.Taken _ when node.target <> None
-                            && (Option.get node.target).Exec_graph.addr
-                               = next_addr ->
-            Option.get node.target
-        | Exec.Taken _ | Exec.Syscall_enter _ | Exec.Sysret_exit _ -> (
-            match Exec_graph.node_at t.graph next_addr with
-            | Some n -> n
-            | None -> fault "branch to unmapped address %#x" next_addr)
-        | Exec.Halt -> assert false
-      in
-      loop next
-    end
+          notify node shadow_active
+        end;
+        if tgt <> sentinel then loop (resolve node tgt)
+    | Exec.Halt ->
+        if nobs > 0 then begin
+          scratch.taken_src <- -1;
+          scratch.taken_tgt <- -1;
+          notify node shadow_active
+        end
   in
   loop node0;
   {

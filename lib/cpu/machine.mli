@@ -44,6 +44,8 @@ val create : process:Process.t -> ?seed:int64 -> unit -> t
 
 val state : t -> State.t
 val process : t -> Process.t
+
+(** O(1); the observer set is frozen when [run] starts. *)
 val add_observer : t -> observer -> unit
 
 (** [run t ~entry ()] — executes from [entry] until the entry function
