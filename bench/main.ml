@@ -29,11 +29,12 @@ let all : (string * (Format.formatter -> unit)) list =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("pipeline", Perf.run);
+    ("telemetry", Telemetry.run);
   ]
 
 (* Targets that never touch the profile cache; everything else benefits
    from the parallel preload. *)
-let no_sweep = [ "table2"; "table4"; "micro"; "pipeline" ]
+let no_sweep = [ "table2"; "table4"; "micro"; "pipeline"; "telemetry" ]
 
 let () =
   let ppf = Format.std_formatter in

@@ -1,0 +1,142 @@
+(* Telemetry overhead bench: demonstrates that the instrumentation the
+   telemetry layer threads through the pipeline costs nothing when
+   disabled and stays cheap when enabled, and that enabling it does not
+   change a single profile byte.  Writes BENCH_telemetry.json.
+
+   Three series over the same workloads, interleaved so drift hits all
+   of them equally, best of [rounds] each:
+
+   - baseline:  telemetry disabled (the default state);
+   - disabled:  telemetry disabled again — the baseline re-measured, so
+     the reported "disabled overhead" is pure run-to-run noise;
+   - enabled:   tracing + metrics armed.
+
+   A microbench of the disabled [with_span] fast path reports the
+   per-call cost in nanoseconds. *)
+
+open Hbbp_core
+module Trace = Hbbp_telemetry.Trace
+module Metrics = Hbbp_telemetry.Metrics
+module U = Bench_util
+
+let now = Unix.gettimeofday
+
+let workloads () =
+  [
+    Hbbp_workloads.Fitter.workload Hbbp_workloads.Fitter.Sse;
+    Hbbp_workloads.Kernelbench.workload ();
+  ]
+
+let run_all ws = List.map (fun w -> Pipeline.run w) ws
+
+let time f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)
+
+(* Per-call cost of a disabled span: with_span around a cheap closure vs
+   the closure alone, amortized over [n] calls. *)
+let disabled_span_ns () =
+  let n = 5_000_000 in
+  let sink = ref 0 in
+  let body () = incr sink in
+  let bare () =
+    for _ = 1 to n do
+      body ()
+    done
+  in
+  let spanned () =
+    for _ = 1 to n do
+      Trace.with_span "noop" body
+    done
+  in
+  (* Warm both paths, then best of three each. *)
+  bare ();
+  spanned ();
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let (), dt = time f in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  let bare_s = best bare and spanned_s = best spanned in
+  (spanned_s -. bare_s) /. float_of_int n *. 1e9
+
+let run ppf =
+  U.header ppf "Telemetry overhead (writes BENCH_telemetry.json)";
+  Trace.disable ();
+  Trace.reset ();
+  Metrics.disable ();
+  Metrics.reset ();
+  let ws = workloads () in
+  let rounds = 3 in
+  let baseline_s = ref infinity
+  and disabled_s = ref infinity
+  and enabled_s = ref infinity in
+  let baseline_profiles = ref [] and enabled_profiles = ref [] in
+  let span_count = ref 0 in
+  for _ = 1 to rounds do
+    (* baseline (telemetry off) *)
+    let ps, dt = time (fun () -> run_all ws) in
+    if dt < !baseline_s then baseline_s := dt;
+    baseline_profiles := ps;
+    (* enabled (tracing + metrics on) *)
+    Trace.reset ();
+    Metrics.reset ();
+    Trace.enable ();
+    Metrics.enable ();
+    let ps, dt = time (fun () -> run_all ws) in
+    Trace.disable ();
+    Metrics.disable ();
+    if dt < !enabled_s then enabled_s := dt;
+    enabled_profiles := ps;
+    span_count := Trace.span_count ();
+    (* disabled (telemetry off again — noise floor) *)
+    let _, dt = time (fun () -> run_all ws) in
+    if dt < !disabled_s then disabled_s := dt
+  done;
+  Trace.reset ();
+  Metrics.reset ();
+  let identical =
+    List.for_all2 Perf.profiles_equal !baseline_profiles !enabled_profiles
+  in
+  let frac v = (v -. !baseline_s) /. !baseline_s in
+  let disabled_overhead = frac !disabled_s
+  and enabled_overhead = frac !enabled_s in
+  let span_ns = disabled_span_ns () in
+  Format.fprintf ppf "%d workloads, best of %d rounds@." (List.length ws)
+    rounds;
+  Format.fprintf ppf "baseline (telemetry off): %8.3f s@." !baseline_s;
+  Format.fprintf ppf "disabled re-measure:      %8.3f s  (%+.2f%% = noise)@."
+    !disabled_s (100.0 *. disabled_overhead);
+  Format.fprintf ppf "enabled (trace+metrics):  %8.3f s  (%+.2f%%, %d spans)@."
+    !enabled_s
+    (100.0 *. enabled_overhead)
+    !span_count;
+  Format.fprintf ppf "disabled with_span cost:  %8.1f ns/call@." span_ns;
+  Format.fprintf ppf "profiles byte-identical with telemetry on: %b@."
+    identical;
+  if not identical then
+    failwith "BENCH telemetry: enabling telemetry changed profile bytes";
+  let oc = open_out "BENCH_telemetry.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "telemetry",
+  "workloads": %d,
+  "rounds": %d,
+  "baseline_s": %.4f,
+  "disabled_s": %.4f,
+  "enabled_s": %.4f,
+  "disabled_overhead": %.4f,
+  "enabled_overhead": %.4f,
+  "disabled_span_ns": %.1f,
+  "spans": %d,
+  "profiles_identical": %b
+}
+|}
+    (List.length ws) rounds !baseline_s !disabled_s !enabled_s
+    disabled_overhead enabled_overhead span_ns !span_count identical;
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_telemetry.json@."

@@ -16,9 +16,58 @@
 open Cmdliner
 open Hbbp_core
 open Hbbp_analyzer
+module Telemetry = Hbbp_telemetry.Telemetry
 
-let profile_of name =
-  Pipeline.run (Hbbp_workloads.Registry.find name)
+(* One-line diagnostic on stderr + nonzero exit; never a raw backtrace. *)
+let die fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "hbbp: %s@." msg;
+      exit 1)
+    fmt
+
+let find_workload name =
+  match Hbbp_workloads.Registry.find name with
+  | w -> w
+  | exception Invalid_argument msg -> die "%s" msg
+
+let load_archive path =
+  match Hbbp_collector.Perf_data.load ~path with
+  | Ok archive -> archive
+  | Error e -> die "%s: %a" path Hbbp_collector.Perf_data.pp_error e
+  | exception Sys_error msg -> die "cannot read archive: %s" msg
+
+let profile_of name = Pipeline.run (find_workload name)
+
+(* ---- telemetry flags ------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run to $(docv); \
+           load it in Perfetto (ui.perfetto.dev) or chrome://tracing. \
+           Defaults to $(b,HBBP_TRACE) when set.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json); ("table", `Table) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "After the run, print the metrics-registry snapshot as $(b,json) \
+           or $(b,table). Defaults to $(b,HBBP_METRICS) when set.")
+
+(* Arm telemetry before the work, flush it after (also on [die]/raise:
+   [exit] does not run the finalizer, which is fine — a failed run has
+   nothing worth flushing). *)
+let with_telemetry trace metrics f =
+  Telemetry.configure ?trace ?metrics ();
+  let v = f () in
+  Telemetry.finalize Format.std_formatter;
+  v
 
 (* ---- list ---------------------------------------------------------- *)
 
@@ -44,6 +93,21 @@ let workloads_arg =
     & info [] ~docv:"WORKLOAD"
         ~doc:"Workload name(s) (see $(b,hbbp list)).")
 
+(* [profile] accepts workloads both positionally and via --workload, so
+   scripted invocations can spell them uniformly with other flags. *)
+let workloads_pos_arg =
+  Arg.(
+    value
+    & pos_all string []
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name(s) (see $(b,hbbp list)).")
+
+let workload_opt_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"Workload name(s); repeatable, merged with positional names.")
+
 let jobs_arg =
   Arg.(
     value
@@ -55,8 +119,11 @@ let jobs_arg =
            Results are identical for every N.")
 
 let profile_cmd =
-  let run names jobs =
-    let ws = List.map Hbbp_workloads.Registry.find names in
+  let run positional named jobs trace metrics =
+    let names = positional @ named in
+    if names = [] then die "profile: no workload given (see 'hbbp list')";
+    let ws = List.map find_workload names in
+    with_telemetry trace metrics @@ fun () ->
     let profiles = Pipeline.run_many ?jobs ws in
     List.iter
       (fun (p : Pipeline.profile) ->
@@ -74,7 +141,9 @@ let profile_cmd =
        ~doc:
          "Profile workload(s) end to end and report accuracy/overheads; \
           multiple workloads run in parallel (-j)")
-    Term.(const run $ workloads_arg $ jobs_arg)
+    Term.(
+      const run $ workloads_pos_arg $ workload_opt_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---- mix ----------------------------------------------------------- *)
 
@@ -180,7 +249,8 @@ let train_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz instead of ASCII.")
   in
-  let run dot jobs =
+  let run dot jobs trace metrics =
+    with_telemetry trace metrics @@ fun () ->
     let tree, dataset =
       Training.build ?jobs (Hbbp_workloads.Training_set.all ())
     in
@@ -204,7 +274,7 @@ let train_cmd =
        ~doc:
          "Run the HBBP criteria search on the training corpus (profiled \
           in parallel, -j)")
-    Term.(const run $ dot $ jobs_arg)
+    Term.(const run $ dot $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ---- collect / analyze --------------------------------------------- *)
 
@@ -215,8 +285,9 @@ let output_arg =
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Archive path.")
 
 let collect_cmd =
-  let run names output jobs =
-    let ws = List.map Hbbp_workloads.Registry.find names in
+  let run names output jobs trace metrics =
+    let ws = List.map find_workload names in
+    with_telemetry trace metrics @@ fun () ->
     let archives = Pipeline.collect_many ?jobs ws in
     let single = match names with [ _ ] -> true | _ -> false in
     List.iter2
@@ -238,12 +309,14 @@ let collect_cmd =
           portable perf.data-style archives; with several workloads the \
           collections run in parallel (-j) and each archive lands in \
           $(i,WORKLOAD).hbbp")
-    Term.(const run $ workloads_arg $ output_arg $ jobs_arg)
+    Term.(
+      const run $ workloads_arg $ output_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let archive_arg =
   Arg.(
     required
-    & pos 0 (some file) None
+    & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"Archive written by $(b,hbbp collect).")
 
 let analyze_cmd =
@@ -251,25 +324,82 @@ let analyze_cmd =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
   in
   let run path top =
-    match Hbbp_collector.Perf_data.load ~path with
-    | Error e ->
-        Format.eprintf "%s: %a@." path Hbbp_collector.Perf_data.pp_error e;
-        exit 1
-    | Ok archive ->
-        let r = Pipeline.analyze_archive archive in
-        Format.printf "workload %s: %d blocks, %d LBR snapshots, %d flagged@."
-          archive.Hbbp_collector.Perf_data.workload_name
-          (Static.total_blocks r.Pipeline.r_static)
-          r.Pipeline.r_lbr.Lbr_estimator.snapshots
-          (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
-        Format.printf "@.Instruction mix (HBBP):@.";
-        Pivot.render Format.std_formatter
-          (Views.top_mnemonics top
-             (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp))
+    let archive = load_archive path in
+    let r = Pipeline.analyze_archive archive in
+    Format.printf "workload %s: %d blocks, %d LBR snapshots, %d flagged@."
+      archive.Hbbp_collector.Perf_data.workload_name
+      (Static.total_blocks r.Pipeline.r_static)
+      r.Pipeline.r_lbr.Lbr_estimator.snapshots
+      (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
+    Format.printf "@.Instruction mix (HBBP):@.";
+    Pivot.render Format.std_formatter
+      (Views.top_mnemonics top
+         (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze an archive offline (no re-run needed)")
     Term.(const run $ archive_arg $ top)
+
+(* ---- stats ---------------------------------------------------------- *)
+
+let stats_cmd =
+  let archives_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Archive(s) written by $(b,hbbp collect).")
+  in
+  let run paths trace metrics =
+    with_telemetry trace metrics @@ fun () ->
+    List.iter
+      (fun path ->
+        let archive = load_archive path in
+        let records = archive.Hbbp_collector.Perf_data.records in
+        let db = Sample_db.of_records records in
+        let r = Pipeline.analyze_archive archive in
+        let lbr = r.Pipeline.r_lbr in
+        let streams =
+          lbr.Lbr_estimator.usable_streams
+          + lbr.Lbr_estimator.inconsistent_streams
+          + lbr.Lbr_estimator.discarded_streams
+        in
+        let failure_rate =
+          if streams = 0 then 0.0
+          else
+            float_of_int (streams - lbr.Lbr_estimator.usable_streams)
+            /. float_of_int streams
+        in
+        Format.printf "%s: workload %s@." path
+          archive.Hbbp_collector.Perf_data.workload_name;
+        Format.printf "  records             %8d@." (List.length records);
+        Format.printf "  EBS samples         %8d (+%d unattributed)@."
+          (Array.length db.Sample_db.ebs)
+          r.Pipeline.r_ebs.Ebs_estimator.unattributed;
+        Format.printf "  LBR snapshots       %8d@."
+          (Array.length db.Sample_db.lbr);
+        Format.printf "  lost / other        %8d / %d@." db.Sample_db.lost
+          db.Sample_db.other;
+        Format.printf "  EBS / LBR periods   %8d / %d@."
+          archive.Hbbp_collector.Perf_data.ebs_period
+          archive.Hbbp_collector.Perf_data.lbr_period;
+        Format.printf
+          "  streams             %8d usable, %d inconsistent, %d discarded \
+           (%.1f%% walk failures)@."
+          lbr.Lbr_estimator.usable_streams
+          lbr.Lbr_estimator.inconsistent_streams
+          lbr.Lbr_estimator.discarded_streams (100.0 *. failure_rate);
+        Format.printf "  bias-flagged blocks %8d@."
+          (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
+        Format.printf "  static blocks       %8d@."
+          (Static.total_blocks r.Pipeline.r_static))
+      paths
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print collection and sampling-health statistics of archive(s): \
+          record volume, sample split, stream-walk failure rate, bias flags")
+    Term.(const run $ archives_arg $ trace_arg $ metrics_arg)
 
 (* ---- loops ---------------------------------------------------------- *)
 
@@ -312,4 +442,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; mix_cmd; bias_cmd; train_cmd;
-            collect_cmd; analyze_cmd; loops_cmd; capabilities_cmd ]))
+            collect_cmd; analyze_cmd; stats_cmd; loops_cmd;
+            capabilities_cmd ]))

@@ -42,16 +42,26 @@ let () =
   in
   let workload = Workload.of_user_image image ~entry_symbol:"main" in
 
-  (* 2. One call runs everything: the clean execution, the
+  (* 2. Arm telemetry: a Chrome trace of the run plus the metrics
+     registry.  Both are off by default; this is all it takes. *)
+  Hbbp_telemetry.Telemetry.configure ~trace:"quickstart_trace.json"
+    ~metrics:`Table ();
+
+  (* 3. One call runs everything: the clean execution, the
      instrumentation reference, the dual-LBR collection and the HBBP
      reconstruction. *)
   let profile = Pipeline.run workload in
 
-  (* 3. Inspect. *)
+  (* 4. Inspect. *)
   Format.printf "%a@.@." Report.summary profile;
   Format.printf "Instruction mix (HBBP):@.";
   Hbbp_analyzer.Pivot.render Format.std_formatter
     (Hbbp_analyzer.Views.top_mnemonics 12
        (Pipeline.full_mix_of profile profile.Pipeline.hbbp));
   Format.printf "@.Accuracy against the instrumentation ground truth:@.";
-  Report.method_comparison Format.std_formatter profile
+  Report.method_comparison Format.std_formatter profile;
+
+  (* 5. Flush telemetry: writes quickstart_trace.json (load it in
+     Perfetto or chrome://tracing) and prints the metrics table. *)
+  Format.printf "@.";
+  Hbbp_telemetry.Telemetry.finalize Format.std_formatter

@@ -3,6 +3,8 @@ open Hbbp_program
 open Hbbp_cpu
 open Hbbp_analyzer
 open Hbbp_collector
+module Trace = Hbbp_telemetry.Trace
+module Metrics = Hbbp_telemetry.Metrics
 
 type config = {
   model : Pmu_model.t;
@@ -27,6 +29,7 @@ type profile = {
   workload : Workload.t;
   config : config;
   stats : Machine.run_stats;
+  pmu_health : Pmu.health;
   clean_cycles : int;
   static : Static.t;
   static_unpatched : Static.t;
@@ -62,16 +65,62 @@ type reconstruction = {
   r_hbbp : Bbec.t;
 }
 
+(* Sampling-health counters of one reconstruction: everything the paper
+   blames estimator error on, as observed by the analyzer itself. *)
+let record_reconstruction_metrics (r : reconstruction) =
+  if Metrics.enabled () then begin
+    let c name n = Metrics.add (Metrics.counter name) n in
+    let ebs_samples =
+      Array.fold_left ( + ) r.r_ebs.Ebs_estimator.unattributed
+        r.r_ebs.Ebs_estimator.raw
+    in
+    c "ebs.samples" ebs_samples;
+    c "ebs.unattributed_samples" r.r_ebs.Ebs_estimator.unattributed;
+    c "lbr.snapshots" r.r_lbr.Lbr_estimator.snapshots;
+    c "lbr.streams_usable" r.r_lbr.Lbr_estimator.usable_streams;
+    c "lbr.streams_inconsistent" r.r_lbr.Lbr_estimator.inconsistent_streams;
+    c "lbr.streams_discarded" r.r_lbr.Lbr_estimator.discarded_streams;
+    let streams =
+      r.r_lbr.Lbr_estimator.usable_streams
+      + r.r_lbr.Lbr_estimator.inconsistent_streams
+      + r.r_lbr.Lbr_estimator.discarded_streams
+    in
+    Metrics.set
+      (Metrics.gauge "lbr.stream_failure_rate")
+      (if streams = 0 then 0.0
+       else
+         float_of_int (streams - r.r_lbr.Lbr_estimator.usable_streams)
+         /. float_of_int streams);
+    c "bias.flagged_blocks" (List.length (Bias.flagged_blocks r.r_bias))
+  end
+
 let reconstruct ?(criteria = Criteria.default) ~static ~ebs_period ~lbr_period
     records =
-  let db = Sample_db.of_records records in
-  let ebs = Ebs_estimator.estimate static ~period:ebs_period db.Sample_db.ebs in
-  let lbr = Lbr_estimator.estimate static ~period:lbr_period db.Sample_db.lbr in
-  let bias = Bias.detect static db.Sample_db.lbr in
-  let hbbp = Combine.fuse static ~criteria ~bias ~ebs ~lbr in
-  { r_static = static; r_ebs = ebs; r_lbr = lbr; r_bias = bias; r_hbbp = hbbp }
+  let span name f = Trace.with_span ~cat:"analyze" name f in
+  let db = span "sample_db" (fun () -> Sample_db.of_records records) in
+  let ebs =
+    span "ebs_estimate" (fun () ->
+        Ebs_estimator.estimate static ~period:ebs_period db.Sample_db.ebs)
+  in
+  let lbr =
+    span "lbr_estimate" (fun () ->
+        Lbr_estimator.estimate static ~period:lbr_period db.Sample_db.lbr)
+  in
+  let bias = span "bias_detect" (fun () -> Bias.detect static db.Sample_db.lbr) in
+  let hbbp =
+    span "fuse" (fun () -> Combine.fuse static ~criteria ~bias ~ebs ~lbr)
+  in
+  let r =
+    { r_static = static; r_ebs = ebs; r_lbr = lbr; r_bias = bias; r_hbbp = hbbp }
+  in
+  record_reconstruction_metrics r;
+  r
 
 let collect_archive ?(config = default_config) (w : Workload.t) =
+  Trace.with_span ~cat:"pipeline"
+    ~args:[ ("workload", w.Workload.name) ]
+    "collect_archive"
+  @@ fun () ->
   let sim_periods =
     match config.periods with
     | `Auto -> Period.simulation w.Workload.runtime_class
@@ -81,18 +130,56 @@ let collect_archive ?(config = default_config) (w : Workload.t) =
   let session = Session.configure config.model sim_periods in
   Machine.add_observer machine (Pmu.observer (Session.pmu session));
   let (_ : Machine.run_stats) =
-    Machine.run machine ~entry:w.Workload.entry
-      ~max_instructions:config.max_instructions ()
+    Trace.with_span ~cat:"pipeline" "execute" (fun () ->
+        Machine.run machine ~entry:w.Workload.entry
+          ~max_instructions:config.max_instructions ())
   in
-  Perf_data.of_session ~workload_name:w.Workload.name ~session
-    ~analysis:w.Workload.analysis_process ~live:w.Workload.live_process
+  Trace.with_span ~cat:"pipeline" "archive" (fun () ->
+      Perf_data.of_session ~workload_name:w.Workload.name ~session
+        ~analysis:w.Workload.analysis_process ~live:w.Workload.live_process)
 
 let analyze_archive ?criteria (archive : Perf_data.t) =
   let static = Static.create_exn (Perf_data.analysis_process archive) in
   reconstruct ?criteria ~static ~ebs_period:archive.Perf_data.ebs_period
     ~lbr_period:archive.Perf_data.lbr_period archive.Perf_data.records
 
+(* Run-level counters: execution volume plus the PMU's sampling-health
+   accounting (the repo observing its own collection quality, the way
+   the paper accounts for perf's). *)
+let record_run_metrics (p : profile) =
+  if Metrics.enabled () then begin
+    let c name n = Metrics.add (Metrics.counter name) n in
+    c "pipeline.runs" 1;
+    c "pipeline.retired" p.stats.Machine.retired;
+    c "pipeline.cycles" p.stats.Machine.cycles;
+    c "pipeline.taken_branches" p.stats.Machine.taken_branches;
+    c "pipeline.kernel_retired" p.stats.Machine.kernel_retired;
+    c "pipeline.records" (List.length p.records);
+    Metrics.set
+      (Metrics.gauge "pipeline.collection_overhead")
+      p.collection_overhead;
+    Metrics.set (Metrics.gauge "pipeline.sde_slowdown") p.sde_slowdown;
+    let h = p.pmu_health in
+    c "pmu.pmi_count" h.Pmu.pmi_count;
+    c "pmu.shadow_slides" h.Pmu.shadow_slides;
+    c "pmu.lbr_snapshots" h.Pmu.lbr_snapshots;
+    c "pmu.lbr_stuck_snapshots" h.Pmu.stuck_snapshots;
+    c "pmu.lbr_misrotated_snapshots" h.Pmu.misrotated_snapshots;
+    c "pmu.lbr_dropped_records" h.Pmu.dropped_records;
+    let skid =
+      Metrics.histogram
+        ~bounds:(Array.init (Pmu.max_skid_bucket + 1) float_of_int)
+        "pmu.skid_displacement"
+    in
+    Array.iteri
+      (fun d n -> if n > 0 then Metrics.observe ~n skid (float_of_int d))
+      h.Pmu.skid_hist;
+    c "sde.lost_kernel_instructions" p.sde_lost_kernel
+  end
+
 let run ?(config = default_config) (w : Workload.t) =
+  Trace.with_span ~cat:"pipeline" ~args:[ ("workload", w.Workload.name) ] "run"
+  @@ fun () ->
   let sim_periods, paper_periods =
     match config.periods with
     | `Auto -> (Period.simulation w.runtime_class, Period.paper w.runtime_class)
@@ -100,10 +187,14 @@ let run ?(config = default_config) (w : Workload.t) =
   in
   (* Static views: what the analyzer finds on disk, and the same view
      with kernel text patched from the live image (the paper's remedy). *)
-  let static_unpatched = Static.create_exn w.analysis_process in
-  let static =
-    if w.analysis_process == w.live_process then static_unpatched
-    else Kernel_patch.patch_static static_unpatched ~live:w.live_process
+  let static_unpatched, static =
+    Trace.with_span ~cat:"pipeline" "static" (fun () ->
+        let static_unpatched = Static.create_exn w.analysis_process in
+        let static =
+          if w.analysis_process == w.live_process then static_unpatched
+          else Kernel_patch.patch_static static_unpatched ~live:w.live_process
+        in
+        (static_unpatched, static))
   in
   (* One execution, three observers. *)
   let machine = Machine.create ~process:w.live_process () in
@@ -118,22 +209,25 @@ let run ?(config = default_config) (w : Workload.t) =
   Machine.add_observer machine (Pmu.observer (Session.pmu session));
   Machine.add_observer machine (Pmu.observer counting);
   let stats =
-    Machine.run machine ~entry:w.entry
-      ~max_instructions:config.max_instructions ()
+    Trace.with_span ~cat:"pipeline" "execute" (fun () ->
+        Machine.run machine ~entry:w.entry
+          ~max_instructions:config.max_instructions ())
   in
   (* Collection output and reconstruction. *)
-  let records = Session.records session w.live_process ~pid:1 ~name:w.name in
+  let records =
+    Trace.with_span ~cat:"pipeline" "collect" (fun () ->
+        Session.records session w.live_process ~pid:1 ~name:w.name)
+  in
   let r =
     reconstruct ~criteria:config.criteria ~static
       ~ebs_period:(Session.ebs_period session)
       ~lbr_period:(Session.lbr_period session) records
   in
   let ebs = r.r_ebs and lbr = r.r_lbr and bias = r.r_bias and hbbp = r.r_hbbp in
-  let reference =
-    Bbec.of_block_counts static (Hbbp_instrument.Sde.block_counts sde)
-  in
-  let reference_mix =
-    Mix.of_histogram (Hbbp_instrument.Sde.histogram sde)
+  let reference, reference_mix =
+    Trace.with_span ~cat:"pipeline" "reference" (fun () ->
+        ( Bbec.of_block_counts static (Hbbp_instrument.Sde.block_counts sde),
+          Mix.of_histogram (Hbbp_instrument.Sde.histogram sde) ))
   in
   let collection_overhead =
     Session.overhead_fraction ~paper:paper_periods ~stats ~model:config.model
@@ -144,28 +238,33 @@ let run ?(config = default_config) (w : Workload.t) =
       float_of_int (Hbbp_instrument.Sde.instrumented_cycles sde)
       /. float_of_int stats.cycles
   in
-  {
-    workload = w;
-    config;
-    stats;
-    clean_cycles = stats.cycles;
-    static;
-    static_unpatched;
-    reference;
-    reference_mix;
-    ebs;
-    lbr;
-    bias;
-    hbbp;
-    sim_periods;
-    paper_periods;
-    collection_overhead;
-    sde_slowdown;
-    sde_total = Hbbp_instrument.Sde.total_instructions sde;
-    sde_lost_kernel = Hbbp_instrument.Sde.lost_kernel_instructions sde;
-    pmu_counts = Pmu.counts counting;
-    records;
-  }
+  let p =
+    {
+      workload = w;
+      config;
+      stats;
+      pmu_health = Pmu.health (Session.pmu session);
+      clean_cycles = stats.cycles;
+      static;
+      static_unpatched;
+      reference;
+      reference_mix;
+      ebs;
+      lbr;
+      bias;
+      hbbp;
+      sim_periods;
+      paper_periods;
+      collection_overhead;
+      sde_slowdown;
+      sde_total = Hbbp_instrument.Sde.total_instructions sde;
+      sde_lost_kernel = Hbbp_instrument.Sde.lost_kernel_instructions sde;
+      pmu_counts = Pmu.counts counting;
+      records;
+    }
+  in
+  record_run_metrics p;
+  p
 
 (* Each task builds its own machine, PMU session, SDE and PRNG from the
    workload alone, so fanning out over domains cannot perturb results:

@@ -29,6 +29,10 @@ type profile = {
   workload : Workload.t;
   config : config;
   stats : Machine.run_stats;
+  pmu_health : Pmu.health;
+      (** Sampling-health accounting of the session PMU: PMI count, skid
+          displacement histogram, shadow slides, LBR snapshot/anomaly
+          counts and dropped records. *)
   clean_cycles : int;
   static : Static.t;  (** Kernel-patched analysis view. *)
   static_unpatched : Static.t;  (** Raw on-disk view (kernel mismatch). *)

@@ -1,4 +1,6 @@
 open Hbbp_analyzer
+module Trace = Hbbp_telemetry.Trace
+module Metrics = Hbbp_telemetry.Metrics
 
 type example = { features : float array; label : int; weight : float }
 
@@ -39,11 +41,21 @@ let dataset examples =
     ~class_names:Criteria.class_names ~features ~labels ~weights
 
 let train ?params ?min_exec profiles =
-  let all = List.concat_map (fun p -> examples ?min_exec p) profiles in
+  let all =
+    Trace.with_span ~cat:"train" "training.examples" (fun () ->
+        List.concat_map (fun p -> examples ?min_exec p) profiles)
+  in
   let d = dataset all in
-  (Hbbp_mltree.Cart.train ?params d, d)
+  if Metrics.enabled () then
+    Metrics.add (Metrics.counter "training.examples") (List.length all);
+  let tree =
+    Trace.with_span ~cat:"train" "training.cart_train" (fun () ->
+        Hbbp_mltree.Cart.train ?params d)
+  in
+  (tree, d)
 
 let build ?jobs ?params ?min_exec workloads =
+  Trace.with_span ~cat:"train" "training.build" @@ fun () ->
   train ?params ?min_exec (Pipeline.run_many ?jobs workloads)
 
 let learned_cutoff tree =

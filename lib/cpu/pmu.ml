@@ -27,6 +27,22 @@ type pending = {
   mutable waiting_shadow : bool;
 }
 
+(* Sampling-health accounting (paper sections III.A/III.C): everything
+   the analyzer's error structure is later blamed on, counted at the
+   source so the pipeline can observe its own collection quality. *)
+type health = {
+  pmi_count : int;
+  skid_hist : int array;
+  shadow_slides : int;
+  lbr_snapshots : int;
+  stuck_snapshots : int;
+  misrotated_snapshots : int;
+  dropped_records : int;
+}
+
+(* Skid displacements above this land in the overflow slot. *)
+let max_skid_bucket = 16
+
 type t = {
   model : Pmu_model.t;
   counters : counter array;
@@ -42,6 +58,12 @@ type t = {
   mutable drop_next_push : bool;
       (* The quirk's second face: the recording of the taken branch that
          follows a quirky one is occasionally lost. *)
+  skid_hist : int array;  (* drawn skid per overflow; last slot = overflow *)
+  mutable shadow_slides : int;
+  mutable lbr_snapshots : int;
+  mutable stuck_snapshots : int;
+  mutable misrotated_snapshots : int;
+  mutable dropped_records : int;
 }
 
 let create model configs =
@@ -71,6 +93,12 @@ let create model configs =
     stuck_entry = None;
     stuck_left = 0;
     drop_next_push = false;
+    skid_hist = Array.make (max_skid_bucket + 2) 0;
+    shadow_slides = 0;
+    lbr_snapshots = 0;
+    stuck_snapshots = 0;
+    misrotated_snapshots = 0;
+    dropped_records = 0;
   }
 
 (* How much a retirement advances a counter for a given event. *)
@@ -147,24 +175,30 @@ let stick snap (e : Lbr.entry) =
 let snapshot_lbr t ~branch_based ~trigger =
   let snap = Lbr.snapshot t.lbr in
   if Array.length snap = 0 then snap
-  else if not branch_based then snap
   else begin
-    (match trigger with
-    | Some (entry : Lbr.entry)
-      when Pmu_model.is_quirk_branch t.model entry.src
-           && Prng.bool t.prng t.model.quirk_probability ->
-        t.stuck_entry <- Some entry;
-        t.stuck_left <- 2 + Prng.int t.prng 5
-    | Some _ | None -> ());
-    match t.stuck_entry with
-    | Some e when t.stuck_left > 0 ->
-        t.stuck_left <- t.stuck_left - 1;
-        if t.stuck_left = 0 then t.stuck_entry <- None;
-        stick snap e
-    | Some _ | None ->
-        if Prng.bool t.prng t.model.global_anomaly_probability then
-          misrotate snap
-        else snap
+    t.lbr_snapshots <- t.lbr_snapshots + 1;
+    if not branch_based then snap
+    else begin
+      (match trigger with
+      | Some (entry : Lbr.entry)
+        when Pmu_model.is_quirk_branch t.model entry.src
+             && Prng.bool t.prng t.model.quirk_probability ->
+          t.stuck_entry <- Some entry;
+          t.stuck_left <- 2 + Prng.int t.prng 5
+      | Some _ | None -> ());
+      match t.stuck_entry with
+      | Some e when t.stuck_left > 0 ->
+          t.stuck_left <- t.stuck_left - 1;
+          if t.stuck_left = 0 then t.stuck_entry <- None;
+          t.stuck_snapshots <- t.stuck_snapshots + 1;
+          stick snap e
+      | Some _ | None ->
+          if Prng.bool t.prng t.model.global_anomaly_probability then begin
+            t.misrotated_snapshots <- t.misrotated_snapshots + 1;
+            misrotate snap
+          end
+          else snap
+    end
   end
 
 let deliver t pending (r : Machine.retirement) =
@@ -207,7 +241,10 @@ let observer t : Machine.observer =
   (* 1. LBR tracks every retired taken branch — except records lost to
      the quirk. *)
   if r.taken_src >= 0 then begin
-    if t.drop_next_push then t.drop_next_push <- false
+    if t.drop_next_push then begin
+      t.drop_next_push <- false;
+      t.dropped_records <- t.dropped_records + 1
+    end
     else Lbr.push t.lbr ~src:r.taken_src ~tgt:r.taken_tgt;
     if
       (Pmu_model.is_quirk_branch t.model r.taken_src
@@ -233,6 +270,7 @@ let observer t : Machine.observer =
               && Prng.bool t.prng t.model.shadow_slide_probability
             then begin
               p.waiting_shadow <- true;
+              t.shadow_slides <- t.shadow_slides + 1;
               still_pending := p :: !still_pending
             end
             else deliver t p r
@@ -263,6 +301,8 @@ let observer t : Machine.observer =
                 else None
               in
               let skid = skid_for t c.config.event in
+              let bucket = if skid <= max_skid_bucket then skid else max_skid_bucket + 1 in
+              t.skid_hist.(bucket) <- t.skid_hist.(bucket) + 1;
               let p =
                 { counter_idx = idx; skid_left = skid; branch_based; trigger;
                   waiting_shadow = false }
@@ -273,6 +313,7 @@ let observer t : Machine.observer =
                   && Prng.bool t.prng t.model.shadow_slide_probability
                 then begin
                   p.waiting_shadow <- true;
+                  t.shadow_slides <- t.shadow_slides + 1;
                   t.pendings <- p :: t.pendings
                 end
                 else deliver t p r
@@ -287,6 +328,17 @@ let counts t =
 
 let pmi_count t = t.pmi_count
 
+let health t =
+  {
+    pmi_count = t.pmi_count;
+    skid_hist = Array.copy t.skid_hist;
+    shadow_slides = t.shadow_slides;
+    lbr_snapshots = t.lbr_snapshots;
+    stuck_snapshots = t.stuck_snapshots;
+    misrotated_snapshots = t.misrotated_snapshots;
+    dropped_records = t.dropped_records;
+  }
+
 let reset t =
   Array.iter
     (fun c ->
@@ -300,4 +352,10 @@ let reset t =
   t.last_cycles <- 0;
   t.stuck_entry <- None;
   t.stuck_left <- 0;
-  t.drop_next_push <- false
+  t.drop_next_push <- false;
+  Array.fill t.skid_hist 0 (Array.length t.skid_hist) 0;
+  t.shadow_slides <- 0;
+  t.lbr_snapshots <- 0;
+  t.stuck_snapshots <- 0;
+  t.misrotated_snapshots <- 0;
+  t.dropped_records <- 0

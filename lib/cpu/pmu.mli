@@ -43,4 +43,31 @@ val counts : t -> (Pmu_event.t * int64) list
 (** Number of PMIs taken — input to the overhead model. *)
 val pmi_count : t -> int
 
+(** Sampling-health accounting: how much the collection machinery
+    distorted what it observed.  These are the quantities the paper
+    reasons about when explaining per-method error structure (skid and
+    shadowing for EBS, the entry[0]/record-loss quirk for LBR), counted
+    at the source so the pipeline can report its own collection
+    quality. *)
+type health = {
+  pmi_count : int;  (** Samples delivered (PMIs taken). *)
+  skid_hist : int array;
+      (** Drawn skid displacement per counter overflow; index [d] is a
+          displacement of exactly [d] retirements, the last slot counts
+          displacements beyond {!max_skid_bucket}. *)
+  shadow_slides : int;
+      (** PMIs that slid past a shadow window before delivering. *)
+  lbr_snapshots : int;  (** Non-empty LBR snapshots captured. *)
+  stuck_snapshots : int;
+      (** Snapshots corrupted by the stuck-entry[0] quirk. *)
+  misrotated_snapshots : int;
+      (** Snapshots mis-rotated by one slot (the mild anomaly). *)
+  dropped_records : int;
+      (** Taken-branch records lost to the record-loss quirk. *)
+}
+
+val max_skid_bucket : int
+
+val health : t -> health
+
 val reset : t -> unit

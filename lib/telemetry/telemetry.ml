@@ -1,0 +1,55 @@
+type metrics_format = [ `Json | `Table ]
+
+let trace_path : string option ref = ref None
+let metrics_format : metrics_format option ref = ref None
+
+let parse_format = function
+  | "json" -> Some `Json
+  | "table" -> Some `Table
+  | other ->
+      Printf.eprintf
+        "hbbp: ignoring HBBP_METRICS=%s (expected \"json\" or \"table\")\n%!"
+        other;
+      None
+
+let configure ?trace ?metrics () =
+  let trace =
+    match trace with
+    | Some _ as t -> t
+    | None -> Sys.getenv_opt "HBBP_TRACE"
+  in
+  let metrics =
+    match metrics with
+    | Some _ as m -> m
+    | None -> Option.bind (Sys.getenv_opt "HBBP_METRICS") parse_format
+  in
+  (match trace with
+  | Some path when path <> "" ->
+      trace_path := Some path;
+      Trace.enable ()
+  | Some _ | None -> ());
+  match metrics with
+  | Some fmt ->
+      metrics_format := Some fmt;
+      Metrics.enable ()
+  | None -> ()
+
+let active () = !trace_path <> None || !metrics_format <> None
+
+let finalize ppf =
+  (match !trace_path with
+  | Some path ->
+      trace_path := None;
+      Trace.write ~path;
+      Format.fprintf ppf
+        "wrote trace %s (%d spans; load in Perfetto or chrome://tracing)@."
+        path (Trace.span_count ())
+  | None -> ());
+  match !metrics_format with
+  | Some fmt ->
+      metrics_format := None;
+      let snapshot = Metrics.snapshot () in
+      (match fmt with
+      | `Json -> Format.fprintf ppf "%s@?" (Metrics.to_json snapshot)
+      | `Table -> Metrics.pp_table ppf snapshot)
+  | None -> ()

@@ -1,0 +1,23 @@
+(** Front-door configuration glue used by the CLI, the bench driver and
+    the examples: turn tracing/metrics on from explicit settings or the
+    [HBBP_TRACE] / [HBBP_METRICS] environment variables, and flush the
+    results once at the end of a run. *)
+
+type metrics_format = [ `Json | `Table ]
+
+(** [configure ?trace ?metrics ()] — enable tracing and/or metrics.
+    Explicit arguments win; absent ones fall back to the environment:
+    [HBBP_TRACE=FILE] sets the trace output path, [HBBP_METRICS=json]
+    or [=table] selects the snapshot format (anything else draws a
+    one-line warning on stderr and is ignored).  When neither source
+    sets a value, the corresponding subsystem stays off. *)
+val configure : ?trace:string -> ?metrics:metrics_format -> unit -> unit
+
+(** True when {!configure} armed tracing or metrics. *)
+val active : unit -> bool
+
+(** [finalize ppf] — write the trace file (if tracing was configured)
+    and print the metrics snapshot in the configured format to [ppf].
+    Idempotent: a second call without a new {!configure} does
+    nothing. *)
+val finalize : Format.formatter -> unit

@@ -1,0 +1,187 @@
+type span = {
+  name : string;
+  cat : string;
+  track : int;
+  start_us : float;
+  dur_us : float;
+  depth : int;
+  args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* Trace epoch: gettimeofday at [enable]; span timestamps are relative
+   to it.  The wall clock can step backwards (NTP); [now] monotonizes it
+   with a global high-water mark so exported timestamps never regress
+   across domains. *)
+let epoch = Atomic.make 0.0
+
+let high_water = Atomic.make 0.0
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let last = Atomic.get high_water in
+  if t >= last then
+    if Atomic.compare_and_set high_water last t then t else now ()
+  else last
+
+let now_us () = (now () -. Atomic.get epoch) *. 1e6
+
+(* Per-domain buffer.  Only its owner domain appends; [reset] is the
+   lone cross-domain write and is documented quiescent-only.  Each span
+   carries a per-track sequence number taken when it {e opens}, so spans
+   whose microsecond timestamps tie still sort parents-before-children
+   and in program order. *)
+type buffer = {
+  track : int;
+  mutable depth : int;
+  mutable next_seq : int;
+  mutable spans_rev : (int * span) list;
+}
+
+let registry_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          track = (Domain.self () :> int);
+          depth = 0;
+          next_seq = 0;
+          spans_rev = [];
+        }
+      in
+      Mutex.lock registry_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_lock;
+      b)
+
+let enable () =
+  if not (Atomic.get enabled_flag) then begin
+    Atomic.set epoch (Unix.gettimeofday ());
+    Atomic.set enabled_flag true
+  end
+
+let disable () = Atomic.set enabled_flag false
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun b ->
+      b.spans_rev <- [];
+      b.depth <- 0;
+      b.next_seq <- 0)
+    !buffers;
+  Mutex.unlock registry_lock
+
+let with_span ?(cat = "hbbp") ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = Domain.DLS.get key in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    let seq = b.next_seq in
+    b.next_seq <- seq + 1;
+    let t0 = now_us () in
+    let finish () =
+      let dur = Float.max 0.0 (now_us () -. t0) in
+      b.depth <- depth;
+      b.spans_rev <-
+        ( seq,
+          { name; cat; track = b.track; start_us = t0; dur_us = dur; depth;
+            args } )
+        :: b.spans_rev
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let spans () =
+  Mutex.lock registry_lock;
+  let all = List.concat_map (fun b -> b.spans_rev) !buffers in
+  Mutex.unlock registry_lock;
+  List.map snd
+    (List.sort
+       (fun ((seq_a : int), (a : span)) (seq_b, b) ->
+         match compare a.start_us b.start_us with
+         | 0 ->
+             if a.track = b.track then compare seq_a seq_b
+             else compare a.track b.track
+         | c -> c)
+       all)
+
+let span_count () =
+  Mutex.lock registry_lock;
+  let n = List.fold_left (fun acc b -> acc + List.length b.spans_rev) 0 !buffers in
+  Mutex.unlock registry_lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun k (key, v) ->
+      if k > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (escape key) (escape v)))
+    args;
+  Buffer.add_string buf "}"
+
+let export () =
+  let all = spans () in
+  let tracks =
+    List.sort_uniq compare (List.map (fun (s : span) -> s.track) all)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"hbbp\"}}";
+  List.iter
+    (fun track ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d%s\"}}"
+           track track (if track = 0 then " (main)" else "")))
+    tracks;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":"
+           (escape s.name) (escape s.cat) s.start_us s.dur_us s.track);
+      add_args buf s.args;
+      Buffer.add_string buf "}")
+    all;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export ()))

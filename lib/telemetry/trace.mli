@@ -1,0 +1,55 @@
+(** Structured span tracing with Chrome [trace_event] JSON export.
+
+    Spans nest: [with_span] opens a span, runs the thunk, and records
+    the span when the thunk returns (or raises).  Each domain owns a
+    private span buffer keyed by its domain id — the trace's track —
+    so tracing from inside a {!Hbbp_util.Domain_pool} worker is safe
+    and renders each domain as its own row in Perfetto /
+    [chrome://tracing].
+
+    Tracing is {b off by default}.  A disabled [with_span] costs one
+    atomic load and a closure call — nothing is timestamped, allocated
+    or recorded — which is what keeps the instrumented pipeline's
+    disabled overhead within noise (the bench [telemetry] target
+    measures exactly this).  Timestamps come from a monotonized
+    wall-clock (strictly non-decreasing across all domains). *)
+
+type span = {
+  name : string;
+  cat : string;  (** Chrome trace category, e.g. ["pipeline"]. *)
+  track : int;  (** Domain id — the [tid] of the exported event. *)
+  start_us : float;  (** Microseconds since {!enable}. *)
+  dur_us : float;
+  depth : int;  (** Nesting depth within its track (0 = top level). *)
+  args : (string * string) list;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+
+(** [disable] stops recording; already-recorded spans survive until
+    {!reset}. *)
+val disable : unit -> unit
+
+(** Drop every recorded span.  Call only when no span is in flight. *)
+val reset : unit -> unit
+
+(** [with_span name f] — run [f] inside a span.  [args] become the
+    Chrome event's [args] object; keep them cheap, they are evaluated
+    by the caller even when tracing is disabled. *)
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** All recorded spans across every domain, ordered by start time
+    (parents before children). *)
+val spans : unit -> span list
+
+val span_count : unit -> int
+
+(** The full Chrome [trace_event] JSON document ([{"traceEvents": ...}]
+    with complete-"X" events plus thread-name metadata), loadable in
+    Perfetto or [chrome://tracing]. *)
+val export : unit -> string
+
+(** [write ~path] — {!export} to a file. *)
+val write : path:string -> unit

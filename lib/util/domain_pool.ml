@@ -1,3 +1,6 @@
+module Trace = Hbbp_telemetry.Trace
+module Metrics = Hbbp_telemetry.Metrics
+
 let default_jobs () =
   match Sys.getenv_opt "HBBP_JOBS" with
   | Some s -> (
@@ -6,6 +9,23 @@ let default_jobs () =
       | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+let now = Unix.gettimeofday
+
+type worker_stats = { tasks : int; busy_s : float; wait_s : float }
+
+let utilization (s : worker_stats) =
+  let total = s.busy_s +. s.wait_s in
+  if total <= 0.0 then 0.0 else s.busy_s /. total
+
+(* One accounting cell per worker (cell 0 doubles as the caller's cell
+   on the single-job sequential path).  Workers update their own cell
+   under the pool lock; [stats] reads under the same lock. *)
+type cell = {
+  mutable c_tasks : int;
+  mutable c_busy_s : float;
+  mutable c_wait_s : float;
+}
+
 type t = {
   n_jobs : int;
   queue : (unit -> unit) Queue.t;
@@ -13,12 +33,15 @@ type t = {
   work_ready : Condition.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  cells : cell array;
 }
 
 let jobs t = t.n_jobs
 
-let worker pool =
+let worker pool idx =
+  let cell = pool.cells.(idx) in
   let rec next () =
+    let arrived = now () in
     Mutex.lock pool.lock;
     let rec await () =
       if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
@@ -29,10 +52,17 @@ let worker pool =
       end
     in
     let job = await () in
+    cell.c_wait_s <- cell.c_wait_s +. (now () -. arrived);
     Mutex.unlock pool.lock;
     match job with
     | Some run ->
+        let t0 = now () in
         run ();
+        let dt = now () -. t0 in
+        Mutex.lock pool.lock;
+        cell.c_tasks <- cell.c_tasks + 1;
+        cell.c_busy_s <- cell.c_busy_s +. dt;
+        Mutex.unlock pool.lock;
         next ()
     | None -> ()
   in
@@ -50,11 +80,47 @@ let create ?jobs () =
       work_ready = Condition.create ();
       closed = false;
       workers = [];
+      cells =
+        Array.init n_jobs (fun _ ->
+            { c_tasks = 0; c_busy_s = 0.0; c_wait_s = 0.0 });
     }
   in
   if n_jobs > 1 then
-    pool.workers <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool.workers <-
+      List.init n_jobs (fun idx -> Domain.spawn (fun () -> worker pool idx));
   pool
+
+let stats pool =
+  Mutex.lock pool.lock;
+  let out =
+    Array.map
+      (fun c -> { tasks = c.c_tasks; busy_s = c.c_busy_s; wait_s = c.c_wait_s })
+      pool.cells
+  in
+  Mutex.unlock pool.lock;
+  out
+
+(* Fold the pool's lifetime accounting into the metrics registry —
+   called once, by the first [shutdown]. *)
+let emit_metrics pool =
+  if Metrics.enabled () then begin
+    let all = stats pool in
+    let tasks = Array.fold_left (fun acc s -> acc + s.tasks) 0 all in
+    let busy = Array.fold_left (fun acc s -> acc +. s.busy_s) 0.0 all in
+    let wait = Array.fold_left (fun acc s -> acc +. s.wait_s) 0.0 all in
+    Metrics.add (Metrics.counter "pool.tasks") tasks;
+    Metrics.set
+      (Metrics.gauge "pool.utilization")
+      (if busy +. wait <= 0.0 then 0.0 else busy /. (busy +. wait));
+    Array.iteri
+      (fun k s ->
+        let name part = Printf.sprintf "pool.domain%d.%s" k part in
+        Metrics.add (Metrics.counter (name "tasks")) s.tasks;
+        Metrics.set (Metrics.gauge (name "busy_s")) s.busy_s;
+        Metrics.set (Metrics.gauge (name "wait_s")) s.wait_s;
+        Metrics.set (Metrics.gauge (name "utilization")) (utilization s))
+      all
+  end
 
 let shutdown pool =
   Mutex.lock pool.lock;
@@ -64,14 +130,28 @@ let shutdown pool =
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.lock;
     List.iter Domain.join pool.workers;
-    pool.workers <- []
+    pool.workers <- [];
+    emit_metrics pool
   end
 
 let map_array pool f xs =
   let n = Array.length xs in
   if pool.closed then invalid_arg "Domain_pool: pool is shut down";
+  let apply x = Trace.with_span ~cat:"pool" "task" (fun () -> f x) in
   if n = 0 then [||]
-  else if pool.n_jobs = 1 || n = 1 then Array.map f xs
+  else if pool.n_jobs = 1 then begin
+    (* Sequential path: no domains, but the same accounting as the
+       workers so [stats] is equivalent regardless of the job count. *)
+    let cell = pool.cells.(0) in
+    Array.map
+      (fun x ->
+        let t0 = now () in
+        let v = apply x in
+        cell.c_tasks <- cell.c_tasks + 1;
+        cell.c_busy_s <- cell.c_busy_s +. (now () -. t0);
+        v)
+      xs
+  end
   else begin
     let results = Array.make n None in
     let failure = ref None in
@@ -79,7 +159,7 @@ let map_array pool f xs =
     let done_lock = Mutex.create () in
     let all_done = Condition.create () in
     let task k () =
-      (match f xs.(k) with
+      (match apply xs.(k) with
       | v ->
           Mutex.lock done_lock;
           results.(k) <- Some v

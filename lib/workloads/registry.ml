@@ -14,7 +14,15 @@ let specials =
 let names =
   Spec.names @ List.map fst specials @ Training_set.names
 
-let find name =
+let find raw =
+  (* Accept underscores for hyphens ([fitter_avx] = [fitter-avx]) so
+     shell-friendly spellings resolve; exact names always win. *)
+  let name =
+    if List.mem raw names then raw
+    else
+      let dashed = String.map (function '_' -> '-' | c -> c) raw in
+      if List.mem dashed names then dashed else raw
+  in
   match List.assoc_opt name specials with
   | Some build -> build ()
   | None ->

@@ -3,6 +3,7 @@
 
 val names : string list
 
-(** [find name] — builds the workload.
+(** [find name] — builds the workload.  Underscores are accepted for
+    hyphens ([fitter_avx] = [fitter-avx]).
     @raise Invalid_argument for unknown names (message lists options). *)
 val find : string -> Hbbp_core.Workload.t

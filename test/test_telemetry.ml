@@ -1,0 +1,283 @@
+(* Tests for the telemetry layer: metrics-registry semantics (including
+   atomicity under the domain pool), span nesting and ordering in the
+   Chrome trace export, Domain_pool stats accounting, and the invariant
+   that enabling telemetry leaves Pipeline.run profiles byte-identical. *)
+
+open Hbbp_core
+module Trace = Hbbp_telemetry.Trace
+module Metrics = Hbbp_telemetry.Metrics
+module Pool = Hbbp_util.Domain_pool
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* Every test leaves the global telemetry state as it found it: off and
+   empty. *)
+let clean f () =
+  let finally () =
+    Trace.disable ();
+    Trace.reset ();
+    Metrics.disable ();
+    Metrics.reset ()
+  in
+  Fun.protect ~finally f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let test_metrics_kinds () =
+  Metrics.enable ();
+  let c = Metrics.counter "t.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  checki "counter accumulates" 42 (Metrics.counter_value c);
+  checki "same name, same counter" 42
+    (Metrics.counter_value (Metrics.counter "t.counter"));
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.set g 1.5;
+  Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge keeps last" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram ~bounds:[| 1.0; 10.0 |] "t.hist" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  Metrics.observe h 100.0;
+  (match Metrics.find (Metrics.snapshot ()) "t.hist" with
+  | Some (Metrics.Histogram { buckets; count; sum; _ }) ->
+      checki "bucket <=1" 1 buckets.(0);
+      checki "bucket <=10" 1 buckets.(1);
+      checki "overflow bucket" 1 buckets.(2);
+      checki "count" 3 count;
+      Alcotest.(check (float 1e-9)) "sum" 105.5 sum
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  (match Metrics.gauge "t.counter" with
+  | _ -> Alcotest.fail "kind mismatch must raise"
+  | exception Invalid_argument _ -> ());
+  (* Snapshot is sorted by name. *)
+  let names = List.map fst (Metrics.snapshot ()) in
+  checkb "snapshot sorted" true (names = List.sort compare names)
+
+let test_metrics_atomic_under_pool () =
+  Metrics.enable ();
+  let c = Metrics.counter "t.pool_counter" in
+  let h = Metrics.histogram ~bounds:[| 10.0 |] "t.pool_hist" in
+  let per_task = 10_000 and tasks = 32 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let (_ : unit list) =
+        Pool.map pool
+          (fun _ ->
+            for _ = 1 to per_task do
+              Metrics.incr c;
+              Metrics.observe h 1.0
+            done)
+          (List.init tasks Fun.id)
+      in
+      ());
+  checki "no lost counter increments" (per_task * tasks)
+    (Metrics.counter_value c);
+  match Metrics.find (Metrics.snapshot ()) "t.pool_hist" with
+  | Some (Metrics.Histogram { count; sum; _ }) ->
+      checki "no lost observations" (per_task * tasks) count;
+      Alcotest.(check (float 1e-3))
+        "histogram sum exact" (float_of_int (per_task * tasks)) sum
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_disabled_invisible () =
+  (* Not enabled: instrumented code guards on [enabled], so the registry
+     must report empty after a guarded run. *)
+  checkb "disabled by default" false (Metrics.enabled ());
+  if Metrics.enabled () then Metrics.incr (Metrics.counter "t.ghost");
+  checki "nothing recorded" 0 (List.length (Metrics.snapshot ()))
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing                                                        *)
+
+let test_span_nesting_and_order () =
+  Trace.enable ();
+  let v =
+    Trace.with_span ~cat:"test" "outer" (fun () ->
+        Trace.with_span "inner-1" (fun () -> ());
+        Trace.with_span "inner-2" (fun () ->
+            Trace.with_span "leaf" (fun () -> ()));
+        17)
+  in
+  checki "with_span returns the thunk's value" 17 v;
+  let spans = Trace.spans () in
+  checki "span count" 4 (Trace.span_count ());
+  let names = List.map (fun (s : Trace.span) -> s.name) spans in
+  Alcotest.(check (list string))
+    "start order, parents first"
+    [ "outer"; "inner-1"; "inner-2"; "leaf" ]
+    names;
+  let by_name n =
+    List.find (fun (s : Trace.span) -> s.name = n) spans
+  in
+  checki "outer at depth 0" 0 (by_name "outer").depth;
+  checki "inner at depth 1" 1 (by_name "inner-1").depth;
+  checki "leaf at depth 2" 2 (by_name "leaf").depth;
+  checks "category recorded" "test" (by_name "outer").cat;
+  let outer = by_name "outer" and leaf = by_name "leaf" in
+  checkb "child starts within parent" true (leaf.start_us >= outer.start_us);
+  checkb "child ends within parent" true
+    (leaf.start_us +. leaf.dur_us <= outer.start_us +. outer.dur_us +. 1e-6)
+
+let test_span_survives_exception () =
+  Trace.enable ();
+  (match Trace.with_span "boom" (fun () -> failwith "x") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  checki "raising span still recorded" 1 (Trace.span_count ())
+
+let test_trace_export_shape () =
+  Trace.enable ();
+  Trace.with_span ~cat:"test"
+    ~args:[ ("workload", "quo\"ted") ]
+    "exported"
+    (fun () -> ());
+  let json = Trace.export () in
+  let contains sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "has traceEvents" true (contains "\"traceEvents\"");
+  checkb "has complete event" true (contains "\"ph\":\"X\"");
+  checkb "has span name" true (contains "\"exported\"");
+  checkb "has thread metadata" true (contains "thread_name");
+  checkb "escapes arg strings" true (contains "quo\\\"ted")
+
+let test_spans_across_domains () =
+  Trace.enable ();
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let (_ : int list) =
+        Pool.map pool
+          (fun x -> Trace.with_span "work" (fun () -> x * 2))
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      ());
+  let work =
+    List.filter (fun (s : Trace.span) -> s.name = "work") (Trace.spans ())
+  in
+  (* The pool wraps every task in its own "task" span too. *)
+  checki "every task traced" 6 (List.length work);
+  checkb "worker domains have distinct tracks" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun (s : Trace.span) -> s.track) (Trace.spans ())))
+    >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool stats                                                   *)
+
+let test_pool_stats_accounting () =
+  let spin () = ignore (Sys.opaque_identity (ref 0)) in
+  let check_pool jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let (_ : unit list) =
+          Pool.map pool (fun _ -> spin ()) (List.init 12 Fun.id)
+        in
+        let stats = Pool.stats pool in
+        checki "one cell per worker" jobs (Array.length stats);
+        let tasks =
+          Array.fold_left (fun acc s -> acc + s.Pool.tasks) 0 stats
+        in
+        checki "all tasks accounted" 12 tasks;
+        Array.iter
+          (fun (s : Pool.worker_stats) ->
+            checkb "busy time non-negative" true (s.busy_s >= 0.0);
+            checkb "wait time non-negative" true (s.wait_s >= 0.0))
+          stats)
+  in
+  (* The sequential path must report equivalent accounting, not zeros. *)
+  check_pool 1;
+  check_pool 3
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline determinism with telemetry enabled                         *)
+
+let mk_workload ~seed name =
+  let ctx = Hbbp_workloads.Codegen.create_ctx ~seed in
+  let funcs =
+    Hbbp_workloads.Codegen.synthetic_funcs ctx ~name:("f_" ^ name) ~helpers:2
+      {
+        Hbbp_workloads.Codegen.blocks = 15;
+        mean_len = 5;
+        len_jitter = 3;
+        iterations = 6000;
+        call_rate = 0.2;
+        indirect_calls = false;
+        profile = Hbbp_workloads.Codegen.int_only;
+      }
+  in
+  Hbbp_workloads.Codegen.user_workload ~name funcs
+
+let profiles_equal (a : Pipeline.profile) (b : Pipeline.profile) =
+  compare a.stats b.stats = 0
+  && compare a.pmu_health b.pmu_health = 0
+  && compare a.reference.counts b.reference.counts = 0
+  && compare a.ebs.Hbbp_analyzer.Ebs_estimator.bbec.counts
+       b.ebs.Hbbp_analyzer.Ebs_estimator.bbec.counts
+     = 0
+  && compare a.lbr.Hbbp_analyzer.Lbr_estimator.bbec.counts
+       b.lbr.Hbbp_analyzer.Lbr_estimator.bbec.counts
+     = 0
+  && compare a.hbbp.counts b.hbbp.counts = 0
+  && compare a.reference_mix b.reference_mix = 0
+  && compare a.pmu_counts b.pmu_counts = 0
+  && compare a.records b.records = 0
+
+let test_telemetry_does_not_change_profiles () =
+  let ws =
+    [ mk_workload ~seed:0xBEEFL "tel-a"; mk_workload ~seed:0x5EEDL "tel-b" ]
+  in
+  let off = List.map Pipeline.run ws in
+  Trace.enable ();
+  Metrics.enable ();
+  let on = List.map Pipeline.run ws in
+  Trace.disable ();
+  Metrics.disable ();
+  List.iter2
+    (fun a b ->
+      checkb "profile byte-identical with telemetry enabled" true
+        (profiles_equal a b))
+    off on;
+  checkb "pipeline emitted spans" true (Trace.span_count () > 0);
+  match Metrics.find (Metrics.snapshot ()) "pipeline.runs" with
+  | Some (Metrics.Counter n) -> checki "runs counted" 2 n
+  | _ -> Alcotest.fail "pipeline.runs counter missing"
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "kinds and registry" `Quick
+            (clean test_metrics_kinds);
+          Alcotest.test_case "atomic under domain pool" `Quick
+            (clean test_metrics_atomic_under_pool);
+          Alcotest.test_case "disabled records nothing" `Quick
+            (clean test_metrics_disabled_invisible);
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick
+            (clean test_span_nesting_and_order);
+          Alcotest.test_case "exception safety" `Quick
+            (clean test_span_survives_exception);
+          Alcotest.test_case "export shape" `Quick
+            (clean test_trace_export_shape);
+          Alcotest.test_case "spans across domains" `Quick
+            (clean test_spans_across_domains);
+        ] );
+      ( "pool_stats",
+        [
+          Alcotest.test_case "accounting for every job count" `Quick
+            (clean test_pool_stats_accounting);
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "telemetry leaves profiles byte-identical"
+            `Quick
+            (clean test_telemetry_does_not_change_profiles);
+        ] );
+    ]
