@@ -1,0 +1,161 @@
+(* Fault-injection overhead bench: demonstrates that the chaos hooks the
+   fault subsystem threads through the PMU, the session and the archive
+   writer cost nothing when disarmed, and shows what a mild armed plan
+   does to throughput and output.  Writes BENCH_faults.json.
+
+   Three series over the same workloads, interleaved so drift hits all
+   of them equally, best of [rounds] each:
+
+   - baseline:       faults disarmed (the default state);
+   - armed-inert:    the all-zero plan armed — every hook still resolves
+     to [None], so this must be byte-identical to baseline and its
+     overhead pure run-to-run noise;
+   - armed-mild:     a small multi-layer plan (sample drops, LBR
+     corruption, record loss) actually injecting.
+
+   A microbench of the disarmed PMU hook site reports the per-sample
+   cost of the [option] load in nanoseconds. *)
+
+open Hbbp_core
+module Plan = Hbbp_faults.Fault_plan
+module Faults = Hbbp_faults.Faults
+module U = Bench_util
+
+let now = Unix.gettimeofday
+
+let workloads () =
+  [
+    Hbbp_workloads.Fitter.workload Hbbp_workloads.Fitter.Sse;
+    Hbbp_workloads.Kernelbench.workload ();
+  ]
+
+let run_all ws = List.map (fun w -> Pipeline.run w) ws
+
+let time f =
+  let t0 = now () in
+  let v = f () in
+  (v, now () -. t0)
+
+let mild_plan =
+  match
+    Plan.of_string
+      "seed=42,pmu.drop=0.02,lbr.stuck=0.05,rec.drop_sample=0.02,rec.reorder=8"
+  with
+  | Ok p -> p
+  | Error e -> failwith ("BENCH faults: bad mild plan: " ^ e)
+
+(* Per-call cost of the disarmed hook: constructing an injector and
+   taking the [None] branch, amortized over [n] calls — the same load
+   the PMU performs per delivered sample. *)
+let disarmed_hook_ns () =
+  let n = 5_000_000 in
+  let sink = ref 0 in
+  let body () = incr sink in
+  let bare () =
+    for _ = 1 to n do
+      body ()
+    done
+  in
+  let hooked () =
+    for _ = 1 to n do
+      (match Faults.pmu_injector () with None -> body () | Some _ -> ());
+      ()
+    done
+  in
+  bare ();
+  hooked ();
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let (), dt = time f in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  let bare_s = best bare and hooked_s = best hooked in
+  (hooked_s -. bare_s) /. float_of_int n *. 1e9
+
+let run ppf =
+  U.header ppf "Fault-injection overhead (writes BENCH_faults.json)";
+  Faults.disarm ();
+  Faults.reset_tally ();
+  let ws = workloads () in
+  let rounds = 3 in
+  let baseline_s = ref infinity
+  and inert_s = ref infinity
+  and mild_s = ref infinity in
+  let baseline_profiles = ref [] and inert_profiles = ref [] in
+  let mild_profiles = ref [] in
+  for _ = 1 to rounds do
+    (* baseline (disarmed) *)
+    let ps, dt = time (fun () -> run_all ws) in
+    if dt < !baseline_s then baseline_s := dt;
+    baseline_profiles := ps;
+    (* armed-inert (all-zero plan: hooks still disarmed in effect) *)
+    Faults.arm Plan.none;
+    let ps, dt = time (fun () -> run_all ws) in
+    Faults.disarm ();
+    if dt < !inert_s then inert_s := dt;
+    inert_profiles := ps;
+    (* armed-mild (really injecting) *)
+    Faults.reset_tally ();
+    Faults.arm mild_plan;
+    let ps, dt = time (fun () -> run_all ws) in
+    Faults.disarm ();
+    if dt < !mild_s then mild_s := dt;
+    mild_profiles := ps
+  done;
+  let tally = Faults.tally () in
+  Faults.reset_tally ();
+  let identical =
+    List.for_all2 Perf.profiles_equal !baseline_profiles !inert_profiles
+  in
+  let degraded =
+    List.filter
+      (fun (p : Pipeline.profile) -> p.quality <> Pipeline.Full)
+      !mild_profiles
+  in
+  let frac v = (v -. !baseline_s) /. !baseline_s in
+  let inert_overhead = frac !inert_s and mild_overhead = frac !mild_s in
+  let hook_ns = disarmed_hook_ns () in
+  Format.fprintf ppf "%d workloads, best of %d rounds@." (List.length ws)
+    rounds;
+  Format.fprintf ppf "baseline (disarmed):      %8.3f s@." !baseline_s;
+  Format.fprintf ppf "armed inert plan:         %8.3f s  (%+.2f%% = noise)@."
+    !inert_s (100.0 *. inert_overhead);
+  Format.fprintf ppf "armed mild plan:          %8.3f s  (%+.2f%%)@." !mild_s
+    (100.0 *. mild_overhead);
+  Format.fprintf ppf "disarmed hook cost:       %8.1f ns/site@." hook_ns;
+  Format.fprintf ppf "profiles byte-identical with inert plan armed: %b@."
+    identical;
+  Format.fprintf ppf "mild plan: %d/%d profiles degraded, tally:@."
+    (List.length degraded)
+    (List.length !mild_profiles);
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "  %-28s %8d@." k n)
+    tally;
+  if not identical then
+    failwith "BENCH faults: arming the inert plan changed profile bytes";
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "faults",
+  "workloads": %d,
+  "rounds": %d,
+  "baseline_s": %.4f,
+  "inert_s": %.4f,
+  "mild_s": %.4f,
+  "inert_overhead": %.4f,
+  "mild_overhead": %.4f,
+  "disarmed_hook_ns": %.1f,
+  "profiles_identical_inert": %b,
+  "mild_degraded_profiles": %d,
+  "mild_tally": {%s}
+}
+|}
+    (List.length ws) rounds !baseline_s !inert_s !mild_s inert_overhead
+    mild_overhead hook_ns identical (List.length degraded)
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf {|"%s": %d|} k n) tally));
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_faults.json@."

@@ -30,11 +30,12 @@ let all : (string * (Format.formatter -> unit)) list =
     ("micro", Micro.run);
     ("pipeline", Perf.run);
     ("telemetry", Telemetry.run);
+    ("faults", Faults_bench.run);
   ]
 
 (* Targets that never touch the profile cache; everything else benefits
    from the parallel preload. *)
-let no_sweep = [ "table2"; "table4"; "micro"; "pipeline"; "telemetry" ]
+let no_sweep = [ "table2"; "table4"; "micro"; "pipeline"; "telemetry"; "faults" ]
 
 let () =
   let ppf = Format.std_formatter in

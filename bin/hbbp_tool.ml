@@ -31,11 +31,21 @@ let find_workload name =
   | w -> w
   | exception Invalid_argument msg -> die "%s" msg
 
+(* Loading is salvage-and-continue: a damaged archive comes back as the
+   readable prefix plus a fault ledger; only unreadable metadata kills
+   the command (exit 1). *)
 let load_archive path =
   match Hbbp_collector.Perf_data.load ~path with
-  | Ok archive -> archive
+  | Ok read -> read
   | Error e -> die "%s: %a" path Hbbp_collector.Perf_data.pp_error e
   | exception Sys_error msg -> die "cannot read archive: %s" msg
+
+let warn_ledger path ledger =
+  List.iter
+    (fun f ->
+      Format.eprintf "hbbp: %s: warning: %a@." path
+        Hbbp_collector.Perf_data.pp_fault f)
+    ledger
 
 let profile_of name = Pipeline.run (find_workload name)
 
@@ -68,6 +78,59 @@ let with_telemetry trace metrics f =
   let v = f () in
   Telemetry.finalize Format.std_formatter;
   v
+
+(* ---- fault injection ------------------------------------------------ *)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Arm the deterministic fault-injection plan $(docv), e.g. \
+           $(b,seed=7,pmu.drop=0.05,arch.flips=3) (keys: seed, pmu.drop, \
+           pmu.burst_every, pmu.burst_len, pmu.skid, pmu.jitter, \
+           lbr.truncate, lbr.stuck, lbr.misrotate, rec.drop_comm, \
+           rec.drop_mmap, rec.drop_sample, rec.reorder, arch.flips, \
+           arch.truncate). Defaults to $(b,HBBP_FAULTS) when set; faults \
+           stay disarmed otherwise.")
+
+(* Arm the plan around the work, always disarm, and surface what was
+   actually injected: a stderr tally, plus faults.* counters when the
+   metrics registry is on (added here, not in lib/faults, so the fault
+   library stays dependency-free). *)
+let with_faults spec f =
+  let spec =
+    match spec with Some _ -> spec | None -> Sys.getenv_opt "HBBP_FAULTS"
+  in
+  match spec with
+  | None -> f ()
+  | Some spec ->
+      let plan =
+        match Hbbp_faults.Fault_plan.of_string spec with
+        | Ok plan -> plan
+        | Error msg -> die "--faults: %s" msg
+      in
+      Hbbp_faults.Faults.reset_tally ();
+      Hbbp_faults.Faults.arm plan;
+      Fun.protect ~finally:Hbbp_faults.Faults.disarm @@ fun () ->
+      let v = f () in
+      let tally = Hbbp_faults.Faults.tally () in
+      if Hbbp_telemetry.Metrics.enabled () then
+        List.iter
+          (fun (k, n) ->
+            Hbbp_telemetry.Metrics.add
+              (Hbbp_telemetry.Metrics.counter ("faults." ^ k))
+              n)
+          tally;
+      if tally <> [] then begin
+        Format.eprintf "hbbp: faults injected (plan %s):@."
+          (Hbbp_faults.Fault_plan.to_string plan);
+        List.iter
+          (fun (k, n) -> Format.eprintf "  %-28s %8d@." k n)
+          tally
+      end;
+      v
 
 (* ---- list ---------------------------------------------------------- *)
 
@@ -119,11 +182,12 @@ let jobs_arg =
            Results are identical for every N.")
 
 let profile_cmd =
-  let run positional named jobs trace metrics =
+  let run positional named jobs faults trace metrics =
     let names = positional @ named in
     if names = [] then die "profile: no workload given (see 'hbbp list')";
     let ws = List.map find_workload names in
     with_telemetry trace metrics @@ fun () ->
+    with_faults faults @@ fun () ->
     let profiles = Pipeline.run_many ?jobs ws in
     List.iter
       (fun (p : Pipeline.profile) ->
@@ -142,8 +206,8 @@ let profile_cmd =
          "Profile workload(s) end to end and report accuracy/overheads; \
           multiple workloads run in parallel (-j)")
     Term.(
-      const run $ workloads_pos_arg $ workload_opt_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      const run $ workloads_pos_arg $ workload_opt_arg $ jobs_arg $ faults_arg
+      $ trace_arg $ metrics_arg)
 
 (* ---- mix ----------------------------------------------------------- *)
 
@@ -249,8 +313,9 @@ let train_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz instead of ASCII.")
   in
-  let run dot jobs trace metrics =
+  let run dot jobs faults trace metrics =
     with_telemetry trace metrics @@ fun () ->
+    with_faults faults @@ fun () ->
     let tree, dataset =
       Training.build ?jobs (Hbbp_workloads.Training_set.all ())
     in
@@ -274,7 +339,7 @@ let train_cmd =
        ~doc:
          "Run the HBBP criteria search on the training corpus (profiled \
           in parallel, -j)")
-    Term.(const run $ dot $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ dot $ jobs_arg $ faults_arg $ trace_arg $ metrics_arg)
 
 (* ---- collect / analyze --------------------------------------------- *)
 
@@ -285,9 +350,10 @@ let output_arg =
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Archive path.")
 
 let collect_cmd =
-  let run names output jobs trace metrics =
+  let run names output jobs faults trace metrics =
     let ws = List.map find_workload names in
     with_telemetry trace metrics @@ fun () ->
+    with_faults faults @@ fun () ->
     let archives = Pipeline.collect_many ?jobs ws in
     let single = match names with [ _ ] -> true | _ -> false in
     List.iter2
@@ -310,8 +376,8 @@ let collect_cmd =
           collections run in parallel (-j) and each archive lands in \
           $(i,WORKLOAD).hbbp")
     Term.(
-      const run $ workloads_arg $ output_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      const run $ workloads_arg $ output_arg $ jobs_arg $ faults_arg
+      $ trace_arg $ metrics_arg)
 
 let archive_arg =
   Arg.(
@@ -324,20 +390,28 @@ let analyze_cmd =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
   in
   let run path top =
-    let archive = load_archive path in
-    let r = Pipeline.analyze_archive archive in
+    let { Hbbp_collector.Perf_data.archive; ledger } = load_archive path in
+    warn_ledger path ledger;
+    let r = Pipeline.analyze_archive ~ledger archive in
     Format.printf "workload %s: %d blocks, %d LBR snapshots, %d flagged@."
       archive.Hbbp_collector.Perf_data.workload_name
       (Static.total_blocks r.Pipeline.r_static)
       r.Pipeline.r_lbr.Lbr_estimator.snapshots
       (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
+    Format.printf "quality: %a@." Pipeline.pp_quality r.Pipeline.r_quality;
     Format.printf "@.Instruction mix (HBBP):@.";
     Pivot.render Format.std_formatter
       (Views.top_mnemonics top
-         (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp))
+         (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp));
+    match r.Pipeline.r_quality with
+    | Pipeline.Full -> ()
+    | Pipeline.Degraded _ -> exit 2
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Analyze an archive offline (no re-run needed)")
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze an archive offline (no re-run needed); exits 2 when the \
+          reconstruction is degraded, 1 when the archive is unreadable")
     Term.(const run $ archive_arg $ top)
 
 (* ---- stats ---------------------------------------------------------- *)
@@ -350,13 +424,16 @@ let stats_cmd =
       & info [] ~docv:"FILE" ~doc:"Archive(s) written by $(b,hbbp collect).")
   in
   let run paths trace metrics =
-    with_telemetry trace metrics @@ fun () ->
+    let degraded = ref false in
+    with_telemetry trace metrics (fun () ->
     List.iter
       (fun path ->
-        let archive = load_archive path in
+        let { Hbbp_collector.Perf_data.archive; ledger } =
+          load_archive path
+        in
         let records = archive.Hbbp_collector.Perf_data.records in
         let db = Sample_db.of_records records in
-        let r = Pipeline.analyze_archive archive in
+        let r = Pipeline.analyze_archive ~ledger archive in
         let lbr = r.Pipeline.r_lbr in
         let streams =
           lbr.Lbr_estimator.usable_streams
@@ -391,14 +468,31 @@ let stats_cmd =
         Format.printf "  bias-flagged blocks %8d@."
           (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
         Format.printf "  static blocks       %8d@."
-          (Static.total_blocks r.Pipeline.r_static))
-      paths
+          (Static.total_blocks r.Pipeline.r_static);
+        (match ledger with
+        | [] -> Format.printf "  integrity              clean@."
+        | faults ->
+            Format.printf "  integrity           %8d fault(s), salvaged@."
+              (List.length faults);
+            List.iter
+              (fun f ->
+                Format.printf "    - %a@." Hbbp_collector.Perf_data.pp_fault f)
+              faults);
+        Format.printf "  quality             %a@." Pipeline.pp_quality
+          r.Pipeline.r_quality;
+        match r.Pipeline.r_quality with
+        | Pipeline.Full -> ()
+        | Pipeline.Degraded _ -> degraded := true)
+      paths);
+    if !degraded then exit 2
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Print collection and sampling-health statistics of archive(s): \
-          record volume, sample split, stream-walk failure rate, bias flags")
+          record volume, sample split, stream-walk failure rate, bias \
+          flags, salvage/integrity status. Exits 2 when any archive's \
+          reconstruction is degraded, 1 when one is unreadable")
     Term.(const run $ archives_arg $ trace_arg $ metrics_arg)
 
 (* ---- loops ---------------------------------------------------------- *)

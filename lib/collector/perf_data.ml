@@ -1,5 +1,7 @@
 open Hbbp_program
 open Hbbp_cpu
+module Crc32 = Hbbp_util.Crc32
+module Faults = Hbbp_faults.Faults
 
 type t = {
   workload_name : string;
@@ -50,8 +52,41 @@ let pp_error ppf = function
   | Truncated -> Format.pp_print_string ppf "truncated archive"
   | Corrupt what -> Format.fprintf ppf "corrupt archive: %s" what
 
+type section = Header | Images | Kernel_text | Records
+
+let section_name = function
+  | Header -> "header"
+  | Images -> "images"
+  | Kernel_text -> "kernel text"
+  | Records -> "records"
+
+type fault =
+  | Checksum_mismatch of section
+  | Truncated_records of { expected : int option; salvaged : int }
+  | Corrupt_records of { index : int; reason : string; salvaged : int }
+
+let pp_fault ppf = function
+  | Checksum_mismatch s ->
+      Format.fprintf ppf "%s section checksum mismatch" (section_name s)
+  | Truncated_records { expected = Some n; salvaged } ->
+      Format.fprintf ppf "records truncated: salvaged %d of %d" salvaged n
+  | Truncated_records { expected = None; salvaged } ->
+      Format.fprintf ppf "records truncated: salvaged %d (total unknown)"
+        salvaged
+  | Corrupt_records { index; reason; salvaged } ->
+      Format.fprintf ppf "record %d corrupt (%s): salvaged %d" index reason
+        salvaged
+
+type read = { archive : t; ledger : fault list }
+
 let magic = "HBBPDATA"
-let version = 1
+
+(* v1: one flat length-prefixed stream, no integrity data.
+   v2: the same primitives, but grouped into four sections — header,
+   images, kernel text, records — each preceded by (payload length,
+   item count, CRC-32).  Readers can verify integrity before parsing
+   and salvage the record stream independently of the metadata. *)
+let current_version = 2
 
 (* -- writer -- *)
 
@@ -118,29 +153,64 @@ let w_record buf (r : Record.t) =
       w_u8 buf 4;
       w_i64 buf n
 
-let to_bytes t =
+let w_header_payload buf t =
+  w_string buf t.workload_name;
+  w_i64 buf t.ebs_period;
+  w_i64 buf t.lbr_period
+
+let w_kernel_text buf (name, code) =
+  w_string buf name;
+  w_bytes buf code
+
+(* A v2 section: payload length, item count, CRC-32 of the payload,
+   then the payload itself. *)
+let w_section buf ~count payload =
+  let p = Buffer.contents payload in
+  w_i64 buf (String.length p);
+  w_i64 buf count;
+  w_i64 buf (Crc32.string p);
+  Buffer.add_string buf p
+
+let to_bytes ?(version = current_version) t =
   let buf = Buffer.create (1 lsl 16) in
   Buffer.add_string buf magic;
   w_u8 buf version;
-  w_string buf t.workload_name;
-  w_i64 buf t.ebs_period;
-  w_i64 buf t.lbr_period;
-  w_list buf w_image t.analysis_images;
-  w_list buf
-    (fun buf (name, code) ->
-      w_string buf name;
-      w_bytes buf code)
-    t.live_kernel_text;
-  w_list buf w_record t.records;
+  (match version with
+  | 1 ->
+      w_header_payload buf t;
+      w_list buf w_image t.analysis_images;
+      w_list buf w_kernel_text t.live_kernel_text;
+      w_list buf w_record t.records
+  | 2 ->
+      let payload f =
+        let b = Buffer.create 4096 in
+        f b;
+        b
+      in
+      w_section buf ~count:0 (payload (fun b -> w_header_payload b t));
+      w_section buf
+        ~count:(List.length t.analysis_images)
+        (payload (fun b -> List.iter (w_image b) t.analysis_images));
+      w_section buf
+        ~count:(List.length t.live_kernel_text)
+        (payload (fun b -> List.iter (w_kernel_text b) t.live_kernel_text));
+      w_section buf
+        ~count:(List.length t.records)
+        (payload (fun b -> List.iter (w_record b) t.records))
+  | v -> invalid_arg (Printf.sprintf "Perf_data.to_bytes: unknown version %d" v));
   Buffer.to_bytes buf
 
 (* -- reader -- *)
 
 exception Parse of error
 
-type cursor = { data : bytes; mutable pos : int }
+(* A bounded cursor: [limit] caps every read, so a corrupt length in one
+   v2 section can never pull bytes from the next one, and no arithmetic
+   on attacker-controlled lengths can overflow past the buffer. *)
+type cursor = { data : bytes; mutable pos : int; limit : int }
 
-let need c n = if c.pos + n > Bytes.length c.data then raise (Parse Truncated)
+let remaining c = c.limit - c.pos
+let need c n = if n < 0 || n > remaining c then raise (Parse Truncated)
 
 let r_u8 c =
   need c 1;
@@ -169,8 +239,18 @@ let r_bytes c =
   c.pos <- c.pos + n;
   b
 
-let r_list c f =
+(* Guard a parsed item count against the bytes that could possibly back
+   it (every item needs at least [min_item_size] bytes), so a flipped
+   count field raises a typed error instead of attempting a giant
+   allocation. *)
+let r_count c ~min_item_size =
   let n = r_i64 c in
+  if min_item_size > 0 && n > remaining c / min_item_size then
+    raise (Parse (Corrupt (Printf.sprintf "implausible count %d" n)));
+  n
+
+let r_list c ?(min_item_size = 1) f =
+  let n = r_count c ~min_item_size in
   List.init n (fun _ -> f c)
 
 let r_ring c =
@@ -179,94 +259,202 @@ let r_ring c =
   | 1 -> Ring.Kernel
   | v -> raise (Parse (Corrupt (Printf.sprintf "ring tag %d" v)))
 
+let r_image c =
+  let name = r_string c in
+  let base = r_i64 c in
+  let ring = r_ring c in
+  let code = r_bytes c in
+  let symbols =
+    r_list c ~min_item_size:24 (fun c ->
+        let name = r_string c in
+        let addr = r_i64 c in
+        let size = r_i64 c in
+        Symbol.make ~name ~addr ~size)
+  in
+  Image.make ~name ~base ~code ~symbols ~ring
+
+let r_kernel_text c =
+  let name = r_string c in
+  let code = r_bytes c in
+  (name, code)
+
+let r_record c =
+  match r_u8 c with
+  | 0 ->
+      let pid = r_i64 c in
+      let name = r_string c in
+      Record.Comm { pid; name }
+  | 1 ->
+      let addr = r_i64 c in
+      let len = r_i64 c in
+      let name = r_string c in
+      let ring = r_ring c in
+      Record.Mmap { addr; len; name; ring }
+  | 2 ->
+      let parent = r_i64 c in
+      let child = r_i64 c in
+      Record.Fork { parent; child }
+  | 3 ->
+      let event_name = r_string c in
+      let event =
+        match Pmu_event.of_string event_name with
+        | Some e -> e
+        | None -> raise (Parse (Corrupt ("event " ^ event_name)))
+      in
+      let ip = r_i64 c in
+      let ring = r_ring c in
+      let time = r_i64 c in
+      let n = r_count c ~min_item_size:16 in
+      let lbr =
+        Array.init n (fun _ ->
+            let src = r_i64 c in
+            let tgt = r_i64 c in
+            { Lbr.src; tgt })
+      in
+      Record.Sample { Record.event; ip; lbr; ring; time }
+  | 4 -> Record.Lost (r_i64 c)
+  | tag -> raise (Parse (Corrupt (Printf.sprintf "record tag %d" tag)))
+
+(* Salvage loop: read up to [expected] records, keeping the parseable
+   prefix.  Returns the records, how many were salvaged and the error
+   that ended the walk (if any). *)
+let r_records_salvage c ~expected =
+  let rec go acc i =
+    if i >= expected then (List.rev acc, i, None)
+    else
+      match r_record c with
+      | r -> go (r :: acc) (i + 1)
+      | exception Parse e -> (List.rev acc, i, Some e)
+  in
+  go [] 0
+
+let records_fault ~expected ~salvaged = function
+  | Truncated -> Truncated_records { expected; salvaged }
+  | Corrupt reason -> Corrupt_records { index = salvaged; reason; salvaged }
+  | Bad_magic | Bad_version _ ->
+      Corrupt_records { index = salvaged; reason = "malformed"; salvaged }
+
+(* -- v1 reader: metadata errors are fatal, the trailing record list is
+   salvaged to its parseable prefix -- *)
+
+let of_bytes_v1 c =
+  let workload_name = r_string c in
+  let ebs_period = r_i64 c in
+  let lbr_period = r_i64 c in
+  let analysis_images = r_list c ~min_item_size:26 r_image in
+  let live_kernel_text = r_list c ~min_item_size:16 r_kernel_text in
+  let ledger = ref [] in
+  let records =
+    match r_count c ~min_item_size:1 with
+    | exception Parse e ->
+        ledger := [ records_fault ~expected:None ~salvaged:0 e ];
+        []
+    | expected -> (
+        let records, salvaged, err = r_records_salvage c ~expected in
+        match err with
+        | None -> records
+        | Some e ->
+            ledger := [ records_fault ~expected:(Some expected) ~salvaged e ];
+            records)
+  in
+  {
+    archive =
+      { workload_name; ebs_period; lbr_period; analysis_images;
+        live_kernel_text; records };
+    ledger = !ledger;
+  }
+
+(* -- v2 reader -- *)
+
+(* Read one section header and return a cursor bounded to its payload,
+   plus the declared item count and integrity flags.  [complete] is
+   false when the payload itself is cut short. *)
+let r_section c =
+  let len = r_i64 c in
+  let count = r_i64 c in
+  let crc = r_i64 c in
+  let avail = min len (remaining c) in
+  let complete = avail = len in
+  let crc_ok = complete && Crc32.bytes ~off:c.pos ~len c.data = crc in
+  let sub = { data = c.data; pos = c.pos; limit = c.pos + avail } in
+  c.pos <- c.pos + avail;
+  (sub, count, complete, crc_ok)
+
+(* Metadata sections (header, images, kernel text) must be complete and
+   checksum-clean: without intact images there is nothing to analyze. *)
+let r_meta_section c ~section parse =
+  let sub, count, complete, crc_ok = r_section c in
+  if not complete then raise (Parse Truncated);
+  if not crc_ok then
+    raise (Parse (Corrupt (section_name section ^ " checksum mismatch")));
+  parse sub count
+
+let of_bytes_v2 c =
+  let workload_name = ref "" and ebs_period = ref 0 and lbr_period = ref 0 in
+  r_meta_section c ~section:Header (fun sub _ ->
+      workload_name := r_string sub;
+      ebs_period := r_i64 sub;
+      lbr_period := r_i64 sub);
+  let analysis_images =
+    r_meta_section c ~section:Images (fun sub count ->
+        List.init count (fun _ -> r_image sub))
+  in
+  let live_kernel_text =
+    r_meta_section c ~section:Kernel_text (fun sub count ->
+        List.init count (fun _ -> r_kernel_text sub))
+  in
+  (* The records section is salvageable: a truncated or corrupt stream
+     yields its parseable prefix plus a ledger, never a failure. *)
+  let ledger = ref [] in
+  let records =
+    match r_section c with
+    | exception Parse _ ->
+        ledger := [ Truncated_records { expected = None; salvaged = 0 } ];
+        []
+    | sub, expected, complete, crc_ok -> (
+        if complete && not crc_ok then
+          ledger := [ Checksum_mismatch Records ];
+        let records, salvaged, err = r_records_salvage sub ~expected in
+        match err with
+        | None ->
+            if not complete then
+              ledger :=
+                Truncated_records { expected = Some expected; salvaged }
+                :: !ledger;
+            records
+        | Some e ->
+            ledger :=
+              records_fault ~expected:(Some expected) ~salvaged e :: !ledger;
+            records)
+  in
+  {
+    archive =
+      { workload_name = !workload_name; ebs_period = !ebs_period;
+        lbr_period = !lbr_period; analysis_images; live_kernel_text; records };
+    ledger = List.rev !ledger;
+  }
+
 let of_bytes data =
   try
     if Bytes.length data < String.length magic then raise (Parse Truncated);
     if
-      not
-        (String.equal (Bytes.sub_string data 0 (String.length magic)) magic)
+      not (String.equal (Bytes.sub_string data 0 (String.length magic)) magic)
     then raise (Parse Bad_magic);
-    let c = { data; pos = String.length magic } in
-    let v = r_u8 c in
-    if v <> version then raise (Parse (Bad_version v));
-    let workload_name = r_string c in
-    let ebs_period = r_i64 c in
-    let lbr_period = r_i64 c in
-    let analysis_images =
-      r_list c (fun c ->
-          let name = r_string c in
-          let base = r_i64 c in
-          let ring = r_ring c in
-          let code = r_bytes c in
-          let symbols =
-            r_list c (fun c ->
-                let name = r_string c in
-                let addr = r_i64 c in
-                let size = r_i64 c in
-                Symbol.make ~name ~addr ~size)
-          in
-          Image.make ~name ~base ~code ~symbols ~ring)
+    let c =
+      { data; pos = String.length magic; limit = Bytes.length data }
     in
-    let live_kernel_text =
-      r_list c (fun c ->
-          let name = r_string c in
-          let code = r_bytes c in
-          (name, code))
-    in
-    let records =
-      r_list c (fun c ->
-          match r_u8 c with
-          | 0 ->
-              let pid = r_i64 c in
-              let name = r_string c in
-              Record.Comm { pid; name }
-          | 1 ->
-              let addr = r_i64 c in
-              let len = r_i64 c in
-              let name = r_string c in
-              let ring = r_ring c in
-              Record.Mmap { addr; len; name; ring }
-          | 2 ->
-              let parent = r_i64 c in
-              let child = r_i64 c in
-              Record.Fork { parent; child }
-          | 3 ->
-              let event_name = r_string c in
-              let event =
-                match Pmu_event.of_string event_name with
-                | Some e -> e
-                | None -> raise (Parse (Corrupt ("event " ^ event_name)))
-              in
-              let ip = r_i64 c in
-              let ring = r_ring c in
-              let time = r_i64 c in
-              let n = r_i64 c in
-              let lbr =
-                Array.init n (fun _ ->
-                    let src = r_i64 c in
-                    let tgt = r_i64 c in
-                    { Lbr.src; tgt })
-              in
-              Record.Sample { Record.event; ip; lbr; ring; time }
-          | 4 -> Record.Lost (r_i64 c)
-          | tag -> raise (Parse (Corrupt (Printf.sprintf "record tag %d" tag))))
-    in
-    Ok
-      {
-        workload_name;
-        ebs_period;
-        lbr_period;
-        analysis_images;
-        live_kernel_text;
-        records;
-      }
+    match r_u8 c with
+    | 1 -> Ok (of_bytes_v1 c)
+    | 2 -> Ok (of_bytes_v2 c)
+    | v -> raise (Parse (Bad_version v))
   with Parse e -> Error e
 
-let save t ~path =
+let save ?version t ~path =
+  let data = Faults.mangle_archive (to_bytes ?version t) in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_bytes oc (to_bytes t))
+    (fun () -> output_bytes oc data)
 
 let load ~path =
   let ic = open_in_bin path in

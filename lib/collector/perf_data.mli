@@ -7,8 +7,17 @@
       (paper section III.C: the self-modifying kernel remedy needs it);
     - the record stream (comm/mmap/samples/lost).
 
-    The format is a simple length-prefixed little-endian binary with a
-    magic header; it round-trips exactly. *)
+    The current format (v2) is a length-prefixed little-endian binary
+    with a magic header and {b four checksummed sections} (header,
+    images, kernel text, records): each section carries its payload
+    length, item count and CRC-32, so readers detect truncation and bit
+    rot before parsing.  v1 archives (flat, no integrity data) are still
+    readable.
+
+    Reading {b salvages} rather than aborts: a truncated or corrupt
+    record stream yields its parseable prefix plus a typed fault
+    {!ledger}; only damage to the metadata sections (without which
+    nothing can be analyzed) is a hard {!error}. *)
 
 open Hbbp_program
 
@@ -36,11 +45,50 @@ val of_session :
     the captured live text (ready for {!Hbbp_analyzer.Static.create}). *)
 val analysis_process : t -> Process.t
 
+(** {1 Errors, faults and salvage} *)
+
+(** Hard errors: nothing usable could be recovered. *)
 type error = Bad_magic | Bad_version of int | Truncated | Corrupt of string
 
 val pp_error : Format.formatter -> error -> unit
 
-val to_bytes : t -> bytes
-val of_bytes : bytes -> (t, error) result
-val save : t -> path:string -> unit
-val load : path:string -> (t, error) result
+type section = Header | Images | Kernel_text | Records
+
+val section_name : section -> string
+
+(** One entry of the fault ledger: damage the reader detected and
+    survived.  A non-empty ledger means the archive was salvaged and any
+    analysis of it is degraded. *)
+type fault =
+  | Checksum_mismatch of section
+      (** Section payload present but CRC-32 did not match (v2 only). *)
+  | Truncated_records of { expected : int option; salvaged : int }
+      (** The record stream was cut short; [expected] is the declared
+          record count when known (v2, or a v1 count that was readable). *)
+  | Corrupt_records of { index : int; reason : string; salvaged : int }
+      (** Record [index] failed to parse; the stream was kept up to it. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+(** A successful (possibly salvaged) read. *)
+type read = { archive : t; ledger : fault list }
+
+(** {1 Serialization} *)
+
+val current_version : int
+
+(** [to_bytes ?version t] — serialize; [version] is [2] (default,
+    checksummed sections) or [1] (legacy flat format).
+    @raise Invalid_argument on any other version. *)
+val to_bytes : ?version:int -> t -> bytes
+
+(** Total: returns [Ok] (with a ledger describing any salvage) or a
+    typed [Error] — never raises, whatever the input bytes. *)
+val of_bytes : bytes -> (read, error) result
+
+(** [save ?version t ~path] — write the archive.  When a fault plan with
+    archive faults is armed ({!Hbbp_faults.Faults.arm}), the serialized
+    bytes are mangled (bit flips / truncation) before hitting disk. *)
+val save : ?version:int -> t -> path:string -> unit
+
+val load : path:string -> (read, error) result

@@ -1,5 +1,6 @@
 open Hbbp_program
 open Hbbp_cpu
+module Faults = Hbbp_faults.Faults
 
 type t = { pmu : Pmu.t; ebs_period : int; lbr_period : int }
 
@@ -50,7 +51,22 @@ let records t process ~pid ~name =
           })
       (Pmu.samples t.pmu)
   in
-  header @ samples
+  let stream = header @ samples in
+  (* Collector-layer fault injection: when a plan with record faults is
+     armed, drop/reorder records and — like perf reporting ring-buffer
+     overruns — close the stream with a LOST record summarizing the
+     damage, so analyzers can see that data went missing. *)
+  match Faults.stream_injector () with
+  | None -> stream
+  | Some inj ->
+      let classify : Record.t -> Faults.record_class = function
+        | Record.Comm _ -> Faults.Rec_comm
+        | Record.Mmap _ -> Faults.Rec_mmap
+        | Record.Sample _ -> Faults.Rec_sample
+        | Record.Fork _ | Record.Lost _ -> Faults.Rec_other
+      in
+      let kept, dropped = Faults.apply_stream inj ~classify stream in
+      if dropped > 0 then kept @ [ Record.Lost dropped ] else kept
 
 let overhead_fraction ~(paper : Period.pair) ~(stats : Machine.run_stats)
     ~(model : Pmu_model.t) =

@@ -25,7 +25,13 @@ val configure : Pmu_model.t -> Period.pair -> t
 val pmu : t -> Pmu.t
 
 (** [records t process ~pid ~name] — the perf.data-style stream: COMM and
-    MMAP records for every image, then all samples. *)
+    MMAP records for every image, then all samples.
+
+    When a fault plan with collector faults is armed
+    ({!Hbbp_faults.Faults.arm}), records are dropped/reordered per the
+    plan and a trailing [Lost] record reports how many were dropped
+    (perf's ring-buffer-overrun convention).  Disarmed, the hook is a
+    single [option] load. *)
 val records : t -> Process.t -> pid:int -> name:string -> Record.t list
 
 val ebs_period : t -> int

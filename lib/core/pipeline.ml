@@ -6,6 +6,56 @@ open Hbbp_collector
 module Trace = Hbbp_telemetry.Trace
 module Metrics = Hbbp_telemetry.Metrics
 
+(* ------------------------------------------------------------------ *)
+(* Reconstruction quality and graceful degradation                     *)
+
+type degrade_reason =
+  | Archive_fault of string
+  | Lost_records of int
+  | Ebs_starved of { samples : int; unattributed_share : float }
+  | Lbr_starved of { snapshots : int; failure_rate : float }
+  | Fallback of [ `Ebs_only | `Lbr_only ]
+
+type quality = Full | Degraded of degrade_reason list
+
+let pp_degrade_reason ppf = function
+  | Archive_fault s -> Format.fprintf ppf "archive: %s" s
+  | Lost_records n -> Format.fprintf ppf "%d lost records" n
+  | Ebs_starved { samples; unattributed_share } ->
+      Format.fprintf ppf "EBS starved (%d samples, %.0f%% unattributed)"
+        samples (100.0 *. unattributed_share)
+  | Lbr_starved { snapshots; failure_rate } ->
+      Format.fprintf ppf "LBR starved (%d snapshots, %.0f%% stream failures)"
+        snapshots (100.0 *. failure_rate)
+  | Fallback `Ebs_only -> Format.pp_print_string ppf "EBS-only fallback"
+  | Fallback `Lbr_only -> Format.pp_print_string ppf "LBR-only fallback"
+
+let pp_quality ppf = function
+  | Full -> Format.pp_print_string ppf "full"
+  | Degraded reasons ->
+      Format.fprintf ppf "degraded (%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_degrade_reason)
+        reasons
+
+type thresholds = {
+  min_ebs_samples : int;
+  max_unattributed_share : float;
+  min_lbr_snapshots : int;
+  max_stream_failure : float;
+  max_lost_records : int;
+}
+
+let default_thresholds =
+  {
+    min_ebs_samples = 8;
+    max_unattributed_share = 0.5;
+    min_lbr_snapshots = 4;
+    max_stream_failure = 0.6;
+    max_lost_records = 0;
+  }
+
 type config = {
   model : Pmu_model.t;
   criteria : Criteria.t;
@@ -13,6 +63,7 @@ type config = {
   sde : Hbbp_instrument.Sde.config;
   max_instructions : int;
   count_events : Pmu_event.t list;
+  thresholds : thresholds;
 }
 
 let default_config =
@@ -23,6 +74,7 @@ let default_config =
     sde = Hbbp_instrument.Sde.default_config;
     max_instructions = 2_000_000_000;
     count_events = [ Pmu_event.Inst_retired_any ];
+    thresholds = default_thresholds;
   }
 
 type profile = {
@@ -47,6 +99,7 @@ type profile = {
   sde_lost_kernel : int;
   pmu_counts : (Pmu_event.t * int64) list;
   records : Record.t list;
+  quality : quality;
 }
 
 let user_maps static =
@@ -63,6 +116,7 @@ type reconstruction = {
   r_lbr : Lbr_estimator.t;
   r_bias : Bias.t;
   r_hbbp : Bbec.t;
+  r_quality : quality;
 }
 
 (* Sampling-health counters of one reconstruction: everything the paper
@@ -91,11 +145,87 @@ let record_reconstruction_metrics (r : reconstruction) =
        else
          float_of_int (streams - r.r_lbr.Lbr_estimator.usable_streams)
          /. float_of_int streams);
-    c "bias.flagged_blocks" (List.length (Bias.flagged_blocks r.r_bias))
+    c "bias.flagged_blocks" (List.length (Bias.flagged_blocks r.r_bias));
+    match r.r_quality with
+    | Full -> ()
+    | Degraded reasons ->
+        c "degrade.reconstructions" 1;
+        c "degrade.reasons" (List.length reasons);
+        List.iter
+          (function
+            | Fallback `Ebs_only -> c "degrade.fallback_ebs_only" 1
+            | Fallback `Lbr_only -> c "degrade.fallback_lbr_only" 1
+            | Archive_fault _ -> c "degrade.archive_faults" 1
+            | Lost_records n -> c "degrade.lost_records" n
+            | Ebs_starved _ | Lbr_starved _ -> ())
+          reasons
   end
 
-let reconstruct ?(criteria = Criteria.default) ~static ~ebs_period ~lbr_period
-    records =
+(* Channel health against the configured thresholds: the analyzer-side
+   analogue of the PMU's own sampling-health accounting.  A channel is
+   "starved" when it cannot plausibly support per-block estimation on
+   its own — the situations the paper's decision criteria assume never
+   happen on healthy hardware. *)
+let assess_quality (th : thresholds) ~ledger ~(db : Sample_db.t)
+    ~(ebs : Ebs_estimator.t) ~(lbr : Lbr_estimator.t) =
+  let ebs_total =
+    Array.fold_left ( + ) ebs.Ebs_estimator.unattributed ebs.Ebs_estimator.raw
+  in
+  let unattributed_share =
+    if ebs_total = 0 then 1.0
+    else float_of_int ebs.Ebs_estimator.unattributed /. float_of_int ebs_total
+  in
+  let ebs_bad =
+    ebs_total < th.min_ebs_samples
+    || unattributed_share > th.max_unattributed_share
+  in
+  let streams =
+    lbr.Lbr_estimator.usable_streams
+    + lbr.Lbr_estimator.inconsistent_streams
+    + lbr.Lbr_estimator.discarded_streams
+  in
+  let failure_rate =
+    if streams = 0 then 0.0
+    else
+      float_of_int (streams - lbr.Lbr_estimator.usable_streams)
+      /. float_of_int streams
+  in
+  let lbr_bad =
+    lbr.Lbr_estimator.snapshots < th.min_lbr_snapshots
+    || failure_rate > th.max_stream_failure
+  in
+  let fallback =
+    if ebs_bad && not lbr_bad then Some `Lbr_only
+    else if lbr_bad && not ebs_bad then Some `Ebs_only
+    else None
+  in
+  let reasons =
+    List.map
+      (fun f -> Archive_fault (Format.asprintf "%a" Perf_data.pp_fault f))
+      ledger
+    @ (if db.Sample_db.lost > th.max_lost_records then
+         [ Lost_records db.Sample_db.lost ]
+       else [])
+    @ (if ebs_bad then
+         [ Ebs_starved { samples = ebs_total; unattributed_share } ]
+       else [])
+    @ (if lbr_bad then
+         [ Lbr_starved { snapshots = lbr.Lbr_estimator.snapshots; failure_rate } ]
+       else [])
+    @ match fallback with Some f -> [ Fallback f ] | None -> []
+  in
+  let quality = if reasons = [] then Full else Degraded reasons in
+  (quality, fallback)
+
+(* Single-channel reconstruction reuses the fusion path: a length rule
+   with cutoff 0 sends every block to EBS, cutoff max_int to LBR. *)
+let fallback_criteria = function
+  | `Ebs_only -> Criteria.Length_rule { cutoff = 0; bias_to_ebs = false }
+  | `Lbr_only -> Criteria.Length_rule { cutoff = max_int; bias_to_ebs = false }
+
+let reconstruct ?(criteria = Criteria.default)
+    ?(thresholds = default_thresholds) ?(ledger = []) ~static ~ebs_period
+    ~lbr_period records =
   let span name f = Trace.with_span ~cat:"analyze" name f in
   let db = span "sample_db" (fun () -> Sample_db.of_records records) in
   let ebs =
@@ -107,11 +237,24 @@ let reconstruct ?(criteria = Criteria.default) ~static ~ebs_period ~lbr_period
         Lbr_estimator.estimate static ~period:lbr_period db.Sample_db.lbr)
   in
   let bias = span "bias_detect" (fun () -> Bias.detect static db.Sample_db.lbr) in
+  let quality, fallback = assess_quality thresholds ~ledger ~db ~ebs ~lbr in
+  let criteria =
+    match fallback with
+    | None -> criteria
+    | Some which -> fallback_criteria which
+  in
   let hbbp =
     span "fuse" (fun () -> Combine.fuse static ~criteria ~bias ~ebs ~lbr)
   in
   let r =
-    { r_static = static; r_ebs = ebs; r_lbr = lbr; r_bias = bias; r_hbbp = hbbp }
+    {
+      r_static = static;
+      r_ebs = ebs;
+      r_lbr = lbr;
+      r_bias = bias;
+      r_hbbp = hbbp;
+      r_quality = quality;
+    }
   in
   record_reconstruction_metrics r;
   r
@@ -138,9 +281,10 @@ let collect_archive ?(config = default_config) (w : Workload.t) =
       Perf_data.of_session ~workload_name:w.Workload.name ~session
         ~analysis:w.Workload.analysis_process ~live:w.Workload.live_process)
 
-let analyze_archive ?criteria (archive : Perf_data.t) =
+let analyze_archive ?criteria ?thresholds ?ledger (archive : Perf_data.t) =
   let static = Static.create_exn (Perf_data.analysis_process archive) in
-  reconstruct ?criteria ~static ~ebs_period:archive.Perf_data.ebs_period
+  reconstruct ?criteria ?thresholds ?ledger ~static
+    ~ebs_period:archive.Perf_data.ebs_period
     ~lbr_period:archive.Perf_data.lbr_period archive.Perf_data.records
 
 (* Run-level counters: execution volume plus the PMU's sampling-health
@@ -219,7 +363,7 @@ let run ?(config = default_config) (w : Workload.t) =
         Session.records session w.live_process ~pid:1 ~name:w.name)
   in
   let r =
-    reconstruct ~criteria:config.criteria ~static
+    reconstruct ~criteria:config.criteria ~thresholds:config.thresholds ~static
       ~ebs_period:(Session.ebs_period session)
       ~lbr_period:(Session.lbr_period session) records
   in
@@ -261,6 +405,7 @@ let run ?(config = default_config) (w : Workload.t) =
       sde_lost_kernel = Hbbp_instrument.Sde.lost_kernel_instructions sde;
       pmu_counts = Pmu.counts counting;
       records;
+      quality = r.r_quality;
     }
   in
   record_run_metrics p;

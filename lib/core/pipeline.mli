@@ -12,6 +12,47 @@ open Hbbp_cpu
 open Hbbp_analyzer
 open Hbbp_collector
 
+(** {1 Reconstruction quality}
+
+    Graceful degradation: instead of aborting when the collected data is
+    damaged or a channel is starved, the pipeline reconstructs what it
+    can and labels the result.  [Full] means every channel passed its
+    health thresholds and no archive faults were recorded; [Degraded]
+    carries the complete list of reasons. *)
+
+type degrade_reason =
+  | Archive_fault of string
+      (** A fault from the archive's salvage ledger
+          ({!Hbbp_collector.Perf_data.fault}, rendered). *)
+  | Lost_records of int
+      (** The record stream reported ring-buffer loss ([Record.Lost]). *)
+  | Ebs_starved of { samples : int; unattributed_share : float }
+      (** EBS channel below {!thresholds.min_ebs_samples} or above
+          {!thresholds.max_unattributed_share}. *)
+  | Lbr_starved of { snapshots : int; failure_rate : float }
+      (** LBR channel below {!thresholds.min_lbr_snapshots} or above
+          {!thresholds.max_stream_failure}. *)
+  | Fallback of [ `Ebs_only | `Lbr_only ]
+      (** Exactly one channel was starved, so the fusion criteria were
+          overridden to reconstruct from the healthy channel alone. *)
+
+type quality = Full | Degraded of degrade_reason list
+
+val pp_degrade_reason : Format.formatter -> degrade_reason -> unit
+val pp_quality : Format.formatter -> quality -> unit
+
+(** Channel-health thresholds that trip degradation (and, when exactly
+    one channel is bad, single-channel fallback). *)
+type thresholds = {
+  min_ebs_samples : int;
+  max_unattributed_share : float;
+  min_lbr_snapshots : int;
+  max_stream_failure : float;
+  max_lost_records : int;
+}
+
+val default_thresholds : thresholds
+
 type config = {
   model : Pmu_model.t;
   criteria : Criteria.t;
@@ -21,6 +62,7 @@ type config = {
   max_instructions : int;
   count_events : Pmu_event.t list;
       (** Extra counting-mode events for cross-checking. *)
+  thresholds : thresholds;
 }
 
 val default_config : config
@@ -50,6 +92,7 @@ type profile = {
   sde_lost_kernel : int;
   pmu_counts : (Pmu_event.t * int64) list;
   records : Record.t list;
+  quality : quality;  (** Degradation verdict of the reconstruction. *)
 }
 
 val run : ?config:config -> Workload.t -> profile
@@ -74,12 +117,22 @@ type reconstruction = {
   r_lbr : Lbr_estimator.t;
   r_bias : Bias.t;
   r_hbbp : Bbec.t;
+  r_quality : quality;
 }
 
 (** [reconstruct ~static ~ebs_period ~lbr_period records] — rebuild all
-    three BBEC estimates from a raw record stream. *)
+    three BBEC estimates from a raw record stream.
+
+    [ledger] feeds archive faults discovered during loading into the
+    quality verdict.  If exactly one channel fails its [thresholds], the
+    fusion criteria are overridden to a single-channel rule and a
+    [Fallback] reason is recorded; if both fail, [criteria] is kept
+    (there is no better channel to prefer) and both starvation reasons
+    are reported. *)
 val reconstruct :
   ?criteria:Criteria.t ->
+  ?thresholds:thresholds ->
+  ?ledger:Perf_data.fault list ->
   static:Static.t ->
   ebs_period:int ->
   lbr_period:int ->
@@ -95,9 +148,17 @@ val collect_archive : ?config:config -> Workload.t -> Perf_data.t
 val collect_many :
   ?jobs:int -> ?config:config -> Workload.t list -> Perf_data.t list
 
-(** [analyze_archive ?criteria archive] — offline analysis of a loaded
-    archive (applies the live-kernel-text patch from the archive). *)
-val analyze_archive : ?criteria:Criteria.t -> Perf_data.t -> reconstruction
+(** [analyze_archive ?criteria ?thresholds ?ledger archive] — offline
+    analysis of a loaded archive (applies the live-kernel-text patch
+    from the archive).  Pass the salvage [ledger] returned by
+    {!Hbbp_collector.Perf_data.load} so archive damage is reflected in
+    [r_quality]. *)
+val analyze_archive :
+  ?criteria:Criteria.t ->
+  ?thresholds:thresholds ->
+  ?ledger:Perf_data.fault list ->
+  Perf_data.t ->
+  reconstruction
 
 (** {1 Derived views} *)
 

@@ -11,7 +11,8 @@ let summary ppf (p : Pipeline.profile) =
      periods %d / %d)@,\
      instrumentation: slowdown %.2fx, %Ld counted, %d kernel lost@,\
      LBR: %d snapshots, %d usable / %d inconsistent / %d discarded streams@,\
-     bias: %d flagged blocks@]"
+     bias: %d flagged blocks@,\
+     quality: %a@]"
     p.workload.Workload.name p.stats.retired p.stats.cycles
     p.stats.taken_branches p.stats.kernel_retired p.sim_periods.ebs
     p.sim_periods.lbr pp_pct p.collection_overhead p.paper_periods.ebs
@@ -20,6 +21,7 @@ let summary ppf (p : Pipeline.profile) =
     p.lbr.Lbr_estimator.inconsistent_streams
     p.lbr.Lbr_estimator.discarded_streams
     (List.length (Bias.flagged_blocks p.bias))
+    Pipeline.pp_quality p.quality
 
 let error_table ppf ?(top = 20) (p : Pipeline.profile) bbec =
   let report = Pipeline.error_report p bbec in

@@ -1,5 +1,6 @@
 open Hbbp_isa
 open Hbbp_program
+module Faults = Hbbp_faults.Faults
 
 type counter_mode = Counting | Sampling of { period : int; lbr : bool }
 type counter_config = { event : Pmu_event.t; mode : counter_mode }
@@ -64,6 +65,9 @@ type t = {
   mutable stuck_snapshots : int;
   mutable misrotated_snapshots : int;
   mutable dropped_records : int;
+  mutable faults : Faults.pmu_injector option;
+      (* Chaos hook; [None] unless a fault plan with PMU faults is armed
+         at creation, so the disarmed hot path is one field load. *)
 }
 
 let create model configs =
@@ -99,6 +103,7 @@ let create model configs =
     stuck_snapshots = 0;
     misrotated_snapshots = 0;
     dropped_records = 0;
+    faults = Faults.pmu_injector ();
   }
 
 (* How much a retirement advances a counter for a given event. *)
@@ -201,6 +206,28 @@ let snapshot_lbr t ~branch_based ~trigger =
     end
   end
 
+(* Injected LBR corruption (chaos testing): forced stuck/mis-rotated
+   snapshots reuse the genuine quirk transforms; truncation keeps only
+   the newest entries, as if the buffer stopped short. *)
+let inject_lbr_faults inj ~(trigger : Lbr.entry option) snap =
+  if Array.length snap = 0 then snap
+  else begin
+    let f = Faults.lbr_fault inj in
+    let snap =
+      if f.Faults.stick then
+        let e =
+          match trigger with Some e -> e | None -> snap.(Array.length snap - 1)
+        in
+        stick snap e
+      else snap
+    in
+    let snap = if f.Faults.misrotate then misrotate snap else snap in
+    let keep = f.Faults.truncate in
+    if keep > 0 && keep < Array.length snap then
+      Array.sub snap (Array.length snap - keep) keep
+    else snap
+  end
+
 let deliver t pending (r : Machine.retirement) =
   let counter = t.counters.(pending.counter_idx) in
   let lbr_enabled =
@@ -214,17 +241,31 @@ let deliver t pending (r : Machine.retirement) =
         ~trigger:pending.trigger
     else [||]
   in
+  let lbr =
+    match t.faults with
+    | None -> lbr
+    | Some inj -> inject_lbr_faults inj ~trigger:pending.trigger lbr
+  in
   t.pmi_count <- t.pmi_count + 1;
-  t.samples_rev <-
-    {
-      event = counter.config.event;
-      ip = r.node.Exec_graph.addr;
-      lbr;
-      ring = r.node.Exec_graph.ring;
-      retired_index = r.retired_index;
-      cycles = r.cycles;
-    }
-    :: t.samples_rev
+  (* Injected sample loss: the PMI happened (it is counted, it cost
+     cycles) but the sample record never reaches the stream — a ring
+     buffer overrun seen from inside the PMU. *)
+  let lost =
+    match t.faults with
+    | None -> false
+    | Some inj -> Faults.drop_sample inj
+  in
+  if not lost then
+    t.samples_rev <-
+      {
+        event = counter.config.event;
+        ip = r.node.Exec_graph.addr;
+        lbr;
+        ring = r.node.Exec_graph.ring;
+        retired_index = r.retired_index;
+        cycles = r.cycles;
+      }
+      :: t.samples_rev
 
 let skid_for t (e : Pmu_event.t) =
   match e with
@@ -301,6 +342,11 @@ let observer t : Machine.observer =
                 else None
               in
               let skid = skid_for t c.config.event in
+              let skid =
+                match t.faults with
+                | None -> skid
+                | Some inj -> skid + Faults.extra_skid inj
+              in
               let bucket = if skid <= max_skid_bucket then skid else max_skid_bucket + 1 in
               t.skid_hist.(bucket) <- t.skid_hist.(bucket) + 1;
               let p =
@@ -358,4 +404,5 @@ let reset t =
   t.lbr_snapshots <- 0;
   t.stuck_snapshots <- 0;
   t.misrotated_snapshots <- 0;
-  t.dropped_records <- 0
+  t.dropped_records <- 0;
+  t.faults <- Faults.pmu_injector ()

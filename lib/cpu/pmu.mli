@@ -4,7 +4,14 @@
     cross-checking instrumentation results — paper section VII.B) or in
     sampling mode with a period; sampling counters may have LBR capture
     enabled.  The sampling path implements the skid, shadowing and LBR
-    anomaly models from {!Pmu_model}. *)
+    anomaly models from {!Pmu_model}.
+
+    Chaos hook: when a fault plan with PMU faults is armed
+    ({!Hbbp_faults.Faults.arm}) at {!create} time, the PMU additionally
+    injects sample loss (random and bursty), extra skid / PMI jitter and
+    forced LBR snapshot corruption (stuck, mis-rotated, truncated), all
+    deterministic in the plan seed.  Disarmed, every hook site is a
+    single load of an immutable [None] field. *)
 
 open Hbbp_program
 

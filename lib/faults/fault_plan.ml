@@ -1,0 +1,181 @@
+type pmu = {
+  drop_rate : float;
+  burst_every : int;
+  burst_len : int;
+  extra_skid : int;
+  jitter : int;
+  lbr_truncate : int;
+  lbr_stuck_rate : float;
+  lbr_misrotate_rate : float;
+}
+
+type collector = {
+  drop_comm_rate : float;
+  drop_mmap_rate : float;
+  drop_sample_rate : float;
+  reorder_window : int;
+}
+
+type archive = { bit_flips : int; truncate_at : int }
+
+type t = { seed : int64; pmu : pmu; collector : collector; archive : archive }
+
+let none =
+  {
+    seed = 1L;
+    pmu =
+      {
+        drop_rate = 0.0;
+        burst_every = 0;
+        burst_len = 0;
+        extra_skid = 0;
+        jitter = 0;
+        lbr_truncate = 0;
+        lbr_stuck_rate = 0.0;
+        lbr_misrotate_rate = 0.0;
+      };
+    collector =
+      {
+        drop_comm_rate = 0.0;
+        drop_mmap_rate = 0.0;
+        drop_sample_rate = 0.0;
+        reorder_window = 0;
+      };
+    archive = { bit_flips = 0; truncate_at = 0 };
+  }
+
+let pmu_active p =
+  p.drop_rate > 0.0
+  || (p.burst_every > 0 && p.burst_len > 0)
+  || p.extra_skid > 0 || p.jitter > 0 || p.lbr_truncate > 0
+  || p.lbr_stuck_rate > 0.0
+  || p.lbr_misrotate_rate > 0.0
+
+let collector_active c =
+  c.drop_comm_rate > 0.0 || c.drop_mmap_rate > 0.0
+  || c.drop_sample_rate > 0.0 || c.reorder_window > 1
+
+let archive_active a = a.bit_flips > 0 || a.truncate_at <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec strings                                                        *)
+
+let ( let* ) = Result.bind
+
+let parse_rate key v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+  | Some _ -> Error (Printf.sprintf "%s: rate %s not in [0,1]" key v)
+  | None -> Error (Printf.sprintf "%s: bad rate %S" key v)
+
+let parse_nat key v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> Ok n
+  | Some _ -> Error (Printf.sprintf "%s: %s must be non-negative" key v)
+  | None -> Error (Printf.sprintf "%s: bad integer %S" key v)
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: bad integer %S" key v)
+
+let apply plan key v =
+  let p = plan.pmu and c = plan.collector and a = plan.archive in
+  match key with
+  | "seed" -> (
+      match Int64.of_string_opt v with
+      | Some s -> Ok { plan with seed = s }
+      | None -> Error (Printf.sprintf "seed: bad integer %S" v))
+  | "pmu.drop" ->
+      let* f = parse_rate key v in
+      Ok { plan with pmu = { p with drop_rate = f } }
+  | "pmu.burst_every" ->
+      let* n = parse_nat key v in
+      Ok { plan with pmu = { p with burst_every = n } }
+  | "pmu.burst_len" ->
+      let* n = parse_nat key v in
+      Ok { plan with pmu = { p with burst_len = n } }
+  | "pmu.skid" ->
+      let* n = parse_nat key v in
+      Ok { plan with pmu = { p with extra_skid = n } }
+  | "pmu.jitter" ->
+      let* n = parse_nat key v in
+      Ok { plan with pmu = { p with jitter = n } }
+  | "lbr.truncate" ->
+      let* n = parse_nat key v in
+      Ok { plan with pmu = { p with lbr_truncate = n } }
+  | "lbr.stuck" ->
+      let* f = parse_rate key v in
+      Ok { plan with pmu = { p with lbr_stuck_rate = f } }
+  | "lbr.misrotate" ->
+      let* f = parse_rate key v in
+      Ok { plan with pmu = { p with lbr_misrotate_rate = f } }
+  | "rec.drop_comm" ->
+      let* f = parse_rate key v in
+      Ok { plan with collector = { c with drop_comm_rate = f } }
+  | "rec.drop_mmap" ->
+      let* f = parse_rate key v in
+      Ok { plan with collector = { c with drop_mmap_rate = f } }
+  | "rec.drop_sample" ->
+      let* f = parse_rate key v in
+      Ok { plan with collector = { c with drop_sample_rate = f } }
+  | "rec.reorder" ->
+      let* n = parse_nat key v in
+      Ok { plan with collector = { c with reorder_window = n } }
+  | "arch.flips" ->
+      let* n = parse_nat key v in
+      Ok { plan with archive = { a with bit_flips = n } }
+  | "arch.truncate" ->
+      let* n = parse_int key v in
+      Ok { plan with archive = { a with truncate_at = n } }
+  | _ -> Error (Printf.sprintf "unknown fault key %S" key)
+
+let of_string spec =
+  let fields =
+    List.filter
+      (fun s -> String.trim s <> "")
+      (String.split_on_char ',' spec)
+  in
+  if fields = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc field ->
+        let* plan = acc in
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" field)
+        | Some i ->
+            let key = String.trim (String.sub field 0 i) in
+            let v =
+              String.trim
+                (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            apply plan key v)
+      (Ok none) fields
+
+let to_string t =
+  let b = Buffer.create 64 in
+  let put fmt = Printf.ksprintf (fun s ->
+      if Buffer.length b > 0 then Buffer.add_char b ',';
+      Buffer.add_string b s) fmt
+  in
+  if t.seed <> none.seed then put "seed=%Ld" t.seed;
+  let p = t.pmu in
+  if p.drop_rate > 0.0 then put "pmu.drop=%g" p.drop_rate;
+  if p.burst_every > 0 then put "pmu.burst_every=%d" p.burst_every;
+  if p.burst_len > 0 then put "pmu.burst_len=%d" p.burst_len;
+  if p.extra_skid > 0 then put "pmu.skid=%d" p.extra_skid;
+  if p.jitter > 0 then put "pmu.jitter=%d" p.jitter;
+  if p.lbr_truncate > 0 then put "lbr.truncate=%d" p.lbr_truncate;
+  if p.lbr_stuck_rate > 0.0 then put "lbr.stuck=%g" p.lbr_stuck_rate;
+  if p.lbr_misrotate_rate > 0.0 then put "lbr.misrotate=%g" p.lbr_misrotate_rate;
+  let c = t.collector in
+  if c.drop_comm_rate > 0.0 then put "rec.drop_comm=%g" c.drop_comm_rate;
+  if c.drop_mmap_rate > 0.0 then put "rec.drop_mmap=%g" c.drop_mmap_rate;
+  if c.drop_sample_rate > 0.0 then put "rec.drop_sample=%g" c.drop_sample_rate;
+  if c.reorder_window > 0 then put "rec.reorder=%d" c.reorder_window;
+  let a = t.archive in
+  if a.bit_flips > 0 then put "arch.flips=%d" a.bit_flips;
+  if a.truncate_at <> 0 then put "arch.truncate=%d" a.truncate_at;
+  if Buffer.length b = 0 then "seed=1" else Buffer.contents b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,76 @@
+(** A deterministic, seeded description of the faults to inject into one
+    run of the PMU → collector → archive pipeline.
+
+    A plan is pure data; it does nothing until armed via {!Faults.arm}.
+    Faults live at three layers, matching where real perf-based pipelines
+    lose or corrupt data:
+
+    - {b PMU}: sample-record loss (random and bursty — ring-buffer
+      overruns), extra skid and PMI delivery jitter, and LBR snapshot
+      corruption (forced stuck-entry[0] quirks, mis-rotations,
+      truncated snapshots);
+    - {b collector}: dropped [Comm]/[Mmap]/[Sample] records and record
+      reordering within a bounded window (what a lossy ring buffer and
+      an unsynchronised reader do to a perf.data stream);
+    - {b archive}: bit flips at seeded offsets and truncation of the
+      serialized archive (torn writes, bad storage).
+
+    Plans parse from compact [key=value] spec strings (the [--faults]
+    CLI flag and the [HBBP_FAULTS] environment variable):
+
+    {v seed=7,pmu.drop=0.05,pmu.burst_every=50,pmu.burst_len=4,
+       pmu.skid=2,pmu.jitter=3,lbr.truncate=8,lbr.stuck=0.05,
+       lbr.misrotate=0.02,rec.drop_sample=0.02,rec.drop_mmap=0.5,
+       rec.drop_comm=1.0,rec.reorder=16,arch.flips=3,arch.truncate=-100 v} *)
+
+type pmu = {
+  drop_rate : float;  (** Probability a delivered sample record is lost. *)
+  burst_every : int;
+      (** Every [burst_every]-th delivered sample starts a drop burst
+          (0 = no bursts). *)
+  burst_len : int;  (** Samples lost per burst. *)
+  extra_skid : int;  (** Deterministic skid added to every overflow. *)
+  jitter : int;
+      (** PMI delivery jitter: uniform extra skid in [0, jitter]. *)
+  lbr_truncate : int;
+      (** Keep only the newest N LBR entries per snapshot (0 = off). *)
+  lbr_stuck_rate : float;  (** Probability of a forced stuck snapshot. *)
+  lbr_misrotate_rate : float;
+      (** Probability of a forced mis-rotated snapshot. *)
+}
+
+type collector = {
+  drop_comm_rate : float;
+  drop_mmap_rate : float;
+  drop_sample_rate : float;
+  reorder_window : int;
+      (** Shuffle records within windows of this size (0 = off). *)
+}
+
+type archive = {
+  bit_flips : int;  (** Single-bit flips at seeded offsets. *)
+  truncate_at : int;
+      (** >0: truncate the archive to that many bytes; <0: cut that many
+          bytes off the end; 0: off. *)
+}
+
+type t = { seed : int64; pmu : pmu; collector : collector; archive : archive }
+
+(** The inert plan: all rates and counts zero.  Arming it is
+    behaviourally identical to not arming anything. *)
+val none : t
+
+val pmu_active : pmu -> bool
+val collector_active : collector -> bool
+val archive_active : archive -> bool
+
+(** [of_string spec] — parse a comma-separated [key=value] spec (see
+    above; unknown keys, malformed values, and out-of-range rates are
+    errors). *)
+val of_string : string -> (t, string) result
+
+(** Canonical spec string (only non-default fields); parses back to the
+    same plan. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Fault_prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let float t =
+  let v = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = p > 0.0 && float t < p

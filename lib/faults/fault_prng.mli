@@ -1,0 +1,23 @@
+(** Deterministic splitmix64 stream private to the fault-injection
+    subsystem.
+
+    [hbbp_faults] sits {e below} [hbbp_cpu] in the library stack (the CPU's
+    PMU consumes fault decisions), so it cannot reuse {!Hbbp_cpu.Prng};
+    this is the same splitmix64 algorithm, kept separate so arming a
+    fault plan never perturbs the simulation's own random streams. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] — uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] — true with probability [p]; draws nothing when [p <= 0]. *)
+val bool : t -> float -> bool

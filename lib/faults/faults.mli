@@ -1,0 +1,76 @@
+(** The global fault-injection switchboard.
+
+    A {!Fault_plan.t} is {e armed} process-wide; each pipeline layer asks
+    for its injector at construction time and gets [None] unless a plan
+    with faults for that layer is armed.  The disarmed fast path is a
+    single load of an immutable [option] field at each hook site —
+    provably free (the fault bench and the byte-identity test enforce
+    it).
+
+    All injected faults are deterministic: every injector derives its own
+    {!Fault_prng} stream from the plan seed, so a given (plan, workload)
+    pair always injects the same faults, in parallel runs too.
+
+    Injected faults are tallied in process-wide atomics (see {!tally}) so
+    callers can surface them as [faults.*] telemetry metrics or human
+    summaries without the faults library depending on the telemetry
+    layer. *)
+
+val arm : Fault_plan.t -> unit
+val disarm : unit -> unit
+val armed : unit -> bool
+val plan : unit -> Fault_plan.t option
+
+(** {1 Injected-fault tally} *)
+
+(** Non-zero injected-fault counters since the last {!reset_tally},
+    sorted by name (e.g. [pmu.samples_dropped], [records.dropped],
+    [archive.bit_flips]). *)
+val tally : unit -> (string * int) list
+
+val reset_tally : unit -> unit
+
+(** {1 PMU layer} *)
+
+type pmu_injector
+
+(** [None] when disarmed or the armed plan has no PMU faults. *)
+val pmu_injector : unit -> pmu_injector option
+
+(** Decide the fate of one delivered sample record (counts bursts). *)
+val drop_sample : pmu_injector -> bool
+
+(** Extra skid (deterministic + jitter draw) for one counter overflow. *)
+val extra_skid : pmu_injector -> int
+
+type lbr_fault = {
+  stick : bool;  (** Force the stuck-entry[0] quirk on this snapshot. *)
+  misrotate : bool;  (** Force a one-slot mis-rotation. *)
+  truncate : int;  (** Keep only the newest N entries (0 = keep all). *)
+}
+
+(** Corruption decisions for one LBR snapshot. *)
+val lbr_fault : pmu_injector -> lbr_fault
+
+(** {1 Collector layer} *)
+
+type stream_injector
+
+(** [None] when disarmed or the armed plan has no collector faults. *)
+val stream_injector : unit -> stream_injector option
+
+type record_class = Rec_comm | Rec_mmap | Rec_sample | Rec_other
+
+(** [apply_stream inj ~classify records] — drop records per-class and
+    reorder within the plan's window; returns the surviving stream and
+    the number of dropped records (so the caller can emit a synthetic
+    [Lost] record, the way perf reports ring-buffer loss). *)
+val apply_stream :
+  stream_injector -> classify:('a -> record_class) -> 'a list -> 'a list * int
+
+(** {1 Archive layer} *)
+
+(** [mangle_archive data] — apply the armed plan's bit flips and
+    truncation to a serialized archive; returns [data] unchanged (same
+    physical bytes) when disarmed or no archive faults are armed. *)
+val mangle_archive : bytes -> bytes

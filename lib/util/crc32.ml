@@ -1,0 +1,24 @@
+(* Standard reflected CRC-32, polynomial 0xEDB88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let bytes ?(off = 0) ?len data =
+  let len = match len with Some l -> l | None -> Bytes.length data - off in
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Crc32.bytes: slice out of range";
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    crc := t.((!crc lxor Bytes.get_uint8 data i) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+
+    Used by the v2 archive format to give every section an integrity
+    checksum, so the reader can tell torn writes and bit rot from valid
+    data before parsing. *)
+
+(** [bytes ?off ?len data] — CRC-32 of the slice (default: all of
+    [data]), as a non-negative int in [0, 2^32). *)
+val bytes : ?off:int -> ?len:int -> bytes -> int
+
+val string : string -> int
