@@ -29,13 +29,15 @@ let all : (string * (Format.formatter -> unit)) list =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("pipeline", Perf.run);
+    ("streaming", Streaming.run);
     ("telemetry", Telemetry.run);
     ("faults", Faults_bench.run);
   ]
 
 (* Targets that never touch the profile cache; everything else benefits
    from the parallel preload. *)
-let no_sweep = [ "table2"; "table4"; "micro"; "pipeline"; "telemetry"; "faults" ]
+let no_sweep =
+  [ "table2"; "table4"; "micro"; "pipeline"; "streaming"; "telemetry"; "faults" ]
 
 let () =
   let ppf = Format.std_formatter in

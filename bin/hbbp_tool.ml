@@ -31,22 +31,6 @@ let find_workload name =
   | w -> w
   | exception Invalid_argument msg -> die "%s" msg
 
-(* Loading is salvage-and-continue: a damaged archive comes back as the
-   readable prefix plus a fault ledger; only unreadable metadata kills
-   the command (exit 1). *)
-let load_archive path =
-  match Hbbp_collector.Perf_data.load ~path with
-  | Ok read -> read
-  | Error e -> die "%s: %a" path Hbbp_collector.Perf_data.pp_error e
-  | exception Sys_error msg -> die "cannot read archive: %s" msg
-
-let warn_ledger path ledger =
-  List.iter
-    (fun f ->
-      Format.eprintf "hbbp: %s: warning: %a@." path
-        Hbbp_collector.Perf_data.pp_fault f)
-    ledger
-
 let profile_of name = Pipeline.run (find_workload name)
 
 (* ---- telemetry flags ------------------------------------------------ *)
@@ -349,8 +333,20 @@ let output_arg =
     & opt string "perf.hbbp"
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Archive path.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Split each archive's record stream into $(docv) contiguous \
+           shards ($(i,NAME.0ofN.hbbp) …), each a complete, independently \
+           analyzable archive; pass them all to $(b,hbbp analyze) or \
+           $(b,hbbp stats) to merge them back exactly.")
+
 let collect_cmd =
-  let run names output jobs faults trace metrics =
+  let run names output shards jobs faults trace metrics =
+    if shards < 1 then die "collect: --shards must be at least 1";
     let ws = List.map find_workload names in
     with_telemetry trace metrics @@ fun () ->
     with_faults faults @@ fun () ->
@@ -359,13 +355,21 @@ let collect_cmd =
     List.iter2
       (fun name (archive : Hbbp_collector.Perf_data.t) ->
         let path = if single then output else name ^ ".hbbp" in
-        Hbbp_collector.Perf_data.save archive ~path;
-        Format.printf "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@."
-          path
-          (List.length archive.Hbbp_collector.Perf_data.records)
-          (List.length archive.Hbbp_collector.Perf_data.analysis_images)
-          archive.Hbbp_collector.Perf_data.ebs_period
-          archive.Hbbp_collector.Perf_data.lbr_period)
+        let paths =
+          Hbbp_collector.Perf_data.save_sharded archive ~shards ~path
+        in
+        let n = List.length archive.Hbbp_collector.Perf_data.records in
+        List.iteri
+          (fun i p ->
+            (* The i-th shard holds the records in [lo, hi). *)
+            let lo = i * n / shards and hi = (i + 1) * n / shards in
+            Format.printf
+              "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@." p
+              (hi - lo)
+              (List.length archive.Hbbp_collector.Perf_data.analysis_images)
+              archive.Hbbp_collector.Perf_data.ebs_period
+              archive.Hbbp_collector.Perf_data.lbr_period)
+          paths)
       names archives
   in
   Cmd.v
@@ -374,125 +378,157 @@ let collect_cmd =
          "Run only the collection side (no instrumentation) and write \
           portable perf.data-style archives; with several workloads the \
           collections run in parallel (-j) and each archive lands in \
-          $(i,WORKLOAD).hbbp")
+          $(i,WORKLOAD).hbbp; $(b,--shards) splits each record stream \
+          over several archives")
     Term.(
-      const run $ workloads_arg $ output_arg $ jobs_arg $ faults_arg
-      $ trace_arg $ metrics_arg)
+      const run $ workloads_arg $ output_arg $ shards_arg $ jobs_arg
+      $ faults_arg $ trace_arg $ metrics_arg)
 
-let archive_arg =
+let archives_arg =
   Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"FILE" ~doc:"Archive written by $(b,hbbp collect).")
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Archive(s) written by $(b,hbbp collect); shards of one \
+           collection are streamed and merged into a single \
+           reconstruction.")
 
 let analyze_cmd =
   let top =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
   in
-  let run path top =
-    let { Hbbp_collector.Perf_data.archive; ledger } = load_archive path in
-    warn_ledger path ledger;
-    let r = Pipeline.analyze_archive ~ledger archive in
-    Format.printf "workload %s: %d blocks, %d LBR snapshots, %d flagged@."
-      archive.Hbbp_collector.Perf_data.workload_name
-      (Static.total_blocks r.Pipeline.r_static)
-      r.Pipeline.r_lbr.Lbr_estimator.snapshots
-      (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
-    Format.printf "quality: %a@." Pipeline.pp_quality r.Pipeline.r_quality;
-    Format.printf "@.Instruction mix (HBBP):@.";
-    Pivot.render Format.std_formatter
-      (Views.top_mnemonics top
-         (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp));
-    match r.Pipeline.r_quality with
-    | Pipeline.Full -> ()
-    | Pipeline.Degraded _ -> exit 2
+  let run paths top trace metrics =
+    with_telemetry trace metrics @@ fun () ->
+    match Pipeline.analyze_archives paths with
+    | Error msg -> die "%s" msg
+    | Ok (meta, r) ->
+        let partial = r.Pipeline.r_partial in
+        List.iter
+          (fun f ->
+            Format.eprintf "hbbp: warning: %a@."
+              Hbbp_collector.Perf_data.pp_fault f)
+          (Pipeline.Partial.faults partial);
+        Format.printf
+          "workload %s: %d archive(s), %d records, %d blocks, %d LBR \
+           snapshots, %d flagged@."
+          meta.Hbbp_collector.Perf_data.workload_name (List.length paths)
+          (Pipeline.Partial.record_count partial)
+          (Static.total_blocks r.Pipeline.r_static)
+          r.Pipeline.r_lbr.Lbr_estimator.snapshots
+          (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
+        Format.printf "quality: %a@." Pipeline.pp_quality r.Pipeline.r_quality;
+        Format.printf "@.Instruction mix (HBBP):@.";
+        Pivot.render Format.std_formatter
+          (Views.top_mnemonics top
+             (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp));
+        (match r.Pipeline.r_quality with
+        | Pipeline.Full -> ()
+        | Pipeline.Degraded _ -> exit 2)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Analyze an archive offline (no re-run needed); exits 2 when the \
-          reconstruction is degraded, 1 when the archive is unreadable")
-    Term.(const run $ archive_arg $ top)
+         "Analyze archive(s) offline, streaming the records in bounded \
+          chunks; several shards merge into one reconstruction, \
+          bit-identical to analyzing the unsharded archive. Exits 2 when \
+          the reconstruction is degraded, 1 when an archive is unreadable \
+          or shard metadata disagrees")
+    Term.(const run $ archives_arg $ top $ trace_arg $ metrics_arg)
 
 (* ---- stats ---------------------------------------------------------- *)
 
 let stats_cmd =
-  let archives_arg =
-    Arg.(
-      non_empty
-      & pos_all string []
-      & info [] ~docv:"FILE" ~doc:"Archive(s) written by $(b,hbbp collect).")
+  (* One reconstruction's stat block — everything comes off the merged
+     partial state and the finalized estimators, so the same printer
+     serves a single archive and a merged shard set. *)
+  let print_stats header meta (r : Pipeline.reconstruction) =
+    let partial = r.Pipeline.r_partial in
+    let lbr = r.Pipeline.r_lbr in
+    let streams =
+      lbr.Lbr_estimator.usable_streams
+      + lbr.Lbr_estimator.inconsistent_streams
+      + lbr.Lbr_estimator.discarded_streams
+    in
+    let failure_rate =
+      if streams = 0 then 0.0
+      else
+        float_of_int (streams - lbr.Lbr_estimator.usable_streams)
+        /. float_of_int streams
+    in
+    Format.printf "%s: workload %s@." header
+      meta.Hbbp_collector.Perf_data.workload_name;
+    Format.printf "  records             %8d@."
+      (Pipeline.Partial.record_count partial);
+    Format.printf "  EBS samples         %8d (+%d unattributed)@."
+      (Pipeline.Partial.ebs_samples partial)
+      r.Pipeline.r_ebs.Ebs_estimator.unattributed;
+    Format.printf "  LBR snapshots       %8d@."
+      (Pipeline.Partial.lbr_snapshots partial);
+    Format.printf "  lost / other        %8d / %d@."
+      (Pipeline.Partial.lost_records partial)
+      (Pipeline.Partial.other_samples partial);
+    Format.printf "  EBS / LBR periods   %8d / %d@."
+      meta.Hbbp_collector.Perf_data.ebs_period
+      meta.Hbbp_collector.Perf_data.lbr_period;
+    Format.printf
+      "  streams             %8d usable, %d inconsistent, %d discarded \
+       (%.1f%% walk failures)@."
+      lbr.Lbr_estimator.usable_streams lbr.Lbr_estimator.inconsistent_streams
+      lbr.Lbr_estimator.discarded_streams (100.0 *. failure_rate);
+    Format.printf "  bias-flagged blocks %8d@."
+      (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
+    Format.printf "  static blocks       %8d@."
+      (Static.total_blocks r.Pipeline.r_static);
+    (match Pipeline.Partial.faults partial with
+    | [] -> Format.printf "  integrity              clean@."
+    | faults ->
+        Format.printf "  integrity           %8d fault(s), salvaged@."
+          (List.length faults);
+        List.iter
+          (fun f ->
+            Format.printf "    - %a@." Hbbp_collector.Perf_data.pp_fault f)
+          faults);
+    Format.printf "  quality             %a@." Pipeline.pp_quality
+      r.Pipeline.r_quality;
+    match r.Pipeline.r_quality with Pipeline.Full -> false | Pipeline.Degraded _ -> true
   in
   let run paths trace metrics =
     let degraded = ref false in
     with_telemetry trace metrics (fun () ->
-    List.iter
-      (fun path ->
-        let { Hbbp_collector.Perf_data.archive; ledger } =
-          load_archive path
-        in
-        let records = archive.Hbbp_collector.Perf_data.records in
-        let db = Sample_db.of_records records in
-        let r = Pipeline.analyze_archive ~ledger archive in
-        let lbr = r.Pipeline.r_lbr in
-        let streams =
-          lbr.Lbr_estimator.usable_streams
-          + lbr.Lbr_estimator.inconsistent_streams
-          + lbr.Lbr_estimator.discarded_streams
-        in
-        let failure_rate =
-          if streams = 0 then 0.0
-          else
-            float_of_int (streams - lbr.Lbr_estimator.usable_streams)
-            /. float_of_int streams
-        in
-        Format.printf "%s: workload %s@." path
-          archive.Hbbp_collector.Perf_data.workload_name;
-        Format.printf "  records             %8d@." (List.length records);
-        Format.printf "  EBS samples         %8d (+%d unattributed)@."
-          (Array.length db.Sample_db.ebs)
-          r.Pipeline.r_ebs.Ebs_estimator.unattributed;
-        Format.printf "  LBR snapshots       %8d@."
-          (Array.length db.Sample_db.lbr);
-        Format.printf "  lost / other        %8d / %d@." db.Sample_db.lost
-          db.Sample_db.other;
-        Format.printf "  EBS / LBR periods   %8d / %d@."
-          archive.Hbbp_collector.Perf_data.ebs_period
-          archive.Hbbp_collector.Perf_data.lbr_period;
-        Format.printf
-          "  streams             %8d usable, %d inconsistent, %d discarded \
-           (%.1f%% walk failures)@."
-          lbr.Lbr_estimator.usable_streams
-          lbr.Lbr_estimator.inconsistent_streams
-          lbr.Lbr_estimator.discarded_streams (100.0 *. failure_rate);
-        Format.printf "  bias-flagged blocks %8d@."
-          (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
-        Format.printf "  static blocks       %8d@."
-          (Static.total_blocks r.Pipeline.r_static);
-        (match ledger with
-        | [] -> Format.printf "  integrity              clean@."
-        | faults ->
-            Format.printf "  integrity           %8d fault(s), salvaged@."
-              (List.length faults);
-            List.iter
-              (fun f ->
-                Format.printf "    - %a@." Hbbp_collector.Perf_data.pp_fault f)
-              faults);
-        Format.printf "  quality             %a@." Pipeline.pp_quality
-          r.Pipeline.r_quality;
-        match r.Pipeline.r_quality with
-        | Pipeline.Full -> ()
-        | Pipeline.Degraded _ -> degraded := true)
-      paths);
+        (* Per-archive stats stream each file independently... *)
+        List.iter
+          (fun path ->
+            match Pipeline.analyze_archives [ path ] with
+            | Error msg -> die "%s" msg
+            | Ok (meta, r) ->
+                if print_stats path meta r then degraded := true)
+          paths;
+        (* ... and several archives also get the merged view (when their
+           metadata is compatible, i.e. they are shards of one
+           collection).  The merged verdict drives the exit code: shards
+           that starve a channel individually can be healthy together. *)
+        if List.length paths > 1 then
+          match Pipeline.analyze_archives paths with
+          | Error msg ->
+              Format.eprintf "hbbp: no merged view: %s@." msg
+          | Ok (meta, r) ->
+              Format.printf "@.";
+              degraded :=
+                print_stats
+                  (Printf.sprintf "merged (%d archives)" (List.length paths))
+                  meta r);
     if !degraded then exit 2
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Print collection and sampling-health statistics of archive(s): \
-          record volume, sample split, stream-walk failure rate, bias \
-          flags, salvage/integrity status. Exits 2 when any archive's \
-          reconstruction is degraded, 1 when one is unreadable")
+         "Print collection and sampling-health statistics of archive(s), \
+          streamed in bounded chunks: record volume, sample split, \
+          stream-walk failure rate, bias flags, salvage/integrity status; \
+          several archives also report their merged reconstruction. Exits \
+          2 when the (merged) reconstruction is degraded, 1 when an \
+          archive is unreadable")
     Term.(const run $ archives_arg $ trace_arg $ metrics_arg)
 
 (* ---- loops ---------------------------------------------------------- *)

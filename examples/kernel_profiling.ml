@@ -12,7 +12,11 @@ open Hbbp_analyzer
 module K = Hbbp_workloads.Kernelbench
 
 let () =
-  let p = Pipeline.run (K.workload ()) in
+  let p =
+    Pipeline.run
+      ~config:{ Pipeline.default_config with Pipeline.keep_records = true }
+      (K.workload ())
+  in
   let stats = p.Pipeline.stats in
   Format.printf
     "run: %d instructions (%d in the kernel).  Instrumentation lost all %d \

@@ -19,6 +19,16 @@ let of_block_counts static triples =
     triples;
   t
 
+let merge a b =
+  if a.method_ <> b.method_ then invalid_arg "Bbec.merge: method mismatch";
+  if Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Bbec.merge: block count mismatch";
+  {
+    method_ = a.method_;
+    counts = Array.init (Array.length a.counts) (fun gid ->
+        a.counts.(gid) +. b.counts.(gid));
+  }
+
 let count t gid =
   if gid >= 0 && gid < Array.length t.counts then t.counts.(gid) else 0.0
 

@@ -15,6 +15,13 @@ val of_block_counts :
   (Hbbp_program.Bb_map.t * Hbbp_program.Basic_block.t * int) list ->
   t
 
+(** [merge a b] — elementwise sum of two BBECs over the same static view
+    (counts from disjoint record shards add).  Commutative, and exactly
+    associative whenever the counts are integer-valued (as both sampling
+    estimators produce before period scaling).
+    @raise Invalid_argument on method or size mismatch. *)
+val merge : t -> t -> t
+
 (** [count t gid] — 0 for out-of-range ids. *)
 val count : t -> int -> float
 

@@ -23,58 +23,102 @@ let default_params =
   { min_snapshots = 30; min_entry0 = 8; min_entry0_share = 0.04;
     share_factor = 1.25; min_failures = 12; failure_rate = 0.10 }
 
-let detect ?(params = default_params) static samples =
-  let entry0 = Hashtbl.create 256 in
-  let deep = Hashtbl.create 1024 in
+(* Detection is two-pass.  Pass one (the accumulator below) gathers
+   per-branch integer tallies — entry[0] sightings, deep sightings,
+   adjacent and failed streams — which merge across shards with plain
+   addition, exactly.  Pass two (contamination, inside [finalize]) needs
+   the snapshots again, but only runs when pass one flagged something:
+   callers provide a {e replay} of the snapshot stream, which a
+   streaming pipeline satisfies by re-reading its archives. *)
+module Acc = struct
+  type acc = {
+    entry0 : (int, int) Hashtbl.t;
+    deep : (int, int) Hashtbl.t;
+    adjacent : (int, int) Hashtbl.t;
+    failed : (int, int) Hashtbl.t;
+    mutable snapshots : int;
+    mutable deep_total : int;
+  }
+
+  let create () =
+    {
+      entry0 = Hashtbl.create 256;
+      deep = Hashtbl.create 1024;
+      adjacent = Hashtbl.create 1024;
+      failed = Hashtbl.create 1024;
+      snapshots = 0;
+      deep_total = 0;
+    }
+
   let bump table key =
     Hashtbl.replace table key
       (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
-  in
-  let snapshots = ref 0 in
-  let deep_total = ref 0 in
+
   (* Per branch: how many streams START at one of its records, and how
      many of those cannot be walked.  A missing LBR record after a branch
      merges the following stream, which then usually fails to walk — a
      high failure rate is the observable signature of record loss. *)
-  let adjacent = Hashtbl.create 1024 in
-  let failed = Hashtbl.create 1024 in
-  Array.iter
-    (fun (s : Sample_db.lbr_sample) ->
-      let n = Array.length s.entries in
-      if n >= 2 then begin
-        incr snapshots;
-        bump entry0 s.entries.(0).Hbbp_cpu.Lbr.src;
-        for k = 1 to n - 1 do
-          bump deep s.entries.(k).Hbbp_cpu.Lbr.src;
-          incr deep_total;
-          let owner = s.entries.(k - 1).Hbbp_cpu.Lbr.src in
-          bump adjacent owner;
-          match
-            Stream_walk.walk static ~target:s.entries.(k - 1).Hbbp_cpu.Lbr.tgt
-              ~src:s.entries.(k).Hbbp_cpu.Lbr.src
-          with
-          | Stream_walk.Blocks _ -> ()
-          | Stream_walk.Inconsistent | Stream_walk.Bad -> bump failed owner
-        done
-      end)
-    samples;
+  let add static acc (s : Sample_db.lbr_sample) =
+    let n = Array.length s.entries in
+    if n >= 2 then begin
+      acc.snapshots <- acc.snapshots + 1;
+      bump acc.entry0 s.entries.(0).Hbbp_cpu.Lbr.src;
+      for k = 1 to n - 1 do
+        bump acc.deep s.entries.(k).Hbbp_cpu.Lbr.src;
+        acc.deep_total <- acc.deep_total + 1;
+        let owner = s.entries.(k - 1).Hbbp_cpu.Lbr.src in
+        bump acc.adjacent owner;
+        match
+          Stream_walk.walk static ~target:s.entries.(k - 1).Hbbp_cpu.Lbr.tgt
+            ~src:s.entries.(k).Hbbp_cpu.Lbr.src
+        with
+        | Stream_walk.Blocks _ -> ()
+        | Stream_walk.Inconsistent | Stream_walk.Bad -> bump acc.failed owner
+      done
+    end
+
+  let merge a b =
+    let sum src dst =
+      let out = Hashtbl.copy dst in
+      Hashtbl.iter
+        (fun key n ->
+          Hashtbl.replace out key
+            (n + Option.value ~default:0 (Hashtbl.find_opt out key)))
+        src;
+      out
+    in
+    {
+      entry0 = sum b.entry0 a.entry0;
+      deep = sum b.deep a.deep;
+      adjacent = sum b.adjacent a.adjacent;
+      failed = sum b.failed a.failed;
+      snapshots = a.snapshots + b.snapshots;
+      deep_total = a.deep_total + b.deep_total;
+    }
+end
+
+let finalize ?(params = default_params) static (acc : Acc.acc) ~replay =
   let flags = Array.make (Static.total_blocks static) false in
   let flagged_srcs = Hashtbl.create 16 in
   let stats = ref [] in
-  if !snapshots >= params.min_snapshots then
+  if acc.Acc.snapshots >= params.min_snapshots then
     Hashtbl.iter
       (fun src entry0_count ->
-        let deep_count = Option.value ~default:0 (Hashtbl.find_opt deep src) in
-        let entry0_share = float_of_int entry0_count /. float_of_int !snapshots in
+        let deep_count =
+          Option.value ~default:0 (Hashtbl.find_opt acc.Acc.deep src)
+        in
+        let entry0_share =
+          float_of_int entry0_count /. float_of_int acc.Acc.snapshots
+        in
         let deep_share =
-          if !deep_total = 0 then 0.0
-          else float_of_int deep_count /. float_of_int !deep_total
+          if acc.Acc.deep_total = 0 then 0.0
+          else float_of_int deep_count /. float_of_int acc.Acc.deep_total
         in
         let adjacent_streams =
-          Option.value ~default:0 (Hashtbl.find_opt adjacent src)
+          Option.value ~default:0 (Hashtbl.find_opt acc.Acc.adjacent src)
         in
         let failed_streams =
-          Option.value ~default:0 (Hashtbl.find_opt failed src)
+          Option.value ~default:0 (Hashtbl.find_opt acc.Acc.failed src)
         in
         stats :=
           { src; entry0_count; deep_count; entry0_share; deep_share;
@@ -97,55 +141,55 @@ let detect ?(params = default_params) static samples =
           | Some gid -> flags.(gid) <- true
           | None -> ()
         end)
-      entry0;
+      acc.Acc.entry0;
   (* Contamination spreads beyond the anomalous branch itself: every
      count whose supporting stream is ADJACENT to a record of a flagged
      branch (ends at its source, or starts at its target) is suspect.
      Flag the blocks those streams visit, so HBBP can route the whole
      neighbourhood away from LBR data. *)
+  let contaminate (s : Sample_db.lbr_sample) =
+    let n = Array.length s.entries in
+    let flag_forward_from addr limit =
+      (* Flag the layout neighbourhood following [addr] — used when a
+         suspect stream cannot even be walked. *)
+      match Static.find_starting static addr with
+      | None -> ()
+      | Some gid0 ->
+          let rec go gid k =
+            if k < limit then begin
+              flags.(gid) <- true;
+              match Static.next_in_layout static gid with
+              | Some next -> go next (k + 1)
+              | None -> ()
+            end
+          in
+          go gid0 0
+    in
+    let flag_walk ~target ~src =
+      match Stream_walk.walk static ~target ~src with
+      | Stream_walk.Blocks gids ->
+          List.iter (fun gid -> flags.(gid) <- true) gids
+      | Stream_walk.Inconsistent | Stream_walk.Bad ->
+          flag_forward_from target 4;
+          Option.iter
+            (fun gid -> flags.(gid) <- true)
+            (Static.find static src)
+    in
+    for k = 0 to n - 1 do
+      if Hashtbl.mem flagged_srcs s.entries.(k).Hbbp_cpu.Lbr.src then begin
+        (* Stream ending at this record. *)
+        if k >= 1 then
+          flag_walk ~target:s.entries.(k - 1).Hbbp_cpu.Lbr.tgt
+            ~src:s.entries.(k).Hbbp_cpu.Lbr.src;
+        (* Stream starting at this record's target. *)
+        if k + 1 < n then
+          flag_walk ~target:s.entries.(k).Hbbp_cpu.Lbr.tgt
+            ~src:s.entries.(k + 1).Hbbp_cpu.Lbr.src
+      end
+    done
+  in
   if Hashtbl.length flagged_srcs > 0 then
-    Array.iter
-      (fun (s : Sample_db.lbr_sample) ->
-        let n = Array.length s.entries in
-        let flag_forward_from addr limit =
-          (* Flag the layout neighbourhood following [addr] — used when a
-             suspect stream cannot even be walked. *)
-          match Static.find_starting static addr with
-          | None -> ()
-          | Some gid0 ->
-              let rec go gid k =
-                if k < limit then begin
-                  flags.(gid) <- true;
-                  match Static.next_in_layout static gid with
-                  | Some next -> go next (k + 1)
-                  | None -> ()
-                end
-              in
-              go gid0 0
-        in
-        let flag_walk ~target ~src =
-          match Stream_walk.walk static ~target ~src with
-          | Stream_walk.Blocks gids ->
-              List.iter (fun gid -> flags.(gid) <- true) gids
-          | Stream_walk.Inconsistent | Stream_walk.Bad ->
-              flag_forward_from target 4;
-              Option.iter
-                (fun gid -> flags.(gid) <- true)
-                (Static.find static src)
-        in
-        for k = 0 to n - 1 do
-          if Hashtbl.mem flagged_srcs s.entries.(k).Hbbp_cpu.Lbr.src then begin
-            (* Stream ending at this record. *)
-            if k >= 1 then
-              flag_walk ~target:s.entries.(k - 1).Hbbp_cpu.Lbr.tgt
-                ~src:s.entries.(k).Hbbp_cpu.Lbr.src;
-            (* Stream starting at this record's target. *)
-            if k + 1 < n then
-              flag_walk ~target:s.entries.(k).Hbbp_cpu.Lbr.tgt
-                ~src:s.entries.(k + 1).Hbbp_cpu.Lbr.src
-          end
-        done)
-      samples;
+    Option.iter (fun iter -> iter contaminate) replay;
   (* One hop along static control flow: a suspect stream's distortion
      spills onto the blocks its endpoints branch to. *)
   if Hashtbl.length flagged_srcs > 0 then begin
@@ -180,10 +224,22 @@ let detect ?(params = default_params) static samples =
         end)
       seed
   end;
+  (* Deterministic order regardless of hashtable history (direct build
+     vs shard merges): share descending, then source address. *)
   let stats =
-    List.sort (fun a b -> compare b.entry0_share a.entry0_share) !stats
+    List.sort
+      (fun a b ->
+        match compare b.entry0_share a.entry0_share with
+        | 0 -> compare a.src b.src
+        | c -> c)
+      !stats
   in
-  { flags; stats; snapshots = !snapshots }
+  { flags; stats; snapshots = acc.Acc.snapshots }
+
+let detect ?params static samples =
+  let acc = Acc.create () in
+  Array.iter (Acc.add static acc) samples;
+  finalize ?params static acc ~replay:(Some (fun f -> Array.iter f samples))
 
 let flagged_blocks t =
   let out = ref [] in

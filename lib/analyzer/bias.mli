@@ -42,5 +42,36 @@ type params = {
 }
 
 val default_params : params
+
+(** Pass-one accumulator: per-branch integer tallies (entry[0]/deep
+    sightings, adjacent/failed streams).  Merges across shards with
+    plain addition — exactly associative and commutative. *)
+module Acc : sig
+  type acc
+
+  val create : unit -> acc
+  val add : Static.t -> acc -> Sample_db.lbr_sample -> unit
+
+  (** Pure: returns a fresh accumulator, inputs are unchanged. *)
+  val merge : acc -> acc -> acc
+end
+
+(** [finalize static acc ~replay] — resolve flags from the merged
+    tallies, then (only when something was flagged) run the
+    contamination pass over the snapshots again via [replay] — an
+    iterator re-yielding the accumulated snapshots in order.  With
+    [replay = None] contamination is skipped: only the flagged branches'
+    own blocks (plus the static one-hop spill) are marked.  Branch stats
+    are sorted by entry[0] share with a source-address tiebreak, so the
+    result is deterministic however the accumulator was assembled. *)
+val finalize :
+  ?params:params ->
+  Static.t ->
+  Acc.acc ->
+  replay:((Sample_db.lbr_sample -> unit) -> unit) option ->
+  t
+
+(** One-shot detection; equals accumulate + [finalize] with an in-memory
+    replay. *)
 val detect : ?params:params -> Static.t -> Sample_db.lbr_sample array -> t
 val flagged_blocks : t -> int list

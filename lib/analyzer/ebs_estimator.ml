@@ -1,16 +1,32 @@
 type t = { bbec : Bbec.t; raw : int array; unattributed : int; period : int }
 
-let estimate static ~period samples =
-  let total = Static.total_blocks static in
-  let raw = Array.make total 0 in
-  let unattributed = ref 0 in
-  Array.iter
-    (fun (s : Sample_db.ebs_sample) ->
-      match Static.find static s.ip with
-      | Some gid -> raw.(gid) <- raw.(gid) + 1
-      | None -> incr unattributed)
-    samples;
-  let bbec = Bbec.create Bbec.Ebs total in
+(* Mergeable accumulator: the whole EBS estimate is determined by the
+   integer per-block sample tally plus the unattributed count, so shards
+   merge with plain integer addition — exactly associative and
+   commutative — and [finalize] turns the merged tally into counts. *)
+module Acc = struct
+  type acc = { raw : int array; mutable unattributed : int }
+
+  let create static =
+    { raw = Array.make (Static.total_blocks static) 0; unattributed = 0 }
+
+  let add static acc (s : Sample_db.ebs_sample) =
+    match Static.find static s.ip with
+    | Some gid -> acc.raw.(gid) <- acc.raw.(gid) + 1
+    | None -> acc.unattributed <- acc.unattributed + 1
+
+  let merge a b =
+    if Array.length a.raw <> Array.length b.raw then
+      invalid_arg "Ebs_estimator.Acc.merge: block count mismatch";
+    {
+      raw = Array.init (Array.length a.raw) (fun gid -> a.raw.(gid) + b.raw.(gid));
+      unattributed = a.unattributed + b.unattributed;
+    }
+end
+
+let finalize static ~period (acc : Acc.acc) =
+  let raw = Array.copy acc.Acc.raw in
+  let bbec = Bbec.create Bbec.Ebs (Array.length raw) in
   Static.iter
     (fun gid _ block ->
       let len = Hbbp_program.Basic_block.length block in
@@ -18,4 +34,9 @@ let estimate static ~period samples =
         bbec.Bbec.counts.(gid) <-
           float_of_int raw.(gid) *. float_of_int period /. float_of_int len)
     static;
-  { bbec; raw; unattributed = !unattributed; period }
+  { bbec; raw; unattributed = acc.Acc.unattributed; period }
+
+let estimate static ~period samples =
+  let acc = Acc.create static in
+  Array.iter (Acc.add static acc) samples;
+  finalize static ~period acc

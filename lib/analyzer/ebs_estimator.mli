@@ -15,4 +15,24 @@ type t = {
   period : int;
 }
 
+(** Mergeable accumulator for chunked/sharded streams.  The state is the
+    integer per-block sample tally, so [merge] is exactly associative and
+    commutative, and feeding any partition of a sample stream through
+    accumulators then merging reproduces the batch estimate
+    bit-for-bit. *)
+module Acc : sig
+  type acc
+
+  val create : Static.t -> acc
+  val add : Static.t -> acc -> Sample_db.ebs_sample -> unit
+
+  (** Pure: returns a fresh accumulator, inputs are unchanged.
+      @raise Invalid_argument when the block counts differ. *)
+  val merge : acc -> acc -> acc
+end
+
+(** [finalize static ~period acc] — scale the merged tally into a BBEC
+    (samples × period / block length). *)
+val finalize : Static.t -> period:int -> Acc.acc -> t
+
 val estimate : Static.t -> period:int -> Sample_db.ebs_sample array -> t

@@ -8,39 +8,110 @@ type t = {
   discarded_streams : int;
 }
 
+(* Mergeable accumulator.  A snapshot with [k] usable streams
+   contributes 1/k per visited block, which is float arithmetic — and
+   float sums are not associative, so merging finalized weights would
+   not be bit-stable across shard splits.  Instead the accumulator keeps
+   the state in the integer domain: one visit-tally row per snapshot
+   stream count [k] ([by_k.(k).(gid)] = block visits from k-stream
+   snapshots).  Integer rows merge exactly (associative and
+   commutative), and [finalize] converts rows to weights in a fixed
+   order (ascending k), so any partition of the snapshot stream yields
+   bit-identical results. *)
+module Acc = struct
+  type acc = {
+    total_blocks : int;
+    mutable by_k : int array array;  (** Index k; row [|.|] = unused. *)
+    mutable snapshots : int;
+    mutable usable : int;
+    mutable inconsistent : int;
+    mutable discarded : int;
+  }
 
-let estimate static ~period samples =
-  let total = Static.total_blocks static in
-  let weight = Array.make total 0.0 in
-  let usable = ref 0 and inconsistent = ref 0 and discarded = ref 0 in
-  Array.iter
-    (fun (s : Sample_db.lbr_sample) ->
-      let n = Array.length s.entries in
-      if n >= 2 then begin
-        (* Two passes: classify the snapshot's streams first, then
-           normalise the snapshot to one sample over its usable streams
-           (= 1/(N-1) when all N-1 are usable, the paper's weighting). *)
-        let walked = ref [] in
-        for idx = 1 to n - 1 do
-          let target = s.entries.(idx - 1).Hbbp_cpu.Lbr.tgt in
-          let src = s.entries.(idx).Hbbp_cpu.Lbr.src in
-          match Stream_walk.walk static ~target ~src with
-          | Stream_walk.Blocks gids ->
-              incr usable;
-              walked := gids :: !walked
-          | Stream_walk.Inconsistent -> incr inconsistent
-          | Stream_walk.Bad -> incr discarded
-        done;
-        match !walked with
-        | [] -> ()
-        | streams ->
-            let w = 1.0 /. float_of_int (List.length streams) in
-            List.iter
-              (List.iter (fun gid -> weight.(gid) <- weight.(gid) +. w))
-              streams
+  let create static =
+    {
+      total_blocks = Static.total_blocks static;
+      by_k = [||];
+      snapshots = 0;
+      usable = 0;
+      inconsistent = 0;
+      discarded = 0;
+    }
+
+  let row acc k =
+    if k >= Array.length acc.by_k then begin
+      let grown = Array.make (k + 1) [||] in
+      Array.blit acc.by_k 0 grown 0 (Array.length acc.by_k);
+      acc.by_k <- grown
+    end;
+    if Array.length acc.by_k.(k) = 0 then
+      acc.by_k.(k) <- Array.make acc.total_blocks 0;
+    acc.by_k.(k)
+
+  let add static acc (s : Sample_db.lbr_sample) =
+    acc.snapshots <- acc.snapshots + 1;
+    let n = Array.length s.entries in
+    if n >= 2 then begin
+      (* Two passes: classify the snapshot's streams first, then
+         normalise the snapshot to one sample over its usable streams
+         (= 1/(N-1) when all N-1 are usable, the paper's weighting). *)
+      let walked = ref [] in
+      for idx = 1 to n - 1 do
+        let target = s.entries.(idx - 1).Hbbp_cpu.Lbr.tgt in
+        let src = s.entries.(idx).Hbbp_cpu.Lbr.src in
+        match Stream_walk.walk static ~target ~src with
+        | Stream_walk.Blocks gids ->
+            acc.usable <- acc.usable + 1;
+            walked := gids :: !walked
+        | Stream_walk.Inconsistent -> acc.inconsistent <- acc.inconsistent + 1
+        | Stream_walk.Bad -> acc.discarded <- acc.discarded + 1
+      done;
+      match !walked with
+      | [] -> ()
+      | streams ->
+          let r = row acc (List.length streams) in
+          List.iter
+            (List.iter (fun gid -> r.(gid) <- r.(gid) + 1))
+            streams
+    end
+
+  let merge a b =
+    if a.total_blocks <> b.total_blocks then
+      invalid_arg "Lbr_estimator.Acc.merge: block count mismatch";
+    let n_k = max (Array.length a.by_k) (Array.length b.by_k) in
+    let pick (acc : acc) k =
+      if k < Array.length acc.by_k then acc.by_k.(k) else [||]
+    in
+    let by_k =
+      Array.init n_k (fun k ->
+          match (pick a k, pick b k) with
+          | [||], [||] -> [||]
+          | [||], r | r, [||] -> Array.copy r
+          | ra, rb -> Array.init a.total_blocks (fun g -> ra.(g) + rb.(g)))
+    in
+    {
+      total_blocks = a.total_blocks;
+      by_k;
+      snapshots = a.snapshots + b.snapshots;
+      usable = a.usable + b.usable;
+      inconsistent = a.inconsistent + b.inconsistent;
+      discarded = a.discarded + b.discarded;
+    }
+end
+
+let finalize _static ~period (acc : Acc.acc) =
+  let weight = Array.make acc.Acc.total_blocks 0.0 in
+  Array.iteri
+    (fun k r ->
+      if Array.length r > 0 then begin
+        let w = 1.0 /. float_of_int k in
+        Array.iteri
+          (fun gid n ->
+            if n > 0 then weight.(gid) <- weight.(gid) +. (float_of_int n *. w))
+          r
       end)
-    samples;
-  let bbec = Bbec.create Bbec.Lbr total in
+    acc.Acc.by_k;
+  let bbec = Bbec.create Bbec.Lbr acc.Acc.total_blocks in
   Array.iteri
     (fun gid w -> bbec.Bbec.counts.(gid) <- w *. float_of_int period)
     weight;
@@ -48,8 +119,13 @@ let estimate static ~period samples =
     bbec;
     weight;
     period;
-    snapshots = Array.length samples;
-    usable_streams = !usable;
-    inconsistent_streams = !inconsistent;
-    discarded_streams = !discarded;
+    snapshots = acc.Acc.snapshots;
+    usable_streams = acc.Acc.usable;
+    inconsistent_streams = acc.Acc.inconsistent;
+    discarded_streams = acc.Acc.discarded;
   }
+
+let estimate static ~period samples =
+  let acc = Acc.create static in
+  Array.iter (Acc.add static acc) samples;
+  finalize static ~period acc

@@ -28,4 +28,26 @@ type t = {
       (** Unresolvable endpoints, backwards ranges, or over-long walks. *)
 }
 
+(** Mergeable accumulator for chunked/sharded streams.  Snapshot weights
+    (1/usable-streams) are float, and float sums are not associative —
+    so the accumulator stays in the integer domain: one per-block visit
+    tally per snapshot stream count [k].  Integer tallies merge exactly
+    (associative and commutative), and {!finalize} converts them to
+    weights in a fixed order, so every partition of a snapshot stream
+    reconstructs bit-identically. *)
+module Acc : sig
+  type acc
+
+  val create : Static.t -> acc
+  val add : Static.t -> acc -> Sample_db.lbr_sample -> unit
+
+  (** Pure: returns a fresh accumulator, inputs are unchanged.
+      @raise Invalid_argument when the block counts differ. *)
+  val merge : acc -> acc -> acc
+end
+
+(** [finalize static ~period acc] — convert the merged visit tallies to
+    period-scaled block counts (ascending-[k] summation order). *)
+val finalize : Static.t -> period:int -> Acc.acc -> t
+
 val estimate : Static.t -> period:int -> Sample_db.lbr_sample array -> t

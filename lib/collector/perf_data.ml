@@ -465,3 +465,343 @@ let load ~path =
       let data = Bytes.create n in
       really_input ic data 0 n;
       of_bytes data)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded writing                                                     *)
+
+(* "trace.hbbp" → "trace.0of3.hbbp"; extensionless names get the shard
+   tag appended. *)
+let shard_path path index shards =
+  let ext = Filename.extension path in
+  let stem = if ext = "" then path else Filename.remove_extension path in
+  Printf.sprintf "%s.%dof%d%s" stem index shards ext
+
+let save_sharded ?version t ~shards ~path =
+  if shards < 1 then invalid_arg "Perf_data.save_sharded: shards < 1";
+  if shards = 1 then begin
+    save ?version t ~path;
+    [ path ]
+  end
+  else begin
+    let records = Array.of_list t.records in
+    let n = Array.length records in
+    List.init shards (fun i ->
+        let lo = i * n / shards and hi = (i + 1) * n / shards in
+        let slice = Array.to_list (Array.sub records lo (hi - lo)) in
+        let p = shard_path path i shards in
+        save ?version { t with records = slice } ~path:p;
+        p)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunked streaming reader                                            *)
+
+module Stream = struct
+  let default_chunk_records = 4096
+
+  (* Refill granularity of the pending buffer (it grows as needed when a
+     single record straddles more than this). *)
+  let read_block = 1 lsl 16
+
+  type source =
+    | Buffered of Record.t list ref
+        (* v1 fallback: the record list is materialized up front. *)
+    | Chunked of chunked
+
+  and chunked = {
+    ic : in_channel;
+    mutable buf : bytes;  (** Pending (read but unparsed) payload bytes. *)
+    mutable b_start : int;
+    mutable b_stop : int;
+    mutable crc : Hbbp_util.Crc32.state;
+    crc_declared : int;
+    avail : int;  (** Payload bytes physically present in the file. *)
+    complete : bool;  (** [avail = payload_len]. *)
+    expected : int;  (** Declared record count. *)
+    mutable fed : int;  (** Payload bytes consumed from the file. *)
+    mutable emitted : int;  (** Records handed out so far. *)
+    mutable parse_fault : fault option;
+    mutable finished : bool;
+  }
+
+  type stream = {
+    meta : t;  (** [records = []]. *)
+    chunk_records : int;
+    mutable s_ledger : fault list option;  (** [Some] once known. *)
+    source : source;
+  }
+
+  let meta s = s.meta
+
+  (* -- byte plumbing for the chunked (v2) source -- *)
+
+  let refill (c : chunked) =
+    if c.fed >= c.avail then false
+    else begin
+      if c.b_start > 0 then begin
+        Bytes.blit c.buf c.b_start c.buf 0 (c.b_stop - c.b_start);
+        c.b_stop <- c.b_stop - c.b_start;
+        c.b_start <- 0
+      end;
+      if c.b_stop = Bytes.length c.buf then begin
+        let grown = Bytes.create (2 * Bytes.length c.buf) in
+        Bytes.blit c.buf 0 grown 0 c.b_stop;
+        c.buf <- grown
+      end;
+      let want = min (Bytes.length c.buf - c.b_stop) (c.avail - c.fed) in
+      let n = input c.ic c.buf c.b_stop want in
+      if n = 0 then false (* file shrank under us; treat as exhausted *)
+      else begin
+        c.crc <- Hbbp_util.Crc32.update c.crc ~off:c.b_stop ~len:n c.buf;
+        c.b_stop <- c.b_stop + n;
+        c.fed <- c.fed + n;
+        true
+      end
+    end
+
+  (* Pull any payload bytes we never buffered through the CRC so the
+     checksum verdict covers the whole section, exactly like the batch
+     reader's whole-payload CRC. *)
+  let drain (c : chunked) =
+    let scratch = Bytes.create read_block in
+    let rec go () =
+      if c.fed < c.avail then begin
+        let n = input c.ic scratch 0 (min read_block (c.avail - c.fed)) in
+        if n > 0 then begin
+          c.crc <- Hbbp_util.Crc32.update c.crc ~off:0 ~len:n scratch;
+          c.fed <- c.fed + n;
+          go ()
+        end
+      end
+    in
+    go ()
+
+  (* Final ledger, reproducing the batch reader's entries and order:
+     a records-section checksum mismatch first (only decidable for a
+     complete section), then the salvage fault — or, when every declared
+     record parsed but the payload was physically cut short, the
+     truncation entry the batch reader records for that case. *)
+  let finish (c : chunked) =
+    drain c;
+    c.finished <- true;
+    let crc_ok = Hbbp_util.Crc32.finish c.crc = c.crc_declared in
+    let checksum =
+      if c.complete && not crc_ok then [ Checksum_mismatch Records ] else []
+    in
+    checksum
+    @
+    match c.parse_fault with
+    | Some f -> [ f ]
+    | None ->
+        if (not c.complete) && c.emitted >= c.expected then
+          [ Truncated_records
+              { expected = Some c.expected; salvaged = c.emitted } ]
+        else []
+
+  (* Parse up to [limit] records out of the pending buffer, refilling on
+     demand.  A parse failure is only classified once the entire
+     remaining payload is buffered — at that point the cursor sees
+     exactly the bytes the batch reader would, so the fault (and the
+     salvaged prefix) match [of_bytes] verbatim. *)
+  let next_chunked (s : stream) (c : chunked) =
+    if c.finished then None
+    else begin
+      let out = ref [] and n_out = ref 0 in
+      let finished = ref false in
+      while (not !finished) && !n_out < s.chunk_records do
+        if c.emitted >= c.expected then begin
+          s.s_ledger <- Some (finish c);
+          finished := true
+        end
+        else begin
+          let cur = { data = c.buf; pos = c.b_start; limit = c.b_stop } in
+          match r_record cur with
+          | r ->
+              c.b_start <- cur.pos;
+              c.emitted <- c.emitted + 1;
+              out := r :: !out;
+              incr n_out
+          | exception Parse e ->
+              if not (refill c) then begin
+                c.parse_fault <-
+                  Some
+                    (records_fault ~expected:(Some c.expected)
+                       ~salvaged:c.emitted e);
+                s.s_ledger <- Some (finish c);
+                finished := true
+              end
+        end
+      done;
+      match List.rev !out with [] -> None | chunk -> Some chunk
+    end
+
+  let next s =
+    match s.source with
+    | Buffered rest -> (
+        match !rest with
+        | [] -> None
+        | records ->
+            let rec take acc n rs =
+              if n = 0 then (List.rev acc, rs)
+              else
+                match rs with
+                | [] -> (List.rev acc, [])
+                | r :: tl -> take (r :: acc) (n - 1) tl
+            in
+            let chunk, tl = take [] s.chunk_records records in
+            rest := tl;
+            Some chunk)
+    | Chunked c -> next_chunked s c
+
+  (* The ledger is complete once the stream is exhausted; calling it
+     earlier drains the remaining records. *)
+  let ledger s =
+    match s.s_ledger with
+    | Some l -> l
+    | None ->
+        let rec drain_all () =
+          match next s with Some _ -> drain_all () | None -> ()
+        in
+        drain_all ();
+        (match s.s_ledger with Some l -> l | None -> [])
+
+  let close s =
+    match s.source with
+    | Buffered _ -> ()
+    | Chunked c -> close_in c.ic
+
+  (* -- opening -- *)
+
+  let read_exactly ic n =
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    b
+
+  (* A v2 metadata section, streamed: header, bounded payload, CRC
+     verdict — same rules as the batch [r_meta_section] (must be
+     complete and checksum-clean). *)
+  let r_meta_section_stream ic ~total ~section parse =
+    let left = total - pos_in ic in
+    if left < 24 then raise (Parse Truncated);
+    let hdr = read_exactly ic 24 in
+    let hc = { data = hdr; pos = 0; limit = 24 } in
+    let len = r_i64 hc in
+    let count = r_i64 hc in
+    let crc = r_i64 hc in
+    if len > total - pos_in ic then raise (Parse Truncated);
+    let payload = read_exactly ic len in
+    if Crc32.bytes payload <> crc then
+      raise (Parse (Corrupt (section_name section ^ " checksum mismatch")));
+    parse { data = payload; pos = 0; limit = len } count
+
+  let open_v2 ic ~total ~chunk_records =
+    let workload_name = ref "" and ebs_period = ref 0 and lbr_period = ref 0 in
+    r_meta_section_stream ic ~total ~section:Header (fun sub _ ->
+        workload_name := r_string sub;
+        ebs_period := r_i64 sub;
+        lbr_period := r_i64 sub);
+    let analysis_images =
+      r_meta_section_stream ic ~total ~section:Images (fun sub count ->
+          List.init count (fun _ -> r_image sub))
+    in
+    let live_kernel_text =
+      r_meta_section_stream ic ~total ~section:Kernel_text (fun sub count ->
+          List.init count (fun _ -> r_kernel_text sub))
+    in
+    let meta =
+      { workload_name = !workload_name; ebs_period = !ebs_period;
+        lbr_period = !lbr_period; analysis_images; live_kernel_text;
+        records = [] }
+    in
+    (* Records section header: unreadable (truncated or malformed) means
+       an empty, fully-faulted stream — same as the batch reader. *)
+    match
+      let left = total - pos_in ic in
+      if left < 24 then raise (Parse Truncated);
+      let hdr = read_exactly ic 24 in
+      let hc = { data = hdr; pos = 0; limit = 24 } in
+      let len = r_i64 hc in
+      let count = r_i64 hc in
+      let crc = r_i64 hc in
+      (len, count, crc)
+    with
+    | exception Parse _ ->
+        {
+          meta;
+          chunk_records;
+          s_ledger =
+            Some [ Truncated_records { expected = None; salvaged = 0 } ];
+          source = Buffered (ref []);
+        }
+    | len, expected, crc_declared ->
+        let avail = min len (total - pos_in ic) in
+        let c =
+          {
+            ic;
+            buf = Bytes.create read_block;
+            b_start = 0;
+            b_stop = 0;
+            crc = Hbbp_util.Crc32.init ();
+            crc_declared;
+            avail;
+            complete = avail = len;
+            expected;
+            fed = 0;
+            emitted = 0;
+            parse_fault = None;
+            finished = false;
+          }
+        in
+        { meta; chunk_records; s_ledger = None; source = Chunked c }
+
+  let open_file ?(chunk_records = default_chunk_records) path =
+    if chunk_records < 1 then
+      invalid_arg "Perf_data.Stream.open_file: chunk_records < 1";
+    let ic = open_in_bin path in
+    match
+      let total = in_channel_length ic in
+      if total < String.length magic then raise (Parse Truncated);
+      let m = read_exactly ic (String.length magic) in
+      if not (String.equal (Bytes.to_string m) magic) then
+        raise (Parse Bad_magic);
+      if total < String.length magic + 1 then raise (Parse Truncated);
+      match input_byte ic with
+      | 1 ->
+          (* v1 has no section structure to stream: fall back to the
+             batch reader and chunk the materialized list.  Memory
+             bounding is a v2-only property. *)
+          let rest = read_exactly ic (total - pos_in ic) in
+          let { archive; ledger } =
+            of_bytes_v1 { data = rest; pos = 0; limit = Bytes.length rest }
+          in
+          {
+            meta = { archive with records = [] };
+            chunk_records;
+            s_ledger = Some ledger;
+            source = Buffered (ref archive.records);
+          }
+      | 2 -> open_v2 ic ~total ~chunk_records
+      | v -> raise (Parse (Bad_version v))
+    with
+    | s -> Ok s
+    | exception Parse e ->
+        close_in_noerr ic;
+        Error e
+    | exception End_of_file ->
+        close_in_noerr ic;
+        Error Truncated
+end
+
+let fold_file ?chunk_records ~init ~f path =
+  match Stream.open_file ?chunk_records path with
+  | Error e -> Error e
+  | Ok s ->
+      Fun.protect
+        ~finally:(fun () -> Stream.close s)
+        (fun () ->
+          let rec go acc =
+            match Stream.next s with
+            | Some chunk -> go (f acc chunk)
+            | None -> (Stream.meta s, acc, Stream.ledger s)
+          in
+          Ok (go init))

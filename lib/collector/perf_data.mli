@@ -92,3 +92,67 @@ val of_bytes : bytes -> (read, error) result
 val save : ?version:int -> t -> path:string -> unit
 
 val load : path:string -> (read, error) result
+
+(** {1 Sharded writing}
+
+    [save_sharded ?version t ~shards ~path] splits the record stream
+    into [shards] contiguous slices and writes one archive per slice
+    (identical metadata, so each shard is independently analyzable);
+    returns the paths written.  ["trace.hbbp"] with 3 shards becomes
+    ["trace.0of3.hbbp"] … ["trace.2of3.hbbp"]; with [shards = 1] the
+    archive is written to [path] unchanged.  Concatenating the shards'
+    record streams in order reproduces [t.records] exactly.
+    @raise Invalid_argument when [shards < 1]. *)
+val save_sharded :
+  ?version:int -> t -> shards:int -> path:string -> string list
+
+(** {1 Chunked streaming reader}
+
+    Reads an archive's records in bounded chunks instead of
+    materializing the whole list: metadata sections are parsed up front
+    (they must be held anyway), then records are yielded straight off
+    the file through a small pending buffer, with the section CRC folded
+    incrementally ({!Hbbp_util.Crc32.update}).  Salvage semantics are
+    {b identical} to {!of_bytes}: the records handed out and the final
+    {!Stream.ledger} match the batch reader byte for byte, whatever the
+    damage.  (A parse fault is only classified once the remaining
+    payload is fully buffered, so a damaged archive can cost its tail in
+    memory — but clean archives stream in O(chunk) space.  v1 archives
+    have no section structure and fall back to buffered reading.) *)
+module Stream : sig
+  type stream
+
+  (** Default records per {!next} chunk (4096). *)
+  val default_chunk_records : int
+
+  (** Open an archive for streaming.  Fails with the same typed errors
+      as {!of_bytes} (bad magic/version, or damaged {e metadata}
+      sections — record damage is salvaged, not an error).
+      @raise Invalid_argument when [chunk_records < 1]. *)
+  val open_file : ?chunk_records:int -> string -> (stream, error) result
+
+  (** The archive's metadata with [records = []] — enough for
+      {!analysis_process} and shard-compatibility checks. *)
+  val meta : stream -> t
+
+  (** Next chunk of records (at most [chunk_records]), [None] when
+      exhausted. *)
+  val next : stream -> Record.t list option
+
+  (** Salvage ledger, equal to what {!of_bytes} would report.  Complete
+      once {!next} returned [None]; calling it earlier drains (and
+      discards) the remaining records first. *)
+  val ledger : stream -> fault list
+
+  val close : stream -> unit
+end
+
+(** [fold_file ~init ~f path] — stream every record chunk of the archive
+    at [path] through [f]; returns the metadata (with [records = []]),
+    the final accumulator and the salvage ledger. *)
+val fold_file :
+  ?chunk_records:int ->
+  init:'acc ->
+  f:('acc -> Record.t list -> 'acc) ->
+  string ->
+  (t * 'acc * fault list, error) result

@@ -64,6 +64,7 @@ type config = {
   max_instructions : int;
   count_events : Pmu_event.t list;
   thresholds : thresholds;
+  keep_records : bool;
 }
 
 let default_config =
@@ -75,6 +76,7 @@ let default_config =
     max_instructions = 2_000_000_000;
     count_events = [ Pmu_event.Inst_retired_any ];
     thresholds = default_thresholds;
+    keep_records = false;
   }
 
 type profile = {
@@ -99,6 +101,7 @@ type profile = {
   sde_lost_kernel : int;
   pmu_counts : (Pmu_event.t * int64) list;
   records : Record.t list;
+  record_count : int;
   quality : quality;
 }
 
@@ -110,6 +113,106 @@ let user_maps static =
       else None)
     (Process.images (Static.process static))
 
+(* ------------------------------------------------------------------ *)
+(* Mergeable partial reconstruction state                              *)
+
+(* Everything a reconstruction needs from the record stream, in
+   mergeable form: the estimator and bias accumulators (integer-domain,
+   so merges are exact) plus the stream-level tallies the quality
+   verdict reads.  Chunks feed in arrival order; partials from
+   contiguous shards merge in order; [finalize] turns the merged state
+   into a reconstruction.  Feeding a stream as one chunk, as many
+   chunks, or as per-shard partials merged later all produce
+   bit-identical reconstructions. *)
+module Partial = struct
+  type t = {
+    static : Static.t;
+    ebs_period : int;
+    lbr_period : int;
+    ebs_acc : Ebs_estimator.Acc.acc;
+    lbr_acc : Lbr_estimator.Acc.acc;
+    bias_acc : Bias.Acc.acc;
+    mutable records : int;
+    mutable ebs_samples : int;
+    mutable lbr_snapshots : int;
+    mutable other_samples : int;
+    mutable lost : int;
+    mutable faults_rev : Perf_data.fault list;
+  }
+
+  let create ~static ~ebs_period ~lbr_period () =
+    {
+      static;
+      ebs_period;
+      lbr_period;
+      ebs_acc = Ebs_estimator.Acc.create static;
+      lbr_acc = Lbr_estimator.Acc.create static;
+      bias_acc = Bias.Acc.create ();
+      records = 0;
+      ebs_samples = 0;
+      lbr_snapshots = 0;
+      other_samples = 0;
+      lost = 0;
+      faults_rev = [];
+    }
+
+  let static t = t.static
+  let ebs_period t = t.ebs_period
+  let lbr_period t = t.lbr_period
+  let record_count t = t.records
+  let ebs_samples t = t.ebs_samples
+  let lbr_snapshots t = t.lbr_snapshots
+  let other_samples t = t.other_samples
+  let lost_records t = t.lost
+  let faults t = List.rev t.faults_rev
+
+  let add t (r : Record.t) =
+    t.records <- t.records + 1;
+    match r with
+    | Record.Sample s -> (
+        match s.Record.event with
+        | Pmu_event.Inst_retired_prec_dist ->
+            t.ebs_samples <- t.ebs_samples + 1;
+            Ebs_estimator.Acc.add t.static t.ebs_acc
+              { Sample_db.ip = s.Record.ip; ring = s.Record.ring }
+        | Pmu_event.Br_inst_retired_near_taken ->
+            t.lbr_snapshots <- t.lbr_snapshots + 1;
+            let sample =
+              { Sample_db.entries = s.Record.lbr; ring = s.Record.ring }
+            in
+            Lbr_estimator.Acc.add t.static t.lbr_acc sample;
+            Bias.Acc.add t.static t.bias_acc sample
+        | _ -> t.other_samples <- t.other_samples + 1)
+    | Record.Lost n -> t.lost <- t.lost + n
+    | Record.Comm _ | Record.Mmap _ | Record.Fork _ -> ()
+
+  let feed t chunk =
+    Trace.with_span ~cat:"analyze" "chunk" (fun () -> List.iter (add t) chunk)
+
+  let note_faults t faults =
+    List.iter (fun f -> t.faults_rev <- f :: t.faults_rev) faults
+
+  let merge a b =
+    if not (a.static == b.static) then
+      invalid_arg "Pipeline.Partial.merge: partials must share one static view";
+    if a.ebs_period <> b.ebs_period || a.lbr_period <> b.lbr_period then
+      invalid_arg "Pipeline.Partial.merge: sampling period mismatch";
+    {
+      static = a.static;
+      ebs_period = a.ebs_period;
+      lbr_period = a.lbr_period;
+      ebs_acc = Ebs_estimator.Acc.merge a.ebs_acc b.ebs_acc;
+      lbr_acc = Lbr_estimator.Acc.merge a.lbr_acc b.lbr_acc;
+      bias_acc = Bias.Acc.merge a.bias_acc b.bias_acc;
+      records = a.records + b.records;
+      ebs_samples = a.ebs_samples + b.ebs_samples;
+      lbr_snapshots = a.lbr_snapshots + b.lbr_snapshots;
+      other_samples = a.other_samples + b.other_samples;
+      lost = a.lost + b.lost;
+      faults_rev = b.faults_rev @ a.faults_rev;
+    }
+end
+
 type reconstruction = {
   r_static : Static.t;
   r_ebs : Ebs_estimator.t;
@@ -117,6 +220,7 @@ type reconstruction = {
   r_bias : Bias.t;
   r_hbbp : Bbec.t;
   r_quality : quality;
+  r_partial : Partial.t;
 }
 
 (* Sampling-health counters of one reconstruction: everything the paper
@@ -166,8 +270,8 @@ let record_reconstruction_metrics (r : reconstruction) =
    "starved" when it cannot plausibly support per-block estimation on
    its own — the situations the paper's decision criteria assume never
    happen on healthy hardware. *)
-let assess_quality (th : thresholds) ~ledger ~(db : Sample_db.t)
-    ~(ebs : Ebs_estimator.t) ~(lbr : Lbr_estimator.t) =
+let assess_quality (th : thresholds) ~ledger ~lost ~(ebs : Ebs_estimator.t)
+    ~(lbr : Lbr_estimator.t) =
   let ebs_total =
     Array.fold_left ( + ) ebs.Ebs_estimator.unattributed ebs.Ebs_estimator.raw
   in
@@ -203,9 +307,7 @@ let assess_quality (th : thresholds) ~ledger ~(db : Sample_db.t)
     List.map
       (fun f -> Archive_fault (Format.asprintf "%a" Perf_data.pp_fault f))
       ledger
-    @ (if db.Sample_db.lost > th.max_lost_records then
-         [ Lost_records db.Sample_db.lost ]
-       else [])
+    @ (if lost > th.max_lost_records then [ Lost_records lost ] else [])
     @ (if ebs_bad then
          [ Ebs_starved { samples = ebs_total; unattributed_share } ]
        else [])
@@ -223,21 +325,49 @@ let fallback_criteria = function
   | `Ebs_only -> Criteria.Length_rule { cutoff = 0; bias_to_ebs = false }
   | `Lbr_only -> Criteria.Length_rule { cutoff = max_int; bias_to_ebs = false }
 
-let reconstruct ?(criteria = Criteria.default)
-    ?(thresholds = default_thresholds) ?(ledger = []) ~static ~ebs_period
-    ~lbr_period records =
+(* Turn accumulated partial state into a reconstruction.  [replay]
+   re-yields the record stream for the bias contamination pass, which
+   only runs when pass one flagged something; without it, contamination
+   is skipped (see {!Bias.finalize}).  All reconstruction entry points —
+   batch, streaming, merged shards — go through here, which is what
+   makes them bit-identical. *)
+let finalize ?(criteria = Criteria.default) ?(thresholds = default_thresholds)
+    ?replay (p : Partial.t) =
   let span name f = Trace.with_span ~cat:"analyze" name f in
-  let db = span "sample_db" (fun () -> Sample_db.of_records records) in
+  let static = Partial.static p in
   let ebs =
-    span "ebs_estimate" (fun () ->
-        Ebs_estimator.estimate static ~period:ebs_period db.Sample_db.ebs)
+    span "ebs_finalize" (fun () ->
+        Ebs_estimator.finalize static ~period:(Partial.ebs_period p)
+          p.Partial.ebs_acc)
   in
   let lbr =
-    span "lbr_estimate" (fun () ->
-        Lbr_estimator.estimate static ~period:lbr_period db.Sample_db.lbr)
+    span "lbr_finalize" (fun () ->
+        Lbr_estimator.finalize static ~period:(Partial.lbr_period p)
+          p.Partial.lbr_acc)
   in
-  let bias = span "bias_detect" (fun () -> Bias.detect static db.Sample_db.lbr) in
-  let quality, fallback = assess_quality thresholds ~ledger ~db ~ebs ~lbr in
+  let bias_replay =
+    Option.map
+      (fun iter f ->
+        iter (fun chunk ->
+            List.iter
+              (fun (r : Record.t) ->
+                match r with
+                | Record.Sample s
+                  when Pmu_event.equal s.Record.event
+                         Pmu_event.Br_inst_retired_near_taken ->
+                    f { Sample_db.entries = s.Record.lbr; ring = s.Record.ring }
+                | _ -> ())
+              chunk))
+      replay
+  in
+  let bias =
+    span "bias_finalize" (fun () ->
+        Bias.finalize static p.Partial.bias_acc ~replay:bias_replay)
+  in
+  let quality, fallback =
+    assess_quality thresholds ~ledger:(Partial.faults p)
+      ~lost:(Partial.lost_records p) ~ebs ~lbr
+  in
   let criteria =
     match fallback with
     | None -> criteria
@@ -254,10 +384,46 @@ let reconstruct ?(criteria = Criteria.default)
       r_bias = bias;
       r_hbbp = hbbp;
       r_quality = quality;
+      r_partial = p;
     }
   in
   record_reconstruction_metrics r;
   r
+
+let reconstruct ?criteria ?thresholds ?(ledger = []) ~static ~ebs_period
+    ~lbr_period records =
+  let p = Partial.create ~static ~ebs_period ~lbr_period () in
+  Partial.note_faults p ledger;
+  Partial.feed p records;
+  finalize ?criteria ?thresholds ~replay:(fun f -> f records) p
+
+(* Chunked streaming reconstruction: [chunks ()] yields record chunks
+   until [None]; state stays bounded by the accumulators plus one chunk.
+   [replay] must re-yield the same stream when provided — the bias
+   contamination pass needs a second look only when pass one flags a
+   branch, so clean streams are single-pass. *)
+let reconstruct_stream ?criteria ?thresholds ?(ledger = []) ?replay ~static
+    ~ebs_period ~lbr_period chunks =
+  let p = Partial.create ~static ~ebs_period ~lbr_period () in
+  Partial.note_faults p ledger;
+  let rec pump () =
+    match chunks () with
+    | Some chunk ->
+        Partial.feed p chunk;
+        pump ()
+    | None -> ()
+  in
+  pump ();
+  finalize ?criteria ?thresholds ?replay p
+
+(* Merging finalized reconstructions re-finalizes the merged partial
+   state — the estimator/bias accumulators are the mergeable core; the
+   finalized arrays themselves are not (fallback and bias are
+   non-linear).  [replay] re-yields the {e combined} stream for the
+   contamination pass. *)
+let merge_reconstructions ?criteria ?thresholds ?replay a b =
+  finalize ?criteria ?thresholds ?replay
+    (Partial.merge a.r_partial b.r_partial)
 
 let collect_archive ?(config = default_config) (w : Workload.t) =
   Trace.with_span ~cat:"pipeline"
@@ -287,6 +453,104 @@ let analyze_archive ?criteria ?thresholds ?ledger (archive : Perf_data.t) =
     ~ebs_period:archive.Perf_data.ebs_period
     ~lbr_period:archive.Perf_data.lbr_period archive.Perf_data.records
 
+(* Streaming multi-archive analysis: one partial per archive (chunked
+   off the file, never materializing a record list), merged in path
+   order, finalized over the merged totals.  All archives must agree on
+   workload name and sampling periods (shards of one collection do);
+   the static view is built once, from the first archive's metadata. *)
+let analyze_archives ?criteria ?thresholds ?chunk_records paths =
+  if paths = [] then invalid_arg "Pipeline.analyze_archives: no archives";
+  let render e = Format.asprintf "%a" Perf_data.pp_error e in
+  let exception Fail of string in
+  try
+    let meta = ref None and static = ref None in
+    let partial_of_path path =
+      Trace.with_span ~cat:"analyze" ~args:[ ("path", path) ] "archive"
+      @@ fun () ->
+      match Perf_data.Stream.open_file ?chunk_records path with
+      | Error e -> raise (Fail (Printf.sprintf "%s: %s" path (render e)))
+      | Ok s ->
+          Fun.protect
+            ~finally:(fun () -> Perf_data.Stream.close s)
+            (fun () ->
+              let m = Perf_data.Stream.meta s in
+              let st =
+                match !static with
+                | None ->
+                    let st =
+                      Static.create_exn (Perf_data.analysis_process m)
+                    in
+                    meta := Some m;
+                    static := Some st;
+                    st
+                | Some st ->
+                    let m0 = Option.get !meta in
+                    if
+                      m.Perf_data.workload_name
+                      <> m0.Perf_data.workload_name
+                      || m.Perf_data.ebs_period <> m0.Perf_data.ebs_period
+                      || m.Perf_data.lbr_period <> m0.Perf_data.lbr_period
+                    then
+                      raise
+                        (Fail
+                           (Printf.sprintf
+                              "%s: shard metadata mismatch (workload %S, \
+                               periods %d/%d; expected %S, %d/%d)"
+                              path m.Perf_data.workload_name
+                              m.Perf_data.ebs_period m.Perf_data.lbr_period
+                              m0.Perf_data.workload_name
+                              m0.Perf_data.ebs_period
+                              m0.Perf_data.lbr_period));
+                    st
+              in
+              let p =
+                Partial.create ~static:st
+                  ~ebs_period:m.Perf_data.ebs_period
+                  ~lbr_period:m.Perf_data.lbr_period ()
+              in
+              let rec pump () =
+                match Perf_data.Stream.next s with
+                | Some chunk ->
+                    Partial.feed p chunk;
+                    pump ()
+                | None -> ()
+              in
+              pump ();
+              Partial.note_faults p (Perf_data.Stream.ledger s);
+              p)
+    in
+    let partials = List.map partial_of_path paths in
+    let merged =
+      match partials with
+      | p :: rest -> List.fold_left Partial.merge p rest
+      | [] -> assert false
+    in
+    (* Second pass for bias contamination — only consulted when pass one
+       flagged a branch, so clean runs never reopen the files. *)
+    let replay f =
+      List.iter
+        (fun path ->
+          match Perf_data.Stream.open_file ?chunk_records path with
+          | Error _ -> () (* readable moments ago; best effort *)
+          | Ok s ->
+              Fun.protect
+                ~finally:(fun () -> Perf_data.Stream.close s)
+                (fun () ->
+                  let rec pump () =
+                    match Perf_data.Stream.next s with
+                    | Some chunk ->
+                        f chunk;
+                        pump ()
+                    | None -> ()
+                  in
+                  pump ()))
+        paths
+    in
+    Ok (Option.get !meta, finalize ?criteria ?thresholds ~replay merged)
+  with
+  | Fail msg -> Error msg
+  | Sys_error msg -> Error msg
+
 (* Run-level counters: execution volume plus the PMU's sampling-health
    accounting (the repo observing its own collection quality, the way
    the paper accounts for perf's). *)
@@ -298,7 +562,7 @@ let record_run_metrics (p : profile) =
     c "pipeline.cycles" p.stats.Machine.cycles;
     c "pipeline.taken_branches" p.stats.Machine.taken_branches;
     c "pipeline.kernel_retired" p.stats.Machine.kernel_retired;
-    c "pipeline.records" (List.length p.records);
+    c "pipeline.records" p.record_count;
     Metrics.set
       (Metrics.gauge "pipeline.collection_overhead")
       p.collection_overhead;
@@ -404,7 +668,8 @@ let run ?(config = default_config) (w : Workload.t) =
       sde_total = Hbbp_instrument.Sde.total_instructions sde;
       sde_lost_kernel = Hbbp_instrument.Sde.lost_kernel_instructions sde;
       pmu_counts = Pmu.counts counting;
-      records;
+      records = (if config.keep_records then records else []);
+      record_count = List.length records;
       quality = r.r_quality;
     }
   in

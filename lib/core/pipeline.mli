@@ -63,6 +63,11 @@ type config = {
   count_events : Pmu_event.t list;
       (** Extra counting-mode events for cross-checking. *)
   thresholds : thresholds;
+  keep_records : bool;
+      (** Retain the raw record stream on {!profile.records}.  Default
+          {b false} (breaking change): reconstruction state is bounded,
+          so holding every record alive is opt-in.  [record_count] is
+          always populated. *)
 }
 
 val default_config : config
@@ -92,6 +97,8 @@ type profile = {
   sde_lost_kernel : int;
   pmu_counts : (Pmu_event.t * int64) list;
   records : Record.t list;
+      (** Raw record stream — [[]] unless {!config.keep_records}. *)
+  record_count : int;  (** Records collected (kept or not). *)
   quality : quality;  (** Degradation verdict of the reconstruction. *)
 }
 
@@ -111,6 +118,43 @@ val run_many : ?jobs:int -> ?config:config -> Workload.t list -> profile list
     target machine; analysis later, from the archive alone (no ground
     truth available, so no error reports — just mixes). *)
 
+(** Mergeable partial reconstruction state (the streaming core).  Feed
+    record chunks in arrival order; merge partials built from contiguous
+    shards; finalize into a {!reconstruction}.  The accumulators live in
+    the integer domain, so [merge] is exact — one chunk, many chunks, or
+    per-shard partials merged later are all {b bit-identical} after
+    finalization. *)
+module Partial : sig
+  type t
+
+  (** All partials destined to merge must share the {e same} [static]
+      (physical equality is checked) and periods. *)
+  val create :
+    static:Static.t -> ebs_period:int -> lbr_period:int -> unit -> t
+
+  (** Feed one record chunk (emits one telemetry span per chunk). *)
+  val feed : t -> Record.t list -> unit
+
+  (** Append archive-salvage faults to this partial's ledger; they reach
+      the quality verdict at finalization. *)
+  val note_faults : t -> Perf_data.fault list -> unit
+
+  (** [merge a b] — [a]'s stream followed by [b]'s.  Pure; associative,
+      and commutative up to ledger order.
+      @raise Invalid_argument on static/period mismatch. *)
+  val merge : t -> t -> t
+
+  val static : t -> Static.t
+  val ebs_period : t -> int
+  val lbr_period : t -> int
+  val record_count : t -> int
+  val ebs_samples : t -> int
+  val lbr_snapshots : t -> int
+  val other_samples : t -> int
+  val lost_records : t -> int
+  val faults : t -> Perf_data.fault list
+end
+
 type reconstruction = {
   r_static : Static.t;
   r_ebs : Ebs_estimator.t;
@@ -118,7 +162,25 @@ type reconstruction = {
   r_bias : Bias.t;
   r_hbbp : Bbec.t;
   r_quality : quality;
+  r_partial : Partial.t;
+      (** The mergeable state this reconstruction was finalized from
+          (enables {!merge_reconstructions}). *)
 }
+
+(** [finalize partial] — turn accumulated state into a reconstruction:
+    estimator finalization, bias resolution, quality assessment over the
+    partial's merged totals (ledger faults, lost records, channel
+    starvation → fallback), fusion.  [replay] re-yields the partial's
+    record stream for the bias contamination pass; it is only consulted
+    when bias pass one flagged a branch, so clean streams stay
+    single-pass.  With [replay] omitted, contamination is skipped
+    ({!Hbbp_analyzer.Bias.finalize}). *)
+val finalize :
+  ?criteria:Criteria.t ->
+  ?thresholds:thresholds ->
+  ?replay:((Record.t list -> unit) -> unit) ->
+  Partial.t ->
+  reconstruction
 
 (** [reconstruct ~static ~ebs_period ~lbr_period records] — rebuild all
     three BBEC estimates from a raw record stream.
@@ -137,6 +199,39 @@ val reconstruct :
   ebs_period:int ->
   lbr_period:int ->
   Record.t list ->
+  reconstruction
+
+(** [reconstruct_stream ~static ~ebs_period ~lbr_period chunks] —
+    chunked reconstruction: [chunks ()] yields record chunks until
+    [None]; resident state is the accumulators plus one chunk.  [replay]
+    must re-yield the same stream when provided (bias contamination,
+    second pass — only taken when pass one flags).  Bit-identical to
+    {!reconstruct} on the concatenated chunks. *)
+val reconstruct_stream :
+  ?criteria:Criteria.t ->
+  ?thresholds:thresholds ->
+  ?ledger:Perf_data.fault list ->
+  ?replay:((Record.t list -> unit) -> unit) ->
+  static:Static.t ->
+  ebs_period:int ->
+  lbr_period:int ->
+  (unit -> Record.t list option) ->
+  reconstruction
+
+(** [merge_reconstructions a b] — re-finalize the merged partial state
+    of two reconstructions over the same static view ([a]'s stream
+    followed by [b]'s): estimates add exactly, and quality/fallback/bias
+    are re-resolved over the {e combined} totals — merging two degraded
+    shards can yield a [Full] result and vice versa.  [replay] re-yields
+    the combined stream for bias contamination.
+    @raise Invalid_argument when the partials don't share a static view
+    or disagree on periods. *)
+val merge_reconstructions :
+  ?criteria:Criteria.t ->
+  ?thresholds:thresholds ->
+  ?replay:((Record.t list -> unit) -> unit) ->
+  reconstruction ->
+  reconstruction ->
   reconstruction
 
 (** [collect_archive ?config workload] — run only the collection side and
@@ -159,6 +254,25 @@ val analyze_archive :
   ?ledger:Perf_data.fault list ->
   Perf_data.t ->
   reconstruction
+
+(** [analyze_archives paths] — streaming multi-archive analysis: each
+    archive is chunk-streamed off disk ({!Perf_data.Stream}) into its
+    own partial, partials merge in path order, and the result is
+    finalized over the merged totals (salvage ledgers, lost records and
+    channel thresholds included).  All archives must carry the same
+    workload name and sampling periods — the shards
+    {!Perf_data.save_sharded} writes do; the returned metadata (with
+    [records = []]) comes from the first archive.  [Error] carries a
+    rendered diagnostic (unreadable archive or shard metadata
+    mismatch).  Bit-identical to loading everything and running batch
+    {!analyze_archive} on the concatenated records.
+    @raise Invalid_argument when [paths] is empty. *)
+val analyze_archives :
+  ?criteria:Criteria.t ->
+  ?thresholds:thresholds ->
+  ?chunk_records:int ->
+  string list ->
+  (Perf_data.t * reconstruction, string) result
 
 (** {1 Derived views} *)
 

@@ -10,15 +10,22 @@ let table =
          done;
          !c))
 
-let bytes ?(off = 0) ?len data =
+type state = int
+
+let init () = 0xFFFFFFFF
+
+let update st ?(off = 0) ?len data =
   let len = match len with Some l -> l | None -> Bytes.length data - off in
   if off < 0 || len < 0 || off + len > Bytes.length data then
-    invalid_arg "Crc32.bytes: slice out of range";
+    invalid_arg "Crc32.update: slice out of range";
   let t = Lazy.force table in
-  let crc = ref 0xFFFFFFFF in
+  let crc = ref st in
   for i = off to off + len - 1 do
     crc := t.((!crc lxor Bytes.get_uint8 data i) land 0xFF) lxor (!crc lsr 8)
   done;
-  !crc lxor 0xFFFFFFFF
+  !crc
 
+let finish st = st lxor 0xFFFFFFFF
+
+let bytes ?off ?len data = finish (update (init ()) ?off ?len data)
 let string s = bytes (Bytes.unsafe_of_string s)

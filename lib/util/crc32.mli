@@ -2,7 +2,26 @@
 
     Used by the v2 archive format to give every section an integrity
     checksum, so the reader can tell torn writes and bit rot from valid
-    data before parsing. *)
+    data before parsing.
+
+    Two interfaces: the one-shot [bytes]/[string], and an incremental
+    [init]/[update]/[finish] triple so streaming readers can checksum a
+    section chunk by chunk without buffering it.  [bytes] is implemented
+    on top of the incremental form, so the two always agree. *)
+
+(** Running checksum state.  Immutable: [update] returns a new state. *)
+type state
+
+(** Fresh state (all-ones preset, per the reflected CRC-32 convention). *)
+val init : unit -> state
+
+(** [update st ?off ?len data] folds the slice (default: all of [data])
+    into the running checksum.  Raises [Invalid_argument] if the slice
+    is out of range. *)
+val update : state -> ?off:int -> ?len:int -> bytes -> state
+
+(** Final CRC value as a non-negative int in [0, 2^32). *)
+val finish : state -> int
 
 (** [bytes ?off ?len data] — CRC-32 of the slice (default: all of
     [data]), as a non-negative int in [0, 2^32). *)

@@ -28,7 +28,10 @@ type cell = {
 
 type t = {
   n_jobs : int;
-  queue : (unit -> unit) Queue.t;
+  (* A job returns its completion continuation; the worker accounts the
+     task in its cell BEFORE invoking it, so by the time the submitter
+     observes completion, [stats] already includes the task. *)
+  queue : (unit -> unit -> unit) Queue.t;
   lock : Mutex.t;
   work_ready : Condition.t;
   mutable closed : bool;
@@ -57,12 +60,13 @@ let worker pool idx =
     match job with
     | Some run ->
         let t0 = now () in
-        run ();
+        let complete = run () in
         let dt = now () -. t0 in
         Mutex.lock pool.lock;
         cell.c_tasks <- cell.c_tasks + 1;
         cell.c_busy_s <- cell.c_busy_s +. dt;
         Mutex.unlock pool.lock;
+        complete ();
         next ()
     | None -> ()
   in
@@ -72,6 +76,13 @@ let create ?jobs () =
   let n_jobs =
     match jobs with Some n -> max 1 n | None -> default_jobs ()
   in
+  let recommended = Domain.recommended_domain_count () in
+  if n_jobs > recommended then
+    Printf.eprintf
+      "hbbp: warning: %d jobs exceeds the %d recommended domains on this \
+       host; expect oversubscription\n\
+       %!"
+      n_jobs recommended;
   let pool =
     {
       n_jobs;
@@ -162,7 +173,8 @@ let map_array pool f xs =
       (match apply xs.(k) with
       | v ->
           Mutex.lock done_lock;
-          results.(k) <- Some v
+          results.(k) <- Some v;
+          Mutex.unlock done_lock
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.lock done_lock;
@@ -170,10 +182,13 @@ let map_array pool f xs =
              does not depend on scheduling. *)
           (match !failure with
           | Some (k0, _, _) when k0 < k -> ()
-          | Some _ | None -> failure := Some (k, e, bt)));
-      decr remaining;
-      if !remaining = 0 then Condition.signal all_done;
-      Mutex.unlock done_lock
+          | Some _ | None -> failure := Some (k, e, bt));
+          Mutex.unlock done_lock);
+      fun () ->
+        Mutex.lock done_lock;
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock done_lock
     in
     Mutex.lock pool.lock;
     for k = 0 to n - 1 do

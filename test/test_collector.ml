@@ -185,7 +185,11 @@ let test_offline_analysis_matches_online () =
   (* The same records analyzed offline must give the same HBBP BBECs as
      the live pipeline. *)
   let w = Hbbp_workloads.Spec.find "mcf" in
-  let p = Hbbp_core.Pipeline.run w in
+  let config =
+    { Hbbp_core.Pipeline.default_config with
+      Hbbp_core.Pipeline.keep_records = true }
+  in
+  let p = Hbbp_core.Pipeline.run ~config w in
   let static = p.Hbbp_core.Pipeline.static in
   let r =
     Hbbp_core.Pipeline.reconstruct ~static

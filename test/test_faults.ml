@@ -17,6 +17,13 @@ module Faults = Hbbp_faults.Faults
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
+(* profile.records is opt-in since the streaming refactor; these tests
+   reconstruct from it. *)
+let keep_config =
+  { Pipeline.default_config with Pipeline.keep_records = true }
+
+let run_keep w = Pipeline.run ~config:keep_config w
+
 (* Every test leaves the global fault state as it found it: disarmed and
    with a clean tally. *)
 let clean f () =
@@ -124,9 +131,9 @@ let test_plan_bad_specs () =
 
 let test_disarmed_identity () =
   let w = mk_workload ~seed:0xFA01L "ident" in
-  let p_off = Pipeline.run w in
+  let p_off = run_keep w in
   Faults.arm Plan.none;
-  let p_inert = Pipeline.run w in
+  let p_inert = run_keep w in
   Faults.disarm ();
   checkb "arming the inert plan leaves profiles byte-identical" true
     (profiles_equal p_off p_inert);
@@ -144,10 +151,10 @@ let test_disarmed_identity () =
 
 let test_pmu_drops () =
   let w = mk_workload ~seed:0xFA02L "pmudrop" in
-  let clean_p = Pipeline.run w in
+  let clean_p = run_keep w in
   Faults.reset_tally ();
   Faults.arm (plan_of_spec "seed=11,pmu.drop=0.05");
-  let p = Pipeline.run w in
+  let p = run_keep w in
   Faults.disarm ();
   let n_clean = List.length (Record.samples clean_p.Pipeline.records) in
   let n = List.length (Record.samples p.Pipeline.records) in
@@ -166,7 +173,7 @@ let test_lbr_corruption () =
   let w = mk_workload ~seed:0xFA03L "lbr" in
   Faults.reset_tally ();
   Faults.arm (plan_of_spec "seed=13,lbr.stuck=0.3,lbr.misrotate=0.3,lbr.truncate=4");
-  let p = Pipeline.run w in
+  let p = run_keep w in
   Faults.disarm ();
   let t = Faults.tally () in
   checkb "forced stuck snapshots tallied" true
@@ -181,7 +188,7 @@ let test_lbr_corruption () =
 let test_stream_faults_degrade () =
   let w = mk_workload ~seed:0xFA04L "stream" in
   Faults.arm (plan_of_spec "seed=5,rec.drop_sample=0.1,rec.reorder=8");
-  let p = Pipeline.run w in
+  let p = run_keep w in
   Faults.disarm ();
   let lost = lost_in p.Pipeline.records in
   checkb "drops reported via a trailing Lost record" true (lost > 0);
@@ -419,7 +426,7 @@ let bbec_counts_equal (a : Pipeline.reconstruction)
 
 let test_threshold_boundaries () =
   let w = mk_workload ~seed:0xFA07L "thresh" in
-  let p = Pipeline.run w in
+  let p = run_keep w in
   let r = reconstruct_of p p.Pipeline.records in
   checkb "clean run is full quality" true
     (r.Pipeline.r_quality = Pipeline.Full);
@@ -488,7 +495,7 @@ let strip_event event records =
 
 let test_stripped_channel_fallback () =
   let w = mk_workload ~seed:0xFA08L "strip" in
-  let p = Pipeline.run w in
+  let p = run_keep w in
   (* No EBS samples at all → reconstruct from LBR alone. *)
   let no_ebs = strip_event Pmu_event.Inst_retired_prec_dist p.Pipeline.records in
   let r = reconstruct_of p no_ebs in
@@ -569,7 +576,7 @@ let dump_artifact ~seed ~spec data =
 
 let test_chaos_grid () =
   let w = mk_workload ~seed:0xC0DEL "chaos" in
-  let clean_p = Pipeline.run w in
+  let clean_p = run_keep w in
   let clean_err = avg_err clean_p in
   List.iter
     (fun seed ->
@@ -582,7 +589,7 @@ let test_chaos_grid () =
             try
               Faults.reset_tally ();
               Faults.arm plan;
-              let p = Pipeline.run w in
+              let p = run_keep w in
               let archive = Pipeline.collect_archive w in
               let data = Faults.mangle_archive (Perf_data.to_bytes archive) in
               Faults.disarm ();
@@ -645,7 +652,7 @@ let test_chaos_determinism () =
   let run_once () =
     Faults.reset_tally ();
     Faults.arm (plan_of_spec spec);
-    let p = Pipeline.run w in
+    let p = run_keep w in
     let data =
       Faults.mangle_archive (Perf_data.to_bytes (Pipeline.collect_archive w))
     in

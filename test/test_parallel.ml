@@ -90,6 +90,9 @@ let workloads () =
     mk_workload ~seed:0xF00DL "par-c";
   ]
 
+let keep_config =
+  { Pipeline.default_config with Pipeline.keep_records = true }
+
 (* Byte-identity of everything downstream analysis consumes. *)
 let profiles_equal (a : Pipeline.profile) (b : Pipeline.profile) =
   compare a.stats b.stats = 0
@@ -106,21 +109,21 @@ let profiles_equal (a : Pipeline.profile) (b : Pipeline.profile) =
   && compare a.records b.records = 0
 
 let test_run_many_matches_sequential () =
-  let seq = Pipeline.run_many ~jobs:1 (workloads ()) in
-  let par = Pipeline.run_many ~jobs:4 (workloads ()) in
+  let seq = Pipeline.run_many ~jobs:1 ~config:keep_config (workloads ()) in
+  let par = Pipeline.run_many ~jobs:4 ~config:keep_config (workloads ()) in
   checki "same cardinality" (List.length seq) (List.length par);
   List.iter2
     (fun a b -> checkb "profile byte-identical across job counts" true
         (profiles_equal a b))
     seq par;
-  let direct = List.map Pipeline.run (workloads ()) in
+  let direct = List.map (Pipeline.run ~config:keep_config) (workloads ()) in
   List.iter2
     (fun a b -> checkb "run_many jobs:1 = plain run" true (profiles_equal a b))
     seq direct
 
 let test_run_many_mixes_and_errors_identical () =
-  let seq = Pipeline.run_many ~jobs:1 (workloads ()) in
-  let par = Pipeline.run_many ~jobs:4 (workloads ()) in
+  let seq = Pipeline.run_many ~jobs:1 ~config:keep_config (workloads ()) in
+  let par = Pipeline.run_many ~jobs:4 ~config:keep_config (workloads ()) in
   List.iter2
     (fun (a : Pipeline.profile) (b : Pipeline.profile) ->
       checkb "HBBP mix identical" true

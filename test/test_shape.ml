@@ -6,7 +6,11 @@ open Hbbp_core
 
 let checkb = Alcotest.(check bool)
 
-let profile w = Pipeline.run w
+let profile w =
+  (* records are opt-in now; the kernel-patch test re-estimates from them. *)
+  Pipeline.run
+    ~config:{ Pipeline.default_config with Pipeline.keep_records = true }
+    w
 
 let err p bbec = (Pipeline.error_report p bbec).Error.avg_weighted_error
 let hbbp_err p = err p p.Pipeline.hbbp

@@ -230,10 +230,11 @@ let test_telemetry_does_not_change_profiles () =
   let ws =
     [ mk_workload ~seed:0xBEEFL "tel-a"; mk_workload ~seed:0x5EEDL "tel-b" ]
   in
-  let off = List.map Pipeline.run ws in
+  let keep = { Pipeline.default_config with Pipeline.keep_records = true } in
+  let off = List.map (Pipeline.run ~config:keep) ws in
   Trace.enable ();
   Metrics.enable ();
-  let on = List.map Pipeline.run ws in
+  let on = List.map (Pipeline.run ~config:keep) ws in
   Trace.disable ();
   Metrics.disable ();
   List.iter2
