@@ -32,12 +32,14 @@ let all : (string * (Format.formatter -> unit)) list =
     ("streaming", Streaming.run);
     ("telemetry", Telemetry.run);
     ("faults", Faults_bench.run);
+    ("verifier", Verifier_bench.run);
   ]
 
 (* Targets that never touch the profile cache; everything else benefits
    from the parallel preload. *)
 let no_sweep =
-  [ "table2"; "table4"; "micro"; "pipeline"; "streaming"; "telemetry"; "faults" ]
+  [ "table2"; "table4"; "micro"; "pipeline"; "streaming"; "telemetry";
+    "faults"; "verifier" ]
 
 let () =
   let ppf = Format.std_formatter in

@@ -1,0 +1,108 @@
+(* Static-verifier overhead: lint throughput over every bundled image,
+   and the flow-conservation check's share of offline reconstruction
+   time (it runs inside every [Pipeline.finalize], so it must stay well
+   under 5% of the reconstruct cost).  Writes BENCH_verifier.json. *)
+
+open Hbbp_core
+module V = Hbbp_verifier
+module U = Bench_util
+
+let now = Unix.gettimeofday
+
+let run ppf =
+  U.header ppf "Static verifier (writes BENCH_verifier.json)";
+  let workloads =
+    List.map Hbbp_workloads.Registry.find Hbbp_workloads.Registry.names
+  in
+  let processes =
+    List.map (fun (w : Workload.t) -> w.Workload.analysis_process) workloads
+  in
+  let lint_bytes =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc img -> acc + Hbbp_program.Image.size img)
+          acc
+          (Hbbp_program.Process.images p))
+      0 processes
+  in
+  (* Warm once (shared static structures, allocator), then measure. *)
+  List.iter (fun p -> ignore (Sys.opaque_identity (V.Lint.process p))) processes;
+  let iters = 5 in
+  let t0 = now () in
+  for _ = 1 to iters do
+    List.iter
+      (fun p ->
+        match V.Lint.process p with
+        | [] -> ()
+        | d :: _ ->
+            failwith
+              (Format.asprintf "BENCH verifier: unexpected finding: %a"
+                 V.Diagnostic.pp d))
+      processes
+  done;
+  let lint_seconds = (now () -. t0) /. float_of_int iters in
+  let lint_mb_per_s = float_of_int lint_bytes /. lint_seconds /. 1e6 in
+  Format.fprintf ppf "lint: %d images, %.2f MB, %.3f s/pass, %.1f MB/s@."
+    (List.fold_left
+       (fun acc p -> acc + List.length (Hbbp_program.Process.images p))
+       0 processes)
+    (float_of_int lint_bytes /. 1e6)
+    lint_seconds lint_mb_per_s;
+  (* Flow-check share of reconstruction: offline-analyze the largest
+     collected archive, then time the conservation check alone. *)
+  let archives = Pipeline.collect_many ~jobs:!U.jobs workloads in
+  let archive =
+    List.fold_left
+      (fun (best : Hbbp_collector.Perf_data.t) a ->
+        if
+          List.length a.Hbbp_collector.Perf_data.records
+          > List.length best.Hbbp_collector.Perf_data.records
+        then a
+        else best)
+      (List.hd archives) archives
+  in
+  let t0 = now () in
+  let r = Pipeline.analyze_archive archive in
+  let reconstruct_seconds = now () -. t0 in
+  let flow_iters = 20 in
+  let t0 = now () in
+  for _ = 1 to flow_iters do
+    ignore
+      (Sys.opaque_identity
+         (V.Flow.check r.Pipeline.r_static r.Pipeline.r_hbbp))
+  done;
+  let flow_seconds = (now () -. t0) /. float_of_int flow_iters in
+  let flow_share = flow_seconds /. reconstruct_seconds in
+  Format.fprintf ppf
+    "flow check: %.2f ms vs %.0f ms reconstruct (%s, %d records) — %.2f%% \
+     of reconstruct time (target < 5%%)@."
+    (flow_seconds *. 1e3)
+    (reconstruct_seconds *. 1e3)
+    archive.Hbbp_collector.Perf_data.workload_name
+    (List.length archive.Hbbp_collector.Perf_data.records)
+    (100.0 *. flow_share);
+  let oc = open_out "BENCH_verifier.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "verifier",
+  "lint": {
+    "bytes": %d,
+    "seconds_per_pass": %.6f,
+    "mb_per_sec": %.2f
+  },
+  "flow_check": {
+    "workload": "%s",
+    "records": %d,
+    "seconds": %.6f,
+    "reconstruct_seconds": %.6f,
+    "share_of_reconstruct": %.6f
+  }
+}
+|}
+    lint_bytes lint_seconds lint_mb_per_s
+    archive.Hbbp_collector.Perf_data.workload_name
+    (List.length archive.Hbbp_collector.Perf_data.records)
+    flow_seconds reconstruct_seconds flow_share;
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_verifier.json@."

@@ -531,6 +531,207 @@ let stats_cmd =
           archive is unreadable")
     Term.(const run $ archives_arg $ trace_arg $ metrics_arg)
 
+(* ---- lint ----------------------------------------------------------- *)
+
+module V = Hbbp_verifier
+
+(* One lint target: a workload name (linted in place) or the whole set
+   of archive paths (shards of one collection, linted from their
+   metadata and flow-checked through the streamed reconstruction). *)
+type lint_result = {
+  lr_target : string;
+  lr_kind : [ `Workload | `Archive ];
+  lr_diags : V.Diagnostic.t list;
+  lr_flow : V.Flow.report option;
+}
+
+let lint_errors r =
+  V.Diagnostic.count_errors r.lr_diags
+  +
+  match r.lr_flow with
+  | Some f
+    when f.V.Flow.conservation_error
+         > Pipeline.default_thresholds.Pipeline.max_conservation_error ->
+      1
+  | Some _ | None -> 0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let lint_json results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"targets\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"target\":\"%s\",\"kind\":\"%s\",\"diagnostics\":["
+           (json_escape r.lr_target)
+           (match r.lr_kind with
+           | `Workload -> "workload"
+           | `Archive -> "archive"));
+      List.iteri
+        (fun j (d : V.Diagnostic.t) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"image\":\"%s\""
+               (V.Diagnostic.rule_id d.V.Diagnostic.rule)
+               (V.Diagnostic.severity_to_string d.V.Diagnostic.severity)
+               (json_escape d.V.Diagnostic.image));
+          Option.iter
+            (fun a -> Buffer.add_string buf (Printf.sprintf ",\"addr\":%d" a))
+            d.V.Diagnostic.addr;
+          Option.iter
+            (fun b -> Buffer.add_string buf (Printf.sprintf ",\"block\":%d" b))
+            d.V.Diagnostic.block;
+          Buffer.add_string buf
+            (Printf.sprintf ",\"message\":\"%s\"}"
+               (json_escape d.V.Diagnostic.message)))
+        r.lr_diags;
+      Buffer.add_string buf "]";
+      Option.iter
+        (fun (f : V.Flow.report) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"flow\":{\"conservation_error\":%.6f,\"total_residual\":%.1f,\"total_flow\":%.1f,\"checked_blocks\":%d,\"entry_blocks\":%d,\"violation\":%b}"
+               f.V.Flow.conservation_error f.V.Flow.total_residual
+               f.V.Flow.total_flow f.V.Flow.checked_blocks
+               f.V.Flow.entry_blocks
+               (f.V.Flow.conservation_error
+               > Pipeline.default_thresholds.Pipeline.max_conservation_error)))
+        r.lr_flow;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"errors\":%d}" (lint_errors r)))
+    results;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"errors\":%d}"
+       (List.fold_left (fun acc r -> acc + lint_errors r) 0 results));
+  Buffer.contents buf
+
+let lint_cmd =
+  let targets =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Workload name (see $(b,hbbp list)) or archive file written by \
+             $(b,hbbp collect).  All archive paths together are analyzed \
+             as shards of one collection.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
+  in
+  let flow =
+    Arg.(
+      value & flag
+      & info [ "flow" ]
+          ~doc:
+            "Also profile each workload target and flow-check its HBBP \
+             reconstruction (archive targets are always flow-checked).")
+  in
+  let lint_workload ~flow name =
+    let w = find_workload name in
+    let diags = V.Lint.process w.Workload.analysis_process in
+    let diags =
+      (* The live process only differs for self-patching kernels; lint
+         it too, but keep one copy of findings common to both views. *)
+      if w.Workload.live_process == w.Workload.analysis_process then diags
+      else
+        diags
+        @ List.filter
+            (fun d -> not (List.mem d diags))
+            (V.Lint.process w.Workload.live_process)
+    in
+    let flow_report =
+      if flow then begin
+        let p = Pipeline.run w in
+        Some (V.Flow.check p.Pipeline.static p.Pipeline.hbbp)
+      end
+      else None
+    in
+    { lr_target = name; lr_kind = `Workload; lr_diags = diags;
+      lr_flow = flow_report }
+  in
+  let lint_archives paths =
+    match Pipeline.analyze_archives paths with
+    | Error msg -> die "%s" msg
+    | Ok (meta, r) ->
+        let process =
+          Hbbp_program.Process.create
+            meta.Hbbp_collector.Perf_data.analysis_images
+        in
+        let diags = V.Lint.process process in
+        let flow_report =
+          V.Flow.check r.Pipeline.r_static r.Pipeline.r_hbbp
+        in
+        {
+          lr_target = String.concat " " paths;
+          lr_kind = `Archive;
+          lr_diags = diags;
+          lr_flow = Some flow_report;
+        }
+  in
+  let run targets json flow trace metrics =
+    let archives, workloads =
+      List.partition Sys.file_exists targets
+    in
+    with_telemetry trace metrics @@ fun () ->
+    let results =
+      List.map (lint_workload ~flow) workloads
+      @ (if archives = [] then [] else [ lint_archives archives ])
+    in
+    if json then print_endline (lint_json results)
+    else
+      List.iter
+        (fun r ->
+          List.iter
+            (fun d -> Format.printf "%a@." V.Diagnostic.pp d)
+            r.lr_diags;
+          (match r.lr_flow with
+          | Some f ->
+              Format.printf "%s: flow conservation error %.4f%s@."
+                r.lr_target f.V.Flow.conservation_error
+                (if
+                   f.V.Flow.conservation_error
+                   > Pipeline.default_thresholds
+                       .Pipeline.max_conservation_error
+                 then " (VIOLATION)"
+                 else "")
+          | None -> ());
+          let errors = lint_errors r in
+          let warnings = List.length r.lr_diags - V.Diagnostic.count_errors r.lr_diags in
+          Format.printf "%s: %s@." r.lr_target
+            (if errors = 0 && warnings = 0 then "clean"
+             else Printf.sprintf "%d error(s), %d warning(s)" errors warnings))
+        results;
+    let total = List.fold_left (fun acc r -> acc + lint_errors r) 0 results in
+    if total > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify workload images (decode totality, encoding \
+          round-trip, basic-block tiling, terminator placement, branch \
+          targets, CFG edge soundness, reachability, executable-graph \
+          agreement) and flow-check archive reconstructions against \
+          Kirchhoff conservation. Exits 0 when clean, 2 on findings, 1 \
+          when a target is unreadable")
+    Term.(const run $ targets $ json $ flow $ trace_arg $ metrics_arg)
+
 (* ---- loops ---------------------------------------------------------- *)
 
 let loops_cmd =
@@ -572,5 +773,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; mix_cmd; bias_cmd; train_cmd;
-            collect_cmd; analyze_cmd; stats_cmd; loops_cmd;
+            collect_cmd; analyze_cmd; stats_cmd; lint_cmd; loops_cmd;
             capabilities_cmd ]))

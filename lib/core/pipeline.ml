@@ -15,6 +15,11 @@ type degrade_reason =
   | Ebs_starved of { samples : int; unattributed_share : float }
   | Lbr_starved of { snapshots : int; failure_rate : float }
   | Fallback of [ `Ebs_only | `Lbr_only ]
+  | Flow_violation of {
+      conservation_error : float;
+      total_residual : float;
+      worst_block : int option;
+    }
 
 type quality = Full | Degraded of degrade_reason list
 
@@ -29,6 +34,15 @@ let pp_degrade_reason ppf = function
         snapshots (100.0 *. failure_rate)
   | Fallback `Ebs_only -> Format.pp_print_string ppf "EBS-only fallback"
   | Fallback `Lbr_only -> Format.pp_print_string ppf "LBR-only fallback"
+  | Flow_violation { conservation_error; total_residual; worst_block } ->
+      Format.fprintf ppf
+        "flow conservation violated (error %.3f, %.0f unexplained \
+         executions%a)"
+        conservation_error total_residual
+        (fun ppf -> function
+          | Some gid -> Format.fprintf ppf ", worst at block %d" gid
+          | None -> ())
+        worst_block
 
 let pp_quality ppf = function
   | Full -> Format.pp_print_string ppf "full"
@@ -45,6 +59,7 @@ type thresholds = {
   min_lbr_snapshots : int;
   max_stream_failure : float;
   max_lost_records : int;
+  max_conservation_error : float;
 }
 
 let default_thresholds =
@@ -54,6 +69,9 @@ let default_thresholds =
     min_lbr_snapshots = 4;
     max_stream_failure = 0.6;
     max_lost_records = 0;
+    (* Healthy sampled reconstructions of the bundled workloads stay
+       under 0.035; systematic corruption pushes the score towards 1. *)
+    max_conservation_error = 0.15;
   }
 
 type config = {
@@ -261,6 +279,7 @@ let record_reconstruction_metrics (r : reconstruction) =
             | Fallback `Lbr_only -> c "degrade.fallback_lbr_only" 1
             | Archive_fault _ -> c "degrade.archive_faults" 1
             | Lost_records n -> c "degrade.lost_records" n
+            | Flow_violation _ -> c "degrade.flow_violations" 1
             | Ebs_starved _ | Lbr_starved _ -> ())
           reasons
   end
@@ -375,6 +394,50 @@ let finalize ?(criteria = Criteria.default) ?(thresholds = default_thresholds)
   in
   let hbbp =
     span "fuse" (fun () -> Combine.fuse static ~criteria ~bias ~ebs ~lbr)
+  in
+  (* Kirchhoff cross-check of the fused counts: badly non-conserving
+     flow means the reconstruction is internally inconsistent no matter
+     how healthy each channel looked on its own. *)
+  let flow =
+    Trace.with_span ~cat:"verify" "flow_check" (fun () ->
+        Hbbp_verifier.Flow.check static hbbp)
+  in
+  if Metrics.enabled () then begin
+    Metrics.set
+      (Metrics.gauge "verify.conservation_error")
+      flow.Hbbp_verifier.Flow.conservation_error;
+    Metrics.set
+      (Metrics.gauge "verify.flow_residual")
+      flow.Hbbp_verifier.Flow.total_residual;
+    Metrics.add
+      (Metrics.counter "verify.flow_checks")
+      1;
+    if
+      flow.Hbbp_verifier.Flow.conservation_error
+      > thresholds.max_conservation_error
+    then Metrics.add (Metrics.counter "verify.flow_violations") 1
+  end;
+  let quality =
+    if
+      flow.Hbbp_verifier.Flow.conservation_error
+      > thresholds.max_conservation_error
+    then begin
+      let reason =
+        Flow_violation
+          {
+            conservation_error = flow.Hbbp_verifier.Flow.conservation_error;
+            total_residual = flow.Hbbp_verifier.Flow.total_residual;
+            worst_block =
+              (match flow.Hbbp_verifier.Flow.worst with
+              | w :: _ -> Some w.Hbbp_verifier.Flow.gid
+              | [] -> None);
+          }
+      in
+      match quality with
+      | Full -> Degraded [ reason ]
+      | Degraded reasons -> Degraded (reasons @ [ reason ])
+    end
+    else quality
   in
   let r =
     {

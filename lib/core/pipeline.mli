@@ -35,6 +35,16 @@ type degrade_reason =
   | Fallback of [ `Ebs_only | `Lbr_only ]
       (** Exactly one channel was starved, so the fusion criteria were
           overridden to reconstruct from the healthy channel alone. *)
+  | Flow_violation of {
+      conservation_error : float;
+      total_residual : float;
+      worst_block : int option;  (** Global id of the worst offender. *)
+    }
+      (** The fused BBEC breaks Kirchhoff flow conservation on the CFG
+          beyond {!thresholds.max_conservation_error}
+          ({!Hbbp_verifier.Flow.check}): the reconstruction is
+          internally inconsistent even though every channel passed its
+          own health checks. *)
 
 type quality = Full | Degraded of degrade_reason list
 
@@ -49,6 +59,11 @@ type thresholds = {
   min_lbr_snapshots : int;
   max_stream_failure : float;
   max_lost_records : int;
+  max_conservation_error : float;
+      (** Trip point for the {!Flow_violation} verdict.  The default
+          (0.15) sits ~4x above the worst healthy sampled
+          reconstruction of the bundled workloads (~0.035) while
+          systematic corruption scores near 1. *)
 }
 
 val default_thresholds : thresholds

@@ -1,0 +1,84 @@
+type severity = Error | Warning
+
+type rule =
+  | Decode
+  | Roundtrip
+  | Symbol_bounds
+  | Map_gap
+  | Map_overlap
+  | Mid_block_terminator
+  | Terminator_mismatch
+  | Dangling_target
+  | Edge_mismatch
+  | Unreachable
+  | Fallthrough_off_end
+  | Exec_missing_node
+  | Exec_count_mismatch
+
+type t = {
+  rule : rule;
+  severity : severity;
+  image : string;
+  addr : int option;
+  block : int option;
+  message : string;
+}
+
+let all_rules =
+  [
+    Decode;
+    Roundtrip;
+    Symbol_bounds;
+    Map_gap;
+    Map_overlap;
+    Mid_block_terminator;
+    Terminator_mismatch;
+    Dangling_target;
+    Edge_mismatch;
+    Unreachable;
+    Fallthrough_off_end;
+    Exec_missing_node;
+    Exec_count_mismatch;
+  ]
+
+let rule_id = function
+  | Decode -> "image/decode"
+  | Roundtrip -> "image/roundtrip"
+  | Symbol_bounds -> "image/symbol-bounds"
+  | Map_gap -> "map/gap"
+  | Map_overlap -> "map/overlap"
+  | Mid_block_terminator -> "map/mid-block-terminator"
+  | Terminator_mismatch -> "map/terminator-mismatch"
+  | Dangling_target -> "cfg/dangling-target"
+  | Edge_mismatch -> "cfg/edge-mismatch"
+  | Unreachable -> "cfg/unreachable"
+  | Fallthrough_off_end -> "cfg/fallthrough-off-end"
+  | Exec_missing_node -> "exec/missing-node"
+  | Exec_count_mismatch -> "exec/count-mismatch"
+
+let default_severity = function
+  | Unreachable | Exec_count_mismatch -> Warning
+  | Decode | Roundtrip | Symbol_bounds | Map_gap | Map_overlap
+  | Mid_block_terminator | Terminator_mismatch | Dangling_target
+  | Edge_mismatch | Fallthrough_off_end | Exec_missing_node ->
+      Error
+
+let make rule ~image ?addr ?block message =
+  { rule; severity = default_severity rule; image; addr; block; message }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s: %s" t.image
+    (severity_to_string t.severity)
+    (rule_id t.rule);
+  (match t.addr with
+  | Some a -> Format.fprintf ppf " at %#x" a
+  | None -> ());
+  (match t.block with
+  | Some b -> Format.fprintf ppf " (block %d)" b
+  | None -> ());
+  Format.fprintf ppf ": %s" t.message
+
+let count_errors diags =
+  List.length (List.filter (fun d -> d.severity = Error) diags)

@@ -1,0 +1,79 @@
+(** Typed, located findings of the static verifier.
+
+    Every lint pass reports through this type: a rule id (what invariant
+    broke), a severity, a location (image, and where known an address
+    and/or a block id), and a human-readable message.  Rule ids are a
+    closed variant so tooling can match on them and the mutation-corpus
+    tests can prove every rule fires. *)
+
+type severity = Error | Warning
+
+(** The rule catalogue.  Stable string ids ({!rule_id}) follow a
+    [layer/check] scheme and are part of the [hbbp lint --json]
+    contract. *)
+type rule =
+  | Decode  (** An image byte range does not decode ([image/decode]). *)
+  | Roundtrip
+      (** Re-encoding a decoded instruction does not reproduce the image
+          bytes ([image/roundtrip]). *)
+  | Symbol_bounds
+      (** A symbol lies outside its image or overlaps the next symbol
+          ([image/symbol-bounds]). *)
+  | Map_gap
+      (** Consecutive blocks leave image bytes uncovered ([map/gap]). *)
+  | Map_overlap  (** Consecutive blocks overlap ([map/overlap]). *)
+  | Mid_block_terminator
+      (** A control-flow instruction sits before the end of its block
+          ([map/mid-block-terminator]). *)
+  | Terminator_mismatch
+      (** A block's recorded terminator disagrees with its last decoded
+          instruction ([map/terminator-mismatch]). *)
+  | Dangling_target
+      (** A direct branch/call target resolves to no block entry and no
+          declared symbol ([cfg/dangling-target]). *)
+  | Edge_mismatch
+      (** CFG successors differ from what the terminators imply
+          ([cfg/edge-mismatch]). *)
+  | Unreachable
+      (** A block no symbol entry, branch or address-taken constant can
+          reach ([cfg/unreachable]). *)
+  | Fallthrough_off_end
+      (** The last block of an image can fall through past the image end
+          ([cfg/fallthrough-off-end]). *)
+  | Exec_missing_node
+      (** A mapped instruction has no matching {!Hbbp_cpu.Exec_graph}
+          node ([exec/missing-node]). *)
+  | Exec_count_mismatch
+      (** The executable graph and the BB maps disagree on the total
+          instruction count ([exec/count-mismatch]). *)
+
+type t = {
+  rule : rule;
+  severity : severity;
+  image : string;  (** Name of the image the finding is in. *)
+  addr : int option;  (** Address of the offending byte/instruction. *)
+  block : int option;  (** Block id within the image's map. *)
+  message : string;
+}
+
+(** All rules, in catalogue order — the mutation corpus iterates this to
+    prove none is dead. *)
+val all_rules : rule list
+
+(** Stable [layer/check] identifier, e.g. ["map/overlap"]. *)
+val rule_id : rule -> string
+
+(** Severity the driver assigns to the rule ({!Unreachable} and
+    {!Exec_count_mismatch} warn; everything else errors). *)
+val default_severity : rule -> severity
+
+(** [make rule ~image msg] — a finding with the rule's default
+    severity. *)
+val make :
+  rule -> image:string -> ?addr:int -> ?block:int -> string -> t
+
+val severity_to_string : severity -> string
+val pp : Format.formatter -> t -> unit
+
+(** [count_errors diags] — findings with severity {!Error}. *)
+val count_errors : t list -> int

@@ -1,0 +1,188 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_analyzer
+
+type block_flow = {
+  gid : int;
+  count : float;
+  inflow_min : float;
+  inflow_max : float;
+  residual : float;
+  entry : bool;
+  loop_depth : int;
+}
+
+type report = {
+  total_flow : float;
+  total_residual : float;
+  conservation_error : float;
+  checked_blocks : int;
+  entry_blocks : int;
+  worst : block_flow list;
+  by_depth : (int * float) list;
+}
+
+let loop_depths static n =
+  let depth = Array.make n 0 in
+  List.iter
+    (fun (img : Image.t) ->
+      match Static.map_of_image static img.Image.name with
+      | None -> ()
+      | Some map ->
+          let cfg = Cfg.of_bb_map map in
+          List.iter
+            (fun (loop : Cfg.loop) ->
+              List.iter
+                (fun local ->
+                  match
+                    Static.global_id static map (Bb_map.block map local)
+                  with
+                  | Some gid -> depth.(gid) <- depth.(gid) + 1
+                  | None -> ())
+                loop.Cfg.body)
+            (Cfg.natural_loops cfg ~entry:0))
+    (Process.images (Static.process static));
+  depth
+
+let check ?(worst = 10) static (bbec : Bbec.t) =
+  let n = Static.total_blocks static in
+  let counts = Array.init n (fun gid -> Bbec.count bbec gid) in
+  let inflow_min = Array.make n 0. in
+  let inflow_max = Array.make n 0. in
+  let entry = Array.make n false in
+  let mark_entry gid = entry.(gid) <- true in
+  let guaranteed gid c =
+    inflow_min.(gid) <- inflow_min.(gid) +. c;
+    inflow_max.(gid) <- inflow_max.(gid) +. c
+  in
+  let possible gid c = inflow_max.(gid) <- inflow_max.(gid) +. c in
+  (* External entries: symbol entries, image bases, and address-taken
+     constants (immediates naming a block entry feed indirect jumps and
+     calls the CFG cannot represent). *)
+  List.iter
+    (fun (img : Image.t) ->
+      Option.iter mark_entry (Static.find_starting static img.Image.base);
+      List.iter
+        (fun (s : Symbol.t) ->
+          Option.iter mark_entry (Static.find_starting static s.Symbol.addr))
+        img.Image.symbols)
+    (Process.images (Static.process static));
+  Static.iter
+    (fun _ _ b ->
+      Array.iter
+        (fun (instr : Instruction.t) ->
+          Array.iter
+            (function
+              | Operand.Imm v ->
+                  Option.iter mark_entry
+                    (Static.find_starting static (Int64.to_int v))
+              | Operand.Reg _ | Operand.Mem _ | Operand.Rel _ -> ())
+            instr.Instruction.operands)
+        b.Basic_block.instrs)
+    static;
+  (* Propagate each block's count along its static out-edges. *)
+  Static.iter
+    (fun gid _ b ->
+      let c = counts.(gid) in
+      let taken addr k =
+        Option.iter (fun t -> k t c) (Static.find_starting static addr)
+      in
+      let fallthrough k =
+        Option.iter (fun t -> k t c) (Static.next_in_layout static gid)
+      in
+      match b.Basic_block.term with
+      | Term_fallthrough -> fallthrough guaranteed
+      | Term_jump a -> taken a guaranteed
+      | Term_cond a ->
+          taken a possible;
+          fallthrough possible
+      | Term_call (Some a) ->
+          (* The call executes the callee entry AND, on return, the
+             layout successor — both once per execution of the block. *)
+          taken a guaranteed;
+          fallthrough guaranteed
+      | Term_call None -> fallthrough guaranteed
+      | Term_syscall ->
+          (* The kernel resumes at the layout successor eventually, but
+             via SYSRET, not a static edge: treat the resume point as
+             externally enterable rather than guaranteeing inflow. *)
+          Option.iter mark_entry (Static.next_in_layout static gid)
+      | Term_indirect_jump | Term_ret | Term_sysret | Term_halt -> ())
+    static;
+  let depths = loop_depths static n in
+  let flows =
+    Array.init n (fun gid ->
+        let c = counts.(gid) in
+        let low = inflow_min.(gid) and high = inflow_max.(gid) in
+        let residual =
+          Float.max 0. (low -. c)
+          +. (if entry.(gid) then 0. else Float.max 0. (c -. high))
+        in
+        {
+          gid;
+          count = c;
+          inflow_min = low;
+          inflow_max = high;
+          residual;
+          entry = entry.(gid);
+          loop_depth = depths.(gid);
+        })
+  in
+  let total_flow = Array.fold_left (fun acc f -> acc +. f.count) 0. flows in
+  let total_residual =
+    Array.fold_left (fun acc f -> acc +. f.residual) 0. flows
+  in
+  let entry_blocks =
+    Array.fold_left (fun acc f -> if f.entry then acc + 1 else acc) 0 flows
+  in
+  let offenders =
+    Array.to_list flows
+    |> List.filter (fun f -> f.residual > 0.)
+    |> List.sort (fun a b -> Float.compare b.residual a.residual)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  let by_depth =
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun f ->
+        if f.residual > 0. then
+          let prev =
+            Option.value ~default:0. (Hashtbl.find_opt tbl f.loop_depth)
+          in
+          Hashtbl.replace tbl f.loop_depth (prev +. f.residual))
+      flows;
+    Hashtbl.fold (fun d r acc -> (d, r) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    total_flow;
+    total_residual;
+    conservation_error = total_residual /. Float.max 1. total_flow;
+    checked_blocks = n;
+    entry_blocks;
+    worst = take worst offenders;
+    by_depth;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>flow conservation: error %.4f (%.0f unexplained of %.0f \
+     executions, %d blocks, %d entry points)@,"
+    r.conservation_error r.total_residual r.total_flow r.checked_blocks
+    r.entry_blocks;
+  List.iter
+    (fun (d, res) ->
+      Format.fprintf ppf "  depth %d residual %.0f@," d res)
+    r.by_depth;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf
+        "  block %d: count %.0f outside inflow [%.0f, %.0f]%s@," f.gid
+        f.count f.inflow_min f.inflow_max
+        (if f.entry then " (entry)" else ""))
+    r.worst;
+  Format.fprintf ppf "@]"

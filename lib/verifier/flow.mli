@@ -1,0 +1,57 @@
+(** Flow-conservation analysis of reconstructed BBECs.
+
+    A reconstructed block-count vector must satisfy Kirchhoff's law on
+    the CFG: the executions flowing into a block along its static
+    predecessor edges must account for the block's own count.  Sampling
+    noise perturbs the balance smoothly, but systematic reconstruction
+    errors — misattributed samples, broken LBR stitching, corrupt
+    shards — break it sharply, which makes the residual a cheap
+    whole-pipeline integrity check that needs no reference run.
+
+    Because conditional branches split their outflow unobservably, the
+    check is a {e bound} test per block [b] with count [c(b)]:
+
+    - [inflow_min b] — flow along {e guaranteed} incoming edges:
+      unconditional jumps, fall-throughs, and both edges of a direct
+      call (the callee entry, and the return resumption at the call
+      block's layout successor) carry the predecessor's full count.
+    - [inflow_max b] — [inflow_min] plus every conditional edge's full
+      predecessor count.
+
+    The residual charges [max 0 (inflow_min - c)] always, and
+    [max 0 (c - inflow_max)] unless the block is {e externally
+    enterable} (symbol entry, image base, address-taken constant, or
+    post-syscall resume point) where extra inflow is legitimate. *)
+
+open Hbbp_analyzer
+
+type block_flow = {
+  gid : int;  (** Global block id in the {!Static} numbering. *)
+  count : float;
+  inflow_min : float;
+  inflow_max : float;
+  residual : float;  (** Unexplained executions charged to this block. *)
+  entry : bool;  (** Externally enterable — upper bound not enforced. *)
+  loop_depth : int;  (** Natural-loop nesting depth of the block. *)
+}
+
+type report = {
+  total_flow : float;  (** Sum of all block counts. *)
+  total_residual : float;
+  conservation_error : float;
+      (** [total_residual /. max 1. total_flow] — the score {!Pipeline}
+          compares against its threshold. *)
+  checked_blocks : int;
+  entry_blocks : int;
+  worst : block_flow list;
+      (** Largest residuals first, capped at [worst] (default 10). *)
+  by_depth : (int * float) list;
+      (** Residual mass per loop-nesting depth, ascending depth —
+          localises conservation damage to loop structure. *)
+}
+
+(** [check static bbec] — evaluate the conservation bounds for every
+    block.  Cost is linear in the number of static blocks and edges. *)
+val check : ?worst:int -> Static.t -> Bbec.t -> report
+
+val pp_report : Format.formatter -> report -> unit

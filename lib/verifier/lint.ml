@@ -1,0 +1,492 @@
+open Hbbp_isa
+open Hbbp_program
+open Hbbp_cpu
+
+let dg = Diagnostic.make
+
+(* ------------------------------------------------------------------ *)
+(* Image passes                                                        *)
+
+let check_decode (img : Image.t) =
+  match Disasm.image img with
+  | Ok _ -> []
+  | Error (e : Disasm.error) ->
+      [
+        dg Diagnostic.Decode ~image:img.Image.name ~addr:e.Disasm.addr
+          (Format.asprintf "image bytes do not decode: %a" Encoding.pp_error
+             e.Disasm.cause);
+      ]
+
+let check_roundtrip (img : Image.t) (decoded : Disasm.decoded array) =
+  let diags = ref [] in
+  Array.iter
+    (fun (d : Disasm.decoded) ->
+      let expect_len = Encoding.encoded_length d.Disasm.instr in
+      if expect_len <> d.Disasm.len then
+        diags :=
+          dg Diagnostic.Roundtrip ~image:img.Image.name ~addr:d.Disasm.addr
+            (Printf.sprintf
+               "decoded length %d but canonical encoding is %d bytes"
+               d.Disasm.len expect_len)
+          :: !diags
+      else
+        let reenc = Encoding.encode_to_bytes d.Disasm.instr in
+        let offset = d.Disasm.addr - img.Image.base in
+        let same = ref true in
+        for k = 0 to d.Disasm.len - 1 do
+          if
+            Bytes.get reenc k <> Bytes.get img.Image.code (offset + k)
+          then same := false
+        done;
+        if not !same then
+          diags :=
+            dg Diagnostic.Roundtrip ~image:img.Image.name ~addr:d.Disasm.addr
+              (Format.asprintf "re-encoding %a differs from image bytes"
+                 Instruction.pp d.Disasm.instr)
+            :: !diags)
+    decoded;
+  List.rev !diags
+
+let check_symbols (img : Image.t) =
+  let diags = ref [] in
+  let report sym msg =
+    diags :=
+      dg Diagnostic.Symbol_bounds ~image:img.Image.name
+        ~addr:sym.Symbol.addr
+        (Printf.sprintf "symbol %s %s" sym.Symbol.name msg)
+      :: !diags
+  in
+  let rec walk = function
+    | [] -> ()
+    | (s : Symbol.t) :: rest ->
+        if s.addr < img.Image.base || Symbol.end_addr s > Image.end_addr img
+        then report s "lies outside the image";
+        (match rest with
+        | (next : Symbol.t) :: _ when Symbol.end_addr s > next.addr ->
+            report s
+              (Printf.sprintf "overlaps symbol %s at %#x" next.Symbol.name
+                 next.addr)
+        | _ -> ());
+        walk rest
+  in
+  walk img.Image.symbols;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Map passes                                                          *)
+
+let check_tiling (img : Image.t) (blocks : Basic_block.t array) =
+  let diags = ref [] in
+  let report rule addr block msg =
+    diags := dg rule ~image:img.Image.name ~addr ~block msg :: !diags
+  in
+  let expected = ref img.Image.base in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      if b.addr > !expected then
+        report Diagnostic.Map_gap !expected b.id
+          (Printf.sprintf "%d bytes uncovered before block %d"
+             (b.addr - !expected) b.id)
+      else if b.addr < !expected then
+        report Diagnostic.Map_overlap b.addr b.id
+          (Printf.sprintf "block %d starts %d bytes inside its predecessor"
+             b.id (!expected - b.addr));
+      expected := max !expected (Basic_block.end_addr b))
+    blocks;
+  if !expected < Image.end_addr img then
+    report Diagnostic.Map_gap !expected
+      (Array.length blocks - 1)
+      (Printf.sprintf "%d bytes uncovered at the image tail"
+         (Image.end_addr img - !expected));
+  List.rev !diags
+
+(* The terminator a block's last instruction implies — the same
+   classification {!Bb_map.of_decoded} applies when building the map. *)
+let implied_terminator (instr : Instruction.t) ~addr ~len :
+    Basic_block.terminator =
+  let target () =
+    match Instruction.rel_displacement instr with
+    | Some disp -> Some (addr + len + disp)
+    | None -> None
+  in
+  match Mnemonic.branch_kind instr.Instruction.mnemonic with
+  | Mnemonic.Uncond_jump -> (
+      match target () with
+      | Some a -> Term_jump a
+      | None -> Term_indirect_jump)
+  | Mnemonic.Cond_jump -> (
+      match target () with
+      | Some a -> Term_cond a
+      | None -> Term_indirect_jump)
+  | Mnemonic.Call_branch ->
+      if Mnemonic.equal instr.Instruction.mnemonic SYSCALL then Term_syscall
+      else Term_call (target ())
+  | Mnemonic.Ret_branch ->
+      if Mnemonic.equal instr.Instruction.mnemonic SYSRET then Term_sysret
+      else Term_ret
+  | Mnemonic.Not_branch ->
+      if Mnemonic.equal instr.Instruction.mnemonic HLT then Term_halt
+      else Term_fallthrough
+
+let is_terminator_instr (instr : Instruction.t) =
+  Instruction.is_branch instr || Mnemonic.equal instr.Instruction.mnemonic HLT
+
+let check_terminators (img : Image.t) (blocks : Basic_block.t array) =
+  let diags = ref [] in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let n = Array.length b.instrs in
+      for k = 0 to n - 2 do
+        if is_terminator_instr b.instrs.(k) then
+          diags :=
+            dg Diagnostic.Mid_block_terminator ~image:img.Image.name
+              ~addr:b.addrs.(k) ~block:b.id
+              (Format.asprintf
+                 "%a terminates control flow %d instruction(s) before the \
+                  block end"
+                 Instruction.pp b.instrs.(k)
+                 (n - 1 - k))
+            :: !diags
+      done;
+      if n > 0 then begin
+        let last = b.instrs.(n - 1) in
+        let last_addr = b.addrs.(n - 1) in
+        let len = Basic_block.end_addr b - last_addr in
+        let implied = implied_terminator last ~addr:last_addr ~len in
+        if implied <> b.term then
+          diags :=
+            dg Diagnostic.Terminator_mismatch ~image:img.Image.name
+              ~addr:last_addr ~block:b.id
+              (Format.asprintf "recorded terminator %a but %a implies %a"
+                 Basic_block.pp_terminator b.term Instruction.pp last
+                 Basic_block.pp_terminator implied)
+            :: !diags
+      end)
+    blocks;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* CFG passes                                                          *)
+
+let block_index_starting_at (blocks : Basic_block.t array) addr =
+  let rec search lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let b = blocks.(mid) in
+      if b.Basic_block.addr = addr then Some mid
+      else if b.Basic_block.addr < addr then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search 0 (Array.length blocks - 1)
+
+let direct_target (b : Basic_block.t) =
+  match b.term with
+  | Term_jump a | Term_cond a | Term_call (Some a) -> Some a
+  | Term_fallthrough | Term_indirect_jump | Term_call None | Term_ret
+  | Term_syscall | Term_sysret | Term_halt ->
+      None
+
+let check_targets ?(resolve = fun _ -> false) (img : Image.t)
+    (blocks : Basic_block.t array) =
+  let diags = ref [] in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      match direct_target b with
+      | None -> ()
+      | Some target ->
+          let ok =
+            if Image.contains img target then
+              Option.is_some (block_index_starting_at blocks target)
+            else resolve target
+          in
+          if not ok then
+            diags :=
+              dg Diagnostic.Dangling_target ~image:img.Image.name
+                ~addr:(Basic_block.last_addr b) ~block:b.id
+                (Printf.sprintf
+                   "branch target %#x is not a block entry or declared \
+                    symbol"
+                   target)
+              :: !diags)
+    blocks;
+  List.rev !diags
+
+(* The static successor edges a block's terminator implies, mirroring
+   {!Cfg.of_bb_map}: taken edges only when the target starts a block,
+   fall-through for conditional / straight-line / call terminators. *)
+let implied_successors (blocks : Basic_block.t array) k =
+  let b = blocks.(k) in
+  let taken addr =
+    match block_index_starting_at blocks addr with
+    | Some id -> [ (id, Cfg.Taken) ]
+    | None -> []
+  in
+  let fallthrough () =
+    if k + 1 < Array.length blocks then [ (k + 1, Cfg.Fallthrough) ] else []
+  in
+  match b.Basic_block.term with
+  | Term_fallthrough -> fallthrough ()
+  | Term_jump a -> taken a
+  | Term_cond a -> taken a @ fallthrough ()
+  | Term_call (Some a) -> taken a @ fallthrough ()
+  | Term_call None -> fallthrough ()
+  | Term_indirect_jump | Term_ret | Term_syscall | Term_sysret | Term_halt ->
+      []
+
+let sort_edges edges = List.sort compare edges
+
+let pp_edges ppf edges =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (id, kind) ->
+      Format.fprintf ppf "%d:%s" id
+        (match kind with Cfg.Taken -> "taken" | Cfg.Fallthrough -> "fall"))
+    ppf edges
+
+let check_cfg (img : Image.t) (blocks : Basic_block.t array) ~successors =
+  let diags = ref [] in
+  Array.iteri
+    (fun k (b : Basic_block.t) ->
+      let expected = sort_edges (implied_successors blocks k) in
+      let got = sort_edges (successors k) in
+      if expected <> got then
+        diags :=
+          dg Diagnostic.Edge_mismatch ~image:img.Image.name ~addr:b.addr
+            ~block:b.id
+            (Format.asprintf
+               "CFG successors [%a] but terminator implies [%a]" pp_edges got
+               pp_edges expected)
+          :: !diags)
+    blocks;
+  List.rev !diags
+
+let falls_through (b : Basic_block.t) =
+  match b.Basic_block.term with
+  | Term_fallthrough | Term_cond _ | Term_call _ -> true
+  | Term_jump _ | Term_indirect_jump | Term_ret | Term_syscall | Term_sysret
+  | Term_halt ->
+      false
+
+let check_fallthrough_off_end (img : Image.t) (blocks : Basic_block.t array) =
+  let n = Array.length blocks in
+  if n = 0 then []
+  else
+    let last = blocks.(n - 1) in
+    if falls_through last then
+      [
+        dg Diagnostic.Fallthrough_off_end ~image:img.Image.name
+          ~addr:(Basic_block.last_addr last) ~block:last.id
+          (Format.asprintf
+             "last block ends in %a and falls through past the image end"
+             Basic_block.pp_terminator last.term);
+      ]
+    else []
+
+let check_reachability ?(extra_entries = []) (img : Image.t)
+    (blocks : Basic_block.t array) =
+  let n = Array.length blocks in
+  if n = 0 then []
+  else begin
+    let seen = Array.make n false in
+    let roots = ref [] in
+    let add_root id = if id >= 0 && id < n then roots := id :: !roots in
+    (* Symbol entries and the image base are externally enterable; so is
+       the resume point after every SYSCALL block (SYSRET lands there
+       without a static edge). *)
+    Option.iter add_root (block_index_starting_at blocks img.Image.base);
+    List.iter
+      (fun (s : Symbol.t) ->
+        Option.iter add_root (block_index_starting_at blocks s.addr))
+      img.Image.symbols;
+    List.iter add_root extra_entries;
+    Array.iteri
+      (fun k (b : Basic_block.t) ->
+        match b.term with
+        | Term_syscall -> add_root (k + 1)
+        | _ -> ())
+      blocks;
+    let rec visit k =
+      if k >= 0 && k < n && not seen.(k) then begin
+        seen.(k) <- true;
+        List.iter (fun (s, _) -> visit s) (implied_successors blocks k)
+      end
+    in
+    List.iter visit !roots;
+    let diags = ref [] in
+    Array.iteri
+      (fun k (b : Basic_block.t) ->
+        if not seen.(k) then
+          diags :=
+            dg Diagnostic.Unreachable ~image:img.Image.name ~addr:b.addr
+              ~block:b.id
+              (Printf.sprintf
+                 "block %d is unreachable from every symbol entry and \
+                  address-taken target"
+                 b.id)
+            :: !diags)
+      blocks;
+    List.rev !diags
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Executable-graph agreement                                          *)
+
+let check_exec_graph (graph : Exec_graph.t) (img : Image.t)
+    (blocks : Basic_block.t array) =
+  let diags = ref [] in
+  let report addr block msg =
+    diags :=
+      dg Diagnostic.Exec_missing_node ~image:img.Image.name ~addr ~block msg
+      :: !diags
+  in
+  Array.iter
+    (fun (b : Basic_block.t) ->
+      let n = Array.length b.instrs in
+      for k = 0 to n - 1 do
+        let addr = b.addrs.(k) in
+        let len =
+          (if k + 1 < n then b.addrs.(k + 1) else Basic_block.end_addr b)
+          - addr
+        in
+        match Exec_graph.node_at graph addr with
+        | None -> report addr b.id "no executable node at this address"
+        | Some node ->
+            if not (Instruction.equal node.Exec_graph.instr b.instrs.(k))
+            then
+              report addr b.id
+                (Format.asprintf
+                   "executable node decodes %a but the map holds %a"
+                   Instruction.pp node.Exec_graph.instr Instruction.pp
+                   b.instrs.(k))
+            else if node.Exec_graph.len <> len then
+              report addr b.id
+                (Printf.sprintf
+                   "executable node is %d bytes but the map implies %d"
+                   node.Exec_graph.len len)
+      done)
+    blocks;
+  List.rev !diags
+
+let check_exec_count (graph : Exec_graph.t) ~image ~expected =
+  let got = Exec_graph.node_count graph in
+  if got <> expected then
+    [
+      dg Diagnostic.Exec_count_mismatch ~image
+        (Printf.sprintf
+           "executable graph holds %d nodes but the maps hold %d \
+            instructions"
+           got expected);
+    ]
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+
+let image ?exec ?resolve ?extra_entries (img : Image.t) =
+  match Disasm.image img with
+  | Error (e : Disasm.error) ->
+      [
+        dg Diagnostic.Decode ~image:img.Image.name ~addr:e.Disasm.addr
+          (Format.asprintf "image bytes do not decode: %a" Encoding.pp_error
+             e.Disasm.cause);
+      ]
+  | Ok decoded ->
+      let map = Bb_map.of_image_exn img in
+      let blocks = Bb_map.blocks map in
+      let cfg = Cfg.of_bb_map map in
+      List.concat
+        [
+          check_roundtrip img decoded;
+          check_symbols img;
+          check_tiling img blocks;
+          check_terminators img blocks;
+          check_targets ?resolve img blocks;
+          check_cfg img blocks ~successors:(Cfg.successors cfg);
+          check_fallthrough_off_end img blocks;
+          check_reachability ?extra_entries img blocks;
+          (match exec with
+          | Some graph -> check_exec_graph graph img blocks
+          | None -> []);
+        ]
+
+let process (p : Process.t) =
+  let images = Process.images p in
+  (* Branch targets that leave their image must land on a declared entry
+     of another mapped image (symbol or base). *)
+  let resolve addr =
+    List.exists
+      (fun (img : Image.t) ->
+        img.Image.base = addr
+        || (match Image.symbol_at img addr with
+           | Some s -> s.Symbol.addr = addr
+           | None -> false))
+      images
+  in
+  (* Address-taken constants: any immediate anywhere in the process that
+     names a block entry makes that block an indirect-branch root. *)
+  let maps =
+    List.filter_map
+      (fun (img : Image.t) ->
+        match Bb_map.of_image img with
+        | Ok map -> Some (img, map)
+        | Error _ -> None)
+      images
+  in
+  let taken = Hashtbl.create 64 in
+  List.iter
+    (fun ((_ : Image.t), map) ->
+      Array.iter
+        (fun (b : Basic_block.t) ->
+          Array.iter
+            (fun (instr : Instruction.t) ->
+              Array.iter
+                (function
+                  | Operand.Imm v ->
+                      let addr = Int64.to_int v in
+                      List.iter
+                        (fun ((img : Image.t), map) ->
+                          if Image.contains img addr then
+                            match Bb_map.block_starting_at map addr with
+                            | Some tb ->
+                                Hashtbl.replace taken
+                                  (img.Image.name, tb.Basic_block.id)
+                                  ()
+                            | None -> ())
+                        maps
+                  | Operand.Reg _ | Operand.Mem _ | Operand.Rel _ -> ())
+                instr.Instruction.operands)
+            b.Basic_block.instrs)
+        (Bb_map.blocks map))
+    maps;
+  let extra_entries_of (img : Image.t) =
+    Hashtbl.fold
+      (fun (name, id) () acc ->
+        if String.equal name img.Image.name then id :: acc else acc)
+      taken []
+  in
+  let exec =
+    match Exec_graph.build p with Ok g -> Some g | Error _ -> None
+  in
+  let per_image =
+    List.concat_map
+      (fun (img : Image.t) ->
+        image ?exec ~resolve ~extra_entries:(extra_entries_of img) img)
+      images
+  in
+  let count_check =
+    match exec with
+    | None -> []
+    | Some graph ->
+        let expected =
+          List.fold_left
+            (fun acc ((_ : Image.t), map) ->
+              acc + Bb_map.instruction_count map)
+            0 maps
+        in
+        let image =
+          match images with img :: _ -> img.Image.name | [] -> "(process)"
+        in
+        check_exec_count graph ~image ~expected
+  in
+  per_image @ count_check

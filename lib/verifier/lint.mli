@@ -1,0 +1,106 @@
+(** Static lint over the program layer.
+
+    A pass pipeline over {!Hbbp_program.Image} / {!Hbbp_program.Bb_map} /
+    {!Hbbp_program.Cfg} / {!Hbbp_cpu.Exec_graph} producing typed, located
+    {!Diagnostic.t}s.  The HBBP analyzer projects every PMU sample onto
+    these structures, so any inconsistency between them silently corrupts
+    every downstream instruction mix — the lint makes the invariants
+    machine-checkable.
+
+    Each pass is exposed individually and takes its inputs as plain data
+    (a block array, a successor function, a decoded array), so the
+    mutation-corpus tests can feed deliberately broken structures and
+    prove each rule actually fires; {!image} and {!process} are the
+    drivers that wire the passes to the real derived structures. *)
+
+open Hbbp_program
+open Hbbp_cpu
+
+(** {1 Individual passes}
+
+    Every pass returns the findings of exactly the rules named in its
+    doc comment, and nothing else. *)
+
+(** [image/decode]: linear sweep must decode every byte of the image. *)
+val check_decode : Image.t -> Diagnostic.t list
+
+(** [image/roundtrip]: every decoded instruction, re-encoded, must
+    reproduce its image bytes (length and content). *)
+val check_roundtrip : Image.t -> Disasm.decoded array -> Diagnostic.t list
+
+(** [image/symbol-bounds]: symbols must lie inside the image, sorted and
+    non-overlapping. *)
+val check_symbols : Image.t -> Diagnostic.t list
+
+(** [map/gap], [map/overlap]: blocks must exactly tile the image body —
+    first at the base, consecutive blocks meeting end-to-start, last
+    ending at the image end. *)
+val check_tiling : Image.t -> Basic_block.t array -> Diagnostic.t list
+
+(** [map/mid-block-terminator], [map/terminator-mismatch]: control-flow
+    instructions only at block ends, and each block's recorded
+    terminator agreeing with its last instruction. *)
+val check_terminators : Image.t -> Basic_block.t array -> Diagnostic.t list
+
+(** [cfg/dangling-target]: every direct branch/call target must land on
+    a block entry of this image, or satisfy [resolve] (an entry of
+    another mapped image).  [resolve] defaults to rejecting
+    everything. *)
+val check_targets :
+  ?resolve:(int -> bool) -> Image.t -> Basic_block.t array ->
+  Diagnostic.t list
+
+(** [cfg/edge-mismatch]: [successors] (block id → static successor
+    edges, the {!Cfg.t} view) must equal the edges the block terminators
+    imply. *)
+val check_cfg :
+  Image.t -> Basic_block.t array ->
+  successors:(int -> (int * Cfg.edge_kind) list) ->
+  Diagnostic.t list
+
+(** [cfg/fallthrough-off-end]: the last block must not fall through past
+    the image end (terminators with an implied fall-through successor
+    need a next block). *)
+val check_fallthrough_off_end :
+  Image.t -> Basic_block.t array -> Diagnostic.t list
+
+(** [cfg/unreachable]: every block must be reachable from a root —
+    symbol entries, the image base and [extra_entries] (address-taken
+    targets, post-syscall resume points) — following implied static
+    edges. *)
+val check_reachability :
+  ?extra_entries:int list -> Image.t -> Basic_block.t array ->
+  Diagnostic.t list
+
+(** [exec/missing-node]: every mapped instruction must have an
+    {!Exec_graph} node at its address with the same instruction and
+    length. *)
+val check_exec_graph :
+  Exec_graph.t -> Image.t -> Basic_block.t array -> Diagnostic.t list
+
+(** [exec/count-mismatch]: the graph's node count vs the maps' total
+    instruction count ([image] labels the finding). *)
+val check_exec_count :
+  Exec_graph.t -> image:string -> expected:int -> Diagnostic.t list
+
+(** {1 Drivers} *)
+
+(** [image img] — run every image-level pass with the real derived
+    structures ({!Bb_map.of_image}, {!Cfg.of_bb_map}).  A decode failure
+    short-circuits (nothing else is checkable).  [exec] additionally
+    runs the executable-graph agreement pass; [resolve] and
+    [extra_entries] are threaded to {!check_targets} /
+    {!check_reachability}. *)
+val image :
+  ?exec:Exec_graph.t ->
+  ?resolve:(int -> bool) ->
+  ?extra_entries:int list ->
+  Image.t ->
+  Diagnostic.t list
+
+(** [process p] — lint every image of [p]: cross-image branch targets
+    resolve against all mapped images' symbols and bases,
+    reachability roots include address-taken constants found anywhere in
+    the process, and the whole process is checked against a freshly
+    built {!Exec_graph} (including the node-count cross-check). *)
+val process : Process.t -> Diagnostic.t list

@@ -198,6 +198,52 @@ let prop_length_positive =
   QCheck2.Test.make ~name:"encoded length >= 3" ~count:200 gen_instruction
     (fun i -> Encoding.encoded_length i >= 3)
 
+(* Exhaustive complement to [prop_roundtrip]: every mnemonic crossed
+   with every operand form (all register classes, memory with and
+   without an index, immediate, relative) at every arity the encoding
+   supports, plus the scale/disp corner values random sampling rarely
+   hits.  Catches a dead row in either lookup table, which the sampled
+   property can miss. *)
+let all_operand_forms =
+  [
+    Operand.Reg (Gpr RAX);
+    Operand.Reg (Xmm 15);
+    Operand.Reg (Ymm 7);
+    Operand.Reg (St 5);
+    Operand.Mem { base = RBX; index = None; scale = 1; disp = -8 };
+    Operand.Mem { base = RSP; index = Some RDI; scale = 8; disp = 0x7fffffff };
+    Operand.Imm Int64.min_int;
+    Operand.Rel (-42);
+  ]
+
+let test_exhaustive_roundtrip () =
+  let n_forms = List.length all_operand_forms in
+  List.iter
+    (fun m ->
+      for arity = 0 to 3 do
+        for rot = 0 to n_forms - 1 do
+          let ops =
+            List.init arity (fun j ->
+                List.nth all_operand_forms ((rot + j) mod n_forms))
+          in
+          let i = Instruction.make m ops in
+          match Encoding.decode (Encoding.encode_to_bytes i) 0 with
+          | Ok (i', len) ->
+              if
+                not
+                  (Instruction.equal i i'
+                  && len = Encoding.encoded_length i)
+              then
+                Alcotest.failf "roundtrip mismatch for %s"
+                  (Instruction.to_string i)
+          | Error e ->
+              Alcotest.failf "roundtrip failed for %s: %s"
+                (Instruction.to_string i)
+                (Encoding.error_to_string e)
+        done
+      done)
+    Mnemonic.all
+
 (* ------------------------------------------------------------------ *)
 (* Latency and taxonomy                                                *)
 
@@ -288,6 +334,8 @@ let () =
       ( "encoding",
         Alcotest.test_case "lengths" `Quick test_encode_lengths
         :: Alcotest.test_case "decode errors" `Quick test_decode_errors
+        :: Alcotest.test_case "exhaustive mnemonic x operand-form roundtrip"
+             `Quick test_exhaustive_roundtrip
         :: qsuite );
       ( "latency+taxonomy",
         [
