@@ -29,6 +29,7 @@ let all : (string * (Format.formatter -> unit)) list =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("pipeline", Perf.run);
+    ("executor", Executor.run);
     ("streaming", Streaming.run);
     ("telemetry", Telemetry.run);
     ("faults", Faults_bench.run);
@@ -38,8 +39,8 @@ let all : (string * (Format.formatter -> unit)) list =
 (* Targets that never touch the profile cache; everything else benefits
    from the parallel preload. *)
 let no_sweep =
-  [ "table2"; "table4"; "micro"; "pipeline"; "streaming"; "telemetry";
-    "faults"; "verifier" ]
+  [ "table2"; "table4"; "micro"; "pipeline"; "executor"; "streaming";
+    "telemetry"; "faults"; "verifier" ]
 
 let () =
   let ppf = Format.std_formatter in

@@ -1,8 +1,9 @@
 (* Performance trend bench: times the full table sweep at -j 1 vs -j N,
    checks that the parallel profiles are byte-identical to the
-   sequential ones, measures raw executor throughput, and writes the
-   results to BENCH_pipeline.json so future PRs have a machine-readable
-   perf trajectory. *)
+   sequential ones, measures raw executor throughput per engine over a
+   representative workload set, and writes the results to
+   BENCH_pipeline.json so future PRs have a machine-readable perf
+   trajectory. *)
 
 open Hbbp_core
 module U = Bench_util
@@ -39,27 +40,95 @@ let sweep ~jobs entries =
   in
   (profiles, now () -. t0)
 
-(* Raw Machine.run throughput (no observers): the single-run hot path
-   the Exec_graph dense lookup optimizes.  Best of three. *)
+(* Raw Machine.run bench set: one workload per executor stress axis, so
+   engine wins can't be overfit to a single code shape. *)
+let machine_workloads () =
+  [
+    ("mcf", "short blocks, pointer-chasing integer code");
+    ("test40", "branch-heavy scientific loop nest");
+    ("hello", "syscall-heavy user/kernel ping-pong");
+    ("fitter-sse", "SSE vector arithmetic");
+  ]
+  |> List.map (fun (name, axis) -> (Hbbp_workloads.Registry.find name, axis))
+
+type engine_run = {
+  er_workload : string;
+  er_engine : string;
+  er_retired : int;
+  er_seconds : float;
+}
+
+(* Raw Machine.run throughput (no observers) per engine; best of three.
+   Also cross-checks that every engine returns identical run stats —
+   the cheap always-on slice of the differential suite. *)
 let machine_throughput () =
-  let w = Hbbp_workloads.Fitter.workload Hbbp_workloads.Fitter.Sse in
-  let best = ref infinity and retired = ref 0 in
-  for _ = 1 to 3 do
-    let machine =
-      Hbbp_cpu.Machine.create ~process:w.Workload.live_process ()
-    in
-    let t0 = now () in
-    let stats = Hbbp_cpu.Machine.run machine ~entry:w.Workload.entry () in
-    let dt = now () -. t0 in
-    if dt < !best then best := dt;
-    retired := stats.Hbbp_cpu.Machine.retired
-  done;
-  (w.Workload.name, !retired, !best)
+  let runs = ref [] in
+  List.iter
+    (fun ((w : Workload.t), _axis) ->
+      let reference = ref None in
+      List.iter
+        (fun engine ->
+          let best = ref infinity and stats = ref None in
+          for _ = 1 to 3 do
+            let machine =
+              Hbbp_cpu.Machine.create ~process:w.Workload.live_process ~engine
+                ()
+            in
+            let t0 = now () in
+            let s = Hbbp_cpu.Machine.run machine ~entry:w.Workload.entry () in
+            let dt = now () -. t0 in
+            if dt < !best then best := dt;
+            stats := Some s
+          done;
+          let s = Option.get !stats in
+          (match !reference with
+          | None -> reference := Some s
+          | Some r ->
+              if compare r s <> 0 then
+                failwith
+                  (Printf.sprintf
+                     "BENCH pipeline: %s engine diverges from legacy on %s"
+                     (Hbbp_cpu.Machine.engine_name engine) w.Workload.name));
+          runs :=
+            {
+              er_workload = w.Workload.name;
+              er_engine = Hbbp_cpu.Machine.engine_name engine;
+              er_retired = s.Hbbp_cpu.Machine.retired;
+              er_seconds = !best;
+            }
+            :: !runs)
+        Hbbp_cpu.Machine.all_engines)
+    (machine_workloads ());
+  List.rev !runs
+
+let rate (r : engine_run) = float_of_int r.er_retired /. r.er_seconds
+
+(* Aggregate retired/s of one engine across the bench set (total work
+   over total time, so long workloads aren't drowned out). *)
+let engine_rate runs name =
+  let sel = List.filter (fun r -> String.equal r.er_engine name) runs in
+  let retired = List.fold_left (fun a r -> a + r.er_retired) 0 sel in
+  let seconds = List.fold_left (fun a r -> a +. r.er_seconds) 0.0 sel in
+  float_of_int retired /. seconds
 
 let run ppf =
   U.header ppf "Pipeline sweep: -j 1 vs -j N (writes BENCH_pipeline.json)";
   let entries = U.sweep_entries () in
-  let par_jobs = max 2 !U.jobs in
+  let recommended = Domain.recommended_domain_count () in
+  let requested_jobs = max 2 !U.jobs in
+  (* An under-provisioned host cannot demonstrate domain scaling: -j 2
+     on a 1-domain machine just measures scheduler thrash.  Measure at
+     the parallelism the host can actually deliver and say so, instead
+     of publishing an apples-to-oranges slowdown. *)
+  let oversubscribed = requested_jobs > recommended in
+  let par_jobs = max 1 (min requested_jobs recommended) in
+  if oversubscribed then
+    Format.fprintf ppf
+      "warning: host recommends %d domain%s; measuring parallel sweep at -j \
+       %d instead of the requested -j %d@."
+      recommended
+      (if recommended = 1 then "" else "s")
+      par_jobs requested_jobs;
   let seq, seq_s = sweep ~jobs:1 entries in
   let par, par_s = sweep ~jobs:par_jobs entries in
   let identical = List.for_all2 profiles_equal seq par in
@@ -70,8 +139,7 @@ let run ppf =
       0 seq
   in
   let speedup = seq_s /. par_s in
-  let mname, mretired, mseconds = machine_throughput () in
-  let mrate = float_of_int mretired /. mseconds in
+  let machine_runs = machine_throughput () in
   Format.fprintf ppf "%d workloads, %d retired instructions@."
     (List.length entries) retired;
   Format.fprintf ppf "-j 1: %8.2f s  (%.2fM retired/s)@." seq_s
@@ -82,30 +150,62 @@ let run ppf =
     speedup;
   Format.fprintf ppf "profiles byte-identical across job counts: %b@."
     identical;
-  Format.fprintf ppf "Machine.run (%s, no observers): %.2fM retired/s@."
-    mname (mrate /. 1e6);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "Machine.run %-12s %-10s %9.2fM retired/s  (%d retired, %.4f s)@."
+        r.er_workload r.er_engine (rate r /. 1e6) r.er_retired r.er_seconds)
+    machine_runs;
+  List.iter
+    (fun e ->
+      let name = Hbbp_cpu.Machine.engine_name e in
+      Format.fprintf ppf "Machine.run bench-set aggregate %-10s %9.2fM \
+                          retired/s@."
+        name
+        (engine_rate machine_runs name /. 1e6))
+    Hbbp_cpu.Machine.all_engines;
   if not identical then
     failwith "BENCH pipeline: parallel profiles differ from sequential";
   let oc = open_out "BENCH_pipeline.json" in
+  let machine_json =
+    String.concat ",\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             {|    { "workload": "%s", "engine": "%s", "retired": %d, "seconds": %.4f, "retired_per_sec": %.0f }|}
+             r.er_workload r.er_engine r.er_retired r.er_seconds (rate r))
+         machine_runs)
+  in
+  let aggregate_json =
+    String.concat ", "
+      (List.map
+         (fun e ->
+           let name = Hbbp_cpu.Machine.engine_name e in
+           Printf.sprintf {|"%s": %.0f|} name (engine_rate machine_runs name))
+         Hbbp_cpu.Machine.all_engines)
+  in
   Printf.fprintf oc
     {|{
   "bench": "pipeline",
   "host_recommended_domains": %d,
+  "oversubscribed": %b,
   "workloads": %d,
   "total_retired": %d,
   "sequential": { "jobs": 1, "seconds": %.3f, "retired_per_sec": %.0f },
-  "parallel": { "jobs": %d, "seconds": %.3f, "retired_per_sec": %.0f },
+  "parallel": { "jobs_requested": %d, "jobs": %d, "seconds": %.3f, "retired_per_sec": %.0f },
   "speedup": %.3f,
   "profiles_identical": %b,
-  "machine_run": { "workload": "%s", "retired": %d, "seconds": %.4f, "retired_per_sec": %.0f }
+  "machine_run": [
+%s
+  ],
+  "machine_run_retired_per_sec": { %s }
 }
 |}
-    (Domain.recommended_domain_count ())
-    (List.length entries) retired seq_s
+    recommended oversubscribed (List.length entries) retired seq_s
     (float_of_int retired /. seq_s)
-    par_jobs par_s
+    requested_jobs par_jobs par_s
     (float_of_int retired /. par_s)
-    speedup identical mname mretired mseconds mrate;
+    speedup identical machine_json aggregate_json;
   close_out oc;
   Format.fprintf ppf "wrote BENCH_pipeline.json@.";
   (* The sweep already profiled everything: seed the shared cache so any

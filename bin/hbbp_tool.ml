@@ -165,14 +165,43 @@ let jobs_arg =
            $(b,HBBP_JOBS) or the host's recommended domain count). \
            Results are identical for every N.")
 
+let engine_conv =
+  let parse s =
+    match Hbbp_cpu.Machine.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf e ->
+       Format.pp_print_string ppf (Hbbp_cpu.Machine.engine_name e))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,superblock) (chained block closures, \
+           default), $(b,block) (per-block closures, dispatcher between \
+           blocks) or $(b,legacy) (per-instruction loop).  Every engine \
+           retires a bit-identical stream; the choice only affects \
+           simulation speed.  Defaults to $(b,HBBP_ENGINE) when set.")
+
+let config_with_engine engine =
+  match engine with
+  | None -> Pipeline.default_config
+  | Some engine -> { Pipeline.default_config with Pipeline.engine }
+
 let profile_cmd =
-  let run positional named jobs faults trace metrics =
+  let run positional named jobs engine faults trace metrics =
     let names = positional @ named in
     if names = [] then die "profile: no workload given (see 'hbbp list')";
     let ws = List.map find_workload names in
     with_telemetry trace metrics @@ fun () ->
     with_faults faults @@ fun () ->
-    let profiles = Pipeline.run_many ?jobs ws in
+    let profiles =
+      Pipeline.run_many ?jobs ~config:(config_with_engine engine) ws
+    in
     List.iter
       (fun (p : Pipeline.profile) ->
         Format.printf "%a@.@." Report.summary p;
@@ -190,8 +219,8 @@ let profile_cmd =
          "Profile workload(s) end to end and report accuracy/overheads; \
           multiple workloads run in parallel (-j)")
     Term.(
-      const run $ workloads_pos_arg $ workload_opt_arg $ jobs_arg $ faults_arg
-      $ trace_arg $ metrics_arg)
+      const run $ workloads_pos_arg $ workload_opt_arg $ jobs_arg $ engine_arg
+      $ faults_arg $ trace_arg $ metrics_arg)
 
 (* ---- mix ----------------------------------------------------------- *)
 
@@ -345,12 +374,14 @@ let shards_arg =
            $(b,hbbp stats) to merge them back exactly.")
 
 let collect_cmd =
-  let run names output shards jobs faults trace metrics =
+  let run names output shards jobs engine faults trace metrics =
     if shards < 1 then die "collect: --shards must be at least 1";
     let ws = List.map find_workload names in
     with_telemetry trace metrics @@ fun () ->
     with_faults faults @@ fun () ->
-    let archives = Pipeline.collect_many ?jobs ws in
+    let archives =
+      Pipeline.collect_many ?jobs ~config:(config_with_engine engine) ws
+    in
     let single = match names with [ _ ] -> true | _ -> false in
     List.iter2
       (fun name (archive : Hbbp_collector.Perf_data.t) ->
@@ -382,7 +413,7 @@ let collect_cmd =
           over several archives")
     Term.(
       const run $ workloads_arg $ output_arg $ shards_arg $ jobs_arg
-      $ faults_arg $ trace_arg $ metrics_arg)
+      $ engine_arg $ faults_arg $ trace_arg $ metrics_arg)
 
 let archives_arg =
   Arg.(

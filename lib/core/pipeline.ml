@@ -83,6 +83,7 @@ type config = {
   count_events : Pmu_event.t list;
   thresholds : thresholds;
   keep_records : bool;
+  engine : Machine.engine;
 }
 
 let default_config =
@@ -95,6 +96,7 @@ let default_config =
     count_events = [ Pmu_event.Inst_retired_any ];
     thresholds = default_thresholds;
     keep_records = false;
+    engine = Machine.default_engine ();
   }
 
 type profile = {
@@ -498,7 +500,9 @@ let collect_archive ?(config = default_config) (w : Workload.t) =
     | `Auto -> Period.simulation w.Workload.runtime_class
     | `Fixed pair -> pair
   in
-  let machine = Machine.create ~process:w.Workload.live_process () in
+  let machine =
+    Machine.create ~process:w.Workload.live_process ~engine:config.engine ()
+  in
   let session = Session.configure config.model sim_periods in
   Machine.add_observer machine (Pmu.observer (Session.pmu session));
   let (_ : Machine.run_stats) =
@@ -668,7 +672,9 @@ let run ?(config = default_config) (w : Workload.t) =
         (static_unpatched, static))
   in
   (* One execution, three observers. *)
-  let machine = Machine.create ~process:w.live_process () in
+  let machine =
+    Machine.create ~process:w.live_process ~engine:config.engine ()
+  in
   let sde = Hbbp_instrument.Sde.create config.sde (user_maps static) in
   let session = Session.configure config.model sim_periods in
   let counting = Pmu.create config.model

@@ -83,6 +83,11 @@ type config = {
           {b false} (breaking change): reconstruction state is bounded,
           so holding every record alive is opt-in.  [record_count] is
           always populated. *)
+  engine : Machine.engine;
+      (** Execution engine for the simulated runs.  All engines retire
+          bit-identical streams; this only selects dispatch cost.
+          Default {!Machine.default_engine} (superblock unless the
+          [HBBP_ENGINE] environment variable overrides it). *)
 }
 
 val default_config : config

@@ -21,3 +21,21 @@ exception Fault of string
 (** [step state node] — executes [node.instr].  [state.ip] is expected to
     equal [node.addr]. *)
 val step : State.t -> Exec_graph.node -> control
+
+type kernel = State.t -> control
+(** A pre-compiled instruction: the mnemonic dispatch, operand shapes,
+    register codes, effective-address forms, immediates and direct
+    branch targets of one node resolved into a single closure. *)
+
+(** [compile node] specializes [node] into a {!kernel} computing exactly
+    the state transition of [step state node] — same values, same
+    evaluation order, same faults.  Instructions without a
+    specialization (rare forms, cross-lane shuffles) get a [step]
+    thunk, so compiling never changes behaviour, only cost. *)
+val compile : Exec_graph.node -> kernel
+
+(** [compile_specialized node] is the specializer behind {!compile}:
+    [None] means the node would run through the [step] fallback.
+    Exposed so tests and benchmarks can measure specialization
+    coverage on real workloads. *)
+val compile_specialized : Exec_graph.node -> kernel option

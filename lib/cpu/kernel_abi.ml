@@ -1,4 +1,12 @@
+open Hbbp_program
+
 let syscall_entry = "syscall_entry"
+
+let entry_addr process =
+  Option.map
+    (fun ((_ : Image.t), (s : Symbol.t)) -> s.addr)
+    (Process.find_symbol process syscall_entry)
+
 let sys_nop = 0
 let sys_getpid = 1
 let sys_bufclear = 2

@@ -5,6 +5,11 @@
     The kernel clobbers RAX (return value), RCX, RDX, R11 and R14. *)
 val syscall_entry : string
 
+(** [entry_addr process] — resolved address of {!syscall_entry} in the
+    process's live images; [None] when no kernel is mapped.  The machine
+    jumps here on every SYSCALL. *)
+val entry_addr : Hbbp_program.Process.t -> int option
+
 (** Well-known syscall numbers implemented by {!Kernel.build}. *)
 val sys_nop : int
 

@@ -1,30 +1,42 @@
 type entry = { src : int; tgt : int }
 
+(* Split int arrays rather than an [entry array]: [push] runs once per
+   retired taken branch on armed runs, and with this layout it is two
+   immediate stores — no record allocation, no GC write barrier, no
+   modulo.  Entries are only materialized as records at [snapshot]
+   time, which is rare (once per delivered PMI). *)
 type t = {
-  entries : entry array;
+  srcs : int array;
+  tgts : int array;
   mutable head : int;  (* slot receiving the next push *)
   mutable filled : int;
 }
 
-let none = { src = 0; tgt = 0 }
-let create ~depth = { entries = Array.make depth none; head = 0; filled = 0 }
-let depth t = Array.length t.entries
+let create ~depth =
+  { srcs = Array.make depth 0; tgts = Array.make depth 0; head = 0; filled = 0 }
+
+let depth t = Array.length t.srcs
 
 let push t ~src ~tgt =
-  t.entries.(t.head) <- { src; tgt };
-  t.head <- (t.head + 1) mod Array.length t.entries;
-  if t.filled < Array.length t.entries then t.filled <- t.filled + 1
+  let h = t.head in
+  Array.unsafe_set t.srcs h src;
+  Array.unsafe_set t.tgts h tgt;
+  let h = h + 1 in
+  t.head <- (if h = Array.length t.srcs then 0 else h);
+  if t.filled < Array.length t.srcs then t.filled <- t.filled + 1
 
 let snapshot t =
-  let d = Array.length t.entries in
+  let d = Array.length t.srcs in
   let oldest = if t.filled < d then 0 else t.head in
-  Array.init t.filled (fun k -> t.entries.((oldest + k) mod d))
+  Array.init t.filled (fun k ->
+      let j = (oldest + k) mod d in
+      { src = t.srcs.(j); tgt = t.tgts.(j) })
 
 let overwrite_oldest t e =
   if t.filled > 0 then begin
-    let d = Array.length t.entries in
-    let oldest = if t.filled < d then 0 else t.head in
-    t.entries.(oldest) <- e
+    let oldest = if t.filled < Array.length t.srcs then 0 else t.head in
+    t.srcs.(oldest) <- e.src;
+    t.tgts.(oldest) <- e.tgt
   end
 
 let clear t =

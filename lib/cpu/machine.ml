@@ -22,26 +22,81 @@ type run_stats = {
 exception Runaway of int
 exception Machine_fault of string
 
+(* ------------------------------------------------------------------ *)
+(* Engines.
+
+   [Legacy] is the seed per-instruction loop, kept verbatim as the
+   differential-testing reference.  [Block] executes cached basic-block
+   closures and returns to the dense block cache at every block
+   boundary.  [Superblock] additionally chains direct successors
+   (fall-through and taken edges) through mutable pointers patched on
+   first traversal, so steady-state execution only consults the cache
+   when an indirect target changes.  All three retire bit-identical
+   streams; they differ only in dispatch cost. *)
+type engine = Legacy | Block | Superblock
+
+let engine_name = function
+  | Legacy -> "legacy"
+  | Block -> "block"
+  | Superblock -> "superblock"
+
+let engine_of_string = function
+  | "legacy" -> Some Legacy
+  | "block" -> Some Block
+  | "superblock" -> Some Superblock
+  | _ -> None
+
+let all_engines = [ Legacy; Block; Superblock ]
+
+(* The env override exists for A/B without touching call sites (the CLI
+   flag is the documented interface); unknown values silently keep the
+   default so a stale variable cannot change semantics — engines are
+   bit-identical anyway. *)
+let default_engine () =
+  match Sys.getenv_opt "HBBP_ENGINE" with
+  | Some s -> ( match engine_of_string s with Some e -> e | None -> Superblock)
+  | None -> Superblock
+
+(* A basic block compiled to straight-line kernels (tier 1) plus the
+   mutable successor links that superblock chaining patches (tier 2).
+   [c_taken] is keyed by [c_taken_addr] so one slot serves both direct
+   branches (the guard always passes) and indirect ones (it degrades
+   into a monomorphic inline cache). *)
+type compiled = {
+  c_nodes : Exec_graph.node array;
+  c_kernels : Exec.kernel array;
+  c_last : Exec_graph.node;
+  c_len : int;
+  c_cost : int;  (** Sum of member issue costs. *)
+  c_kernel_count : int;  (** Members retiring in ring 0. *)
+  mutable c_fall : compiled option;
+  mutable c_taken_addr : int;  (** Address [c_taken] resolves; -1 = none. *)
+  mutable c_taken : compiled option;
+}
+
 type t = {
   graph : Exec_graph.t;
   st : State.t;
   process : Process.t;
+  engine : engine;
   mutable observers_rev : observer list;
       (* Accumulated in reverse; frozen to an array at [run] time so
          [add_observer] stays O(1) instead of re-copying an array. *)
   kernel_entry : int option;
+  cache : compiled Exec_graph.table;
+      (* Compiled blocks keyed by entry address — dense per-segment
+         arrays, so resolving an indirect branch target to compiled
+         code costs the same as [Exec_graph.node_at]. *)
   scratch : retirement;
 }
 
 let fault fmt = Format.kasprintf (fun s -> raise (Machine_fault s)) fmt
 
-let create ~process ?(seed = 42L) () =
+let create ~process ?(seed = 42L) ?engine () =
   let graph = Exec_graph.build_exn process in
   let st = State.create ~seed () in
-  let kernel_entry =
-    Option.map
-      (fun ((_ : Image.t), (s : Symbol.t)) -> s.addr)
-      (Process.find_symbol process Kernel_abi.syscall_entry)
+  let engine =
+    match engine with Some e -> e | None -> default_engine ()
   in
   let dummy_node =
     (* Any node serves as the scratch record's initial value. *)
@@ -60,8 +115,10 @@ let create ~process ?(seed = 42L) () =
     graph;
     st;
     process;
+    engine;
     observers_rev = [];
-    kernel_entry;
+    kernel_entry = Kernel_abi.entry_addr process;
+    cache = Exec_graph.create_table graph;
     scratch =
       {
         node = dummy_node;
@@ -75,6 +132,7 @@ let create ~process ?(seed = 42L) () =
 
 let state t = t.st
 let process t = t.process
+let engine t = t.engine
 
 let add_observer t obs = t.observers_rev <- obs :: t.observers_rev
 
@@ -82,13 +140,37 @@ let add_observer t obs = t.observers_rev <- obs :: t.observers_rev
    to it ends the run. *)
 let sentinel = 0
 
-let run t ~entry ?(max_instructions = 2_000_000_000) () =
+(* Compiled block whose entry is [addr]: dense cache hit, or compile the
+   graph's (cached) basic block on a miss. *)
+let compiled_at t addr =
+  match Exec_graph.table_find t.cache addr with
+  | Some c -> c
+  | None -> (
+      match Exec_graph.block_at t.graph addr with
+      | None -> fault "branch to unmapped address %#x" addr
+      | Some (b : Exec_graph.block) ->
+          let c =
+            {
+              c_nodes = b.b_nodes;
+              c_kernels = Array.map Exec.compile b.b_nodes;
+              c_last = b.b_last;
+              c_len = b.b_len;
+              c_cost = b.b_cost;
+              c_kernel_count = b.b_kernel;
+              c_fall = None;
+              c_taken_addr = -1;
+              c_taken = None;
+            }
+          in
+          Exec_graph.table_set t.cache addr c;
+          c)
+
+(* ------------------------------------------------------------------ *)
+(* Legacy engine: the seed per-instruction loop, unchanged.  Kept as
+   the reference the tiered engines are differentially tested against. *)
+
+let run_legacy t ~entry ~max_instructions =
   let st = t.st in
-  State.reset_registers st;
-  let rsp = Layout.initial_rsp - 8 in
-  State.set_gpr st Operand.RSP (Int64.of_int rsp);
-  Memory.write_i64 st.mem rsp (Int64.of_int sentinel);
-  st.ip <- entry;
   let retired = ref 0 in
   let cycles = ref 0 in
   let shadow_until = ref 0 in
@@ -193,3 +275,215 @@ let run t ~entry ?(max_instructions = 2_000_000_000) () =
     taken_branches = !taken_branches;
     kernel_retired = !kernel_retired;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Tiered engines.
+
+   Two block-level specializations share the successor logic:
+
+   - [exec_armed] retires node by node with exactly the legacy loop's
+     ordering — runaway check, [st.ip], kernel, shadow/cycle/counter
+     updates, observer notification — so armed runs are bit-identical
+     to the seed loop while still dodging its mnemonic dispatch and
+     [node_at] resolution.
+
+   - [exec_bare] runs a whole block straight-line with per-block
+     counter updates.  It is only entered when no observer is armed
+     (nothing can see intermediate cycle counts or the PMI shadow) and
+     when the whole block fits the remaining instruction budget;
+     otherwise it delegates the block to [exec_armed], whose
+     per-instruction budget check raises [Runaway] at exactly the
+     retirement the legacy loop would.  That due-by-N budgeting is
+     what keeps sampling semantics identical across engines. *)
+
+let run_tiered t ~entry ~max_instructions ~chain =
+  let st = t.st in
+  let retired = ref 0 in
+  let cycles = ref 0 in
+  let shadow_until = ref 0 in
+  let taken_branches = ref 0 in
+  let kernel_retired = ref 0 in
+  let observers = Array.of_list (List.rev t.observers_rev) in
+  let nobs = Array.length observers in
+  let scratch = t.scratch in
+  let c0 =
+    match Exec_graph.node_at t.graph entry with
+    | None -> fault "entry point %#x is not mapped code" entry
+    | Some _ -> compiled_at t entry
+  in
+  (* Successor resolution; [chain] decides whether the link is patched
+     into the block (superblock) or re-looked-up per transition. *)
+  let fall_of (c : compiled) =
+    match c.c_fall with
+    | Some c' -> c'
+    | None -> (
+        let last = c.c_last in
+        match last.Exec_graph.fall with
+        | None -> fault "execution fell off code at %#x" (last.addr + last.len)
+        | Some n ->
+            let c' = compiled_at t n.Exec_graph.addr in
+            if chain then c.c_fall <- Some c';
+            c')
+  in
+  let taken_of (c : compiled) tgt =
+    if c.c_taken_addr = tgt then
+      match c.c_taken with Some c' -> c' | None -> assert false
+    else begin
+      let c' = compiled_at t tgt in
+      if chain then begin
+        c.c_taken_addr <- tgt;
+        c.c_taken <- Some c'
+      end;
+      c'
+    end
+  in
+  let notify (node : Exec_graph.node) shadow_active =
+    scratch.node <- node;
+    scratch.retired_index <- !retired - 1;
+    scratch.cycles <- !cycles;
+    scratch.shadow_active <- shadow_active;
+    for k = 0 to nobs - 1 do
+      observers.(k) scratch
+    done
+  in
+  (* Timing-model and counter updates for one retirement; returns
+     whether a long-latency shadow inhibited PMI at this retirement.
+     Field-for-field the legacy loop's update block. *)
+  let retire (node : Exec_graph.node) =
+    let shadow_active = !cycles < !shadow_until in
+    let cycle_before = !cycles in
+    cycles := !cycles + node.issue_cost;
+    if node.long_latency then begin
+      let until = cycle_before + node.latency in
+      if until > !shadow_until then shadow_until := until
+    end;
+    incr retired;
+    if node.kernel then incr kernel_retired;
+    shadow_active
+  in
+  let rec exec_armed (c : compiled) =
+    let kernels = c.c_kernels and nodes = c.c_nodes in
+    let lastk = c.c_len - 1 in
+    for k = 0 to lastk - 1 do
+      if !retired >= max_instructions then raise (Runaway !retired);
+      let node = Array.unsafe_get nodes k in
+      st.ip <- node.Exec_graph.addr;
+      ignore ((Array.unsafe_get kernels k) st : Exec.control);
+      let shadow_active = retire node in
+      if nobs > 0 then begin
+        scratch.taken_src <- -1;
+        scratch.taken_tgt <- -1;
+        notify node shadow_active
+      end
+    done;
+    if !retired >= max_instructions then raise (Runaway !retired);
+    let node = c.c_last in
+    st.ip <- node.Exec_graph.addr;
+    let control = (Array.unsafe_get kernels lastk) st in
+    let shadow_active = retire node in
+    match control with
+    | Exec.Fall ->
+        if nobs > 0 then begin
+          scratch.taken_src <- -1;
+          scratch.taken_tgt <- -1;
+          notify node shadow_active
+        end;
+        exec_armed (fall_of c)
+    | Exec.Taken tgt ->
+        incr taken_branches;
+        if nobs > 0 then begin
+          scratch.taken_src <- node.addr;
+          scratch.taken_tgt <- tgt;
+          notify node shadow_active
+        end;
+        if tgt <> sentinel then exec_armed (taken_of c tgt)
+    | Exec.Syscall_enter ra -> (
+        match t.kernel_entry with
+        | None -> fault "SYSCALL with no kernel mapped (at %#x)" node.addr
+        | Some kentry ->
+            State.set_gpr st Operand.RCX (Int64.of_int ra);
+            st.ring <- Ring.Kernel;
+            incr taken_branches;
+            if nobs > 0 then begin
+              scratch.taken_src <- node.addr;
+              scratch.taken_tgt <- kentry;
+              notify node shadow_active
+            end;
+            exec_armed (taken_of c kentry))
+    | Exec.Sysret_exit tgt ->
+        st.ring <- Ring.User;
+        incr taken_branches;
+        if nobs > 0 then begin
+          scratch.taken_src <- node.addr;
+          scratch.taken_tgt <- tgt;
+          notify node shadow_active
+        end;
+        if tgt <> sentinel then exec_armed (taken_of c tgt)
+    | Exec.Halt ->
+        if nobs > 0 then begin
+          scratch.taken_src <- -1;
+          scratch.taken_tgt <- -1;
+          notify node shadow_active
+        end
+  in
+  let rec exec_bare (c : compiled) =
+    if !retired + c.c_len > max_instructions then
+      (* The block cannot fully retire within budget: fall back to the
+         per-instruction loop, which raises [Runaway] at the exact
+         retirement the legacy engine would. *)
+      exec_armed c
+    else begin
+      (* No kernel (nor fault handler) reads [State.t.ip], so the
+         per-instruction [st.ip] stores of the armed loop are dead here;
+         the terminator's store below keeps the post-run value identical
+         to the legacy engine's. *)
+      let kernels = c.c_kernels in
+      let lastk = c.c_len - 1 in
+      for k = 0 to lastk - 1 do
+        ignore ((Array.unsafe_get kernels k) st : Exec.control)
+      done;
+      let node = c.c_last in
+      st.ip <- node.Exec_graph.addr;
+      let control = (Array.unsafe_get kernels lastk) st in
+      retired := !retired + c.c_len;
+      cycles := !cycles + c.c_cost;
+      kernel_retired := !kernel_retired + c.c_kernel_count;
+      match control with
+      | Exec.Fall -> exec_bare (fall_of c)
+      | Exec.Taken tgt ->
+          incr taken_branches;
+          if tgt <> sentinel then exec_bare (taken_of c tgt)
+      | Exec.Syscall_enter ra -> (
+          match t.kernel_entry with
+          | None -> fault "SYSCALL with no kernel mapped (at %#x)" node.addr
+          | Some kentry ->
+              State.set_gpr st Operand.RCX (Int64.of_int ra);
+              st.ring <- Ring.Kernel;
+              incr taken_branches;
+              exec_bare (taken_of c kentry))
+      | Exec.Sysret_exit tgt ->
+          st.ring <- Ring.User;
+          incr taken_branches;
+          if tgt <> sentinel then exec_bare (taken_of c tgt)
+      | Exec.Halt -> ()
+    end
+  in
+  if nobs > 0 then exec_armed c0 else exec_bare c0;
+  {
+    retired = !retired;
+    cycles = !cycles;
+    taken_branches = !taken_branches;
+    kernel_retired = !kernel_retired;
+  }
+
+let run t ~entry ?(max_instructions = 2_000_000_000) () =
+  let st = t.st in
+  State.reset_registers st;
+  let rsp = Layout.initial_rsp - 8 in
+  State.set_gpr st Operand.RSP (Int64.of_int rsp);
+  Memory.write_i64 st.mem rsp (Int64.of_int sentinel);
+  st.ip <- entry;
+  match t.engine with
+  | Legacy -> run_legacy t ~entry ~max_instructions
+  | Block -> run_tiered t ~entry ~max_instructions ~chain:false
+  | Superblock -> run_tiered t ~entry ~max_instructions ~chain:true

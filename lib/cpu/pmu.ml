@@ -320,9 +320,13 @@ let observer t : Machine.observer =
       (List.rev t.pendings);
     t.pendings <- List.rev !still_pending
   end;
-  (* 3. Count, detect overflows, create new pendings. *)
-  Array.iteri
-    (fun idx c ->
+  (* 3. Count, detect overflows, create new pendings.  A for-loop, not
+     [Array.iteri]: the latter allocates a fresh closure over [r] and
+     [cycles_delta] on every retirement of an armed run. *)
+  let counters = t.counters in
+  for idx = 0 to Array.length counters - 1 do
+    let c = Array.unsafe_get counters idx in
+    begin
       let inc = increment c.config.event r ~cycles_delta in
       if inc > 0 then begin
         c.total <- Int64.add c.total (Int64.of_int inc);
@@ -365,8 +369,9 @@ let observer t : Machine.observer =
                 else deliver t p r
               else t.pendings <- p :: t.pendings
             end
-      end)
-    t.counters
+      end
+    end
+  done
 
 let samples t = List.rev t.samples_rev
 let counts t =

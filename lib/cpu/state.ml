@@ -1,8 +1,15 @@
 open Hbbp_isa
 open Hbbp_program
 
+(* The integer register file lives in a bigarray rather than an
+   [int64 array]: elements are stored unboxed, so the executor's
+   register reads cost one load and writes cost one store — no
+   allocation and no [caml_modify] write barrier, which dominate the
+   per-retirement budget with a boxed representation. *)
+type regfile = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  gprs : int64 array;
+  gprs : regfile;
   vregs : float array array;
   x87 : float array;
   mutable x87_top : int;
@@ -17,8 +24,10 @@ type t = {
 }
 
 let create ?(seed = 42L) () =
+  let gprs = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 16 in
+  Bigarray.Array1.fill gprs 0L;
   {
-    gprs = Array.make 16 0L;
+    gprs;
     vregs = Array.init 16 (fun _ -> Array.make 8 0.0);
     x87 = Array.make 8 0.0;
     x87_top = 0;
@@ -32,8 +41,8 @@ let create ?(seed = 42L) () =
     ip = 0;
   }
 
-let get_gpr t g = t.gprs.(Operand.gpr_code g)
-let set_gpr t g v = t.gprs.(Operand.gpr_code g) <- v
+let get_gpr t g = Bigarray.Array1.get t.gprs (Operand.gpr_code g)
+let set_gpr t g v = Bigarray.Array1.set t.gprs (Operand.gpr_code g) v
 
 let vreg_index = function
   | Operand.Xmm i | Operand.Ymm i -> i
@@ -69,7 +78,7 @@ let effective_address t { Operand.base; index; scale; disp } =
   base_v + index_v + disp
 
 let reset_registers t =
-  Array.fill t.gprs 0 16 0L;
+  Bigarray.Array1.fill t.gprs 0L;
   Array.iter (fun v -> Array.fill v 0 8 0.0) t.vregs;
   Array.fill t.x87 0 8 0.0;
   t.x87_top <- 0;

@@ -3,8 +3,13 @@
 open Hbbp_isa
 open Hbbp_program
 
+type regfile = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Unboxed integer register file: reads are a single load, writes a
+    single store — no allocation, no GC write barrier on the
+    executor's hottest path. *)
+
 type t = {
-  gprs : int64 array;  (** 16 general-purpose registers. *)
+  gprs : regfile;  (** 16 general-purpose registers. *)
   vregs : float array array;
       (** 16 vector registers of 8 lanes each.  Lane values are held as
           OCaml floats; packed-single ops use 4 (xmm) or 8 (ymm) lanes,

@@ -45,9 +45,16 @@ let emulation_cost (i : Instruction.t) =
   in
   base + memory
 
+(* Dense per-map leader index: [s_ids.(addr - s_base)] is the flat block
+   id of the leader at [addr], or -1.  The observer resolves every
+   retired instruction's address, so this must not be a hash lookup —
+   a range check plus an array load replaces hashing and the [Some]
+   allocation of [Hashtbl.find_opt] on the armed hot path. *)
+type seg = { s_base : int; s_limit : int; s_ids : int array }
+
 type t = {
   config : config;
-  leader_index : (int, int) Hashtbl.t;  (* block leader addr -> flat id *)
+  leaders : seg array;  (* sorted by base; one per map with blocks *)
   maps : Bb_map.t array;
   map_of_block : int array;  (* flat id -> index into maps *)
   local_id : int array;  (* flat id -> block id within its map *)
@@ -61,22 +68,35 @@ type t = {
 
 let create config maps =
   let maps = Array.of_list maps in
-  let leader_index = Hashtbl.create 4096 in
   let flat = ref [] in
   let flat_count = ref 0 in
+  let segs = ref [] in
   Array.iteri
     (fun map_idx map ->
-      Array.iter
-        (fun (b : Basic_block.t) ->
-          Hashtbl.replace leader_index b.addr !flat_count;
-          flat := (map_idx, b.id) :: !flat;
-          incr flat_count)
-        (Bb_map.blocks map))
+      let blocks = Bb_map.blocks map in
+      if Array.length blocks > 0 then begin
+        let lo = ref max_int and hi = ref min_int in
+        Array.iter
+          (fun (b : Basic_block.t) ->
+            if b.addr < !lo then lo := b.addr;
+            if b.addr > !hi then hi := b.addr)
+          blocks;
+        let ids = Array.make (!hi - !lo + 1) (-1) in
+        Array.iter
+          (fun (b : Basic_block.t) ->
+            ids.(b.addr - !lo) <- !flat_count;
+            flat := (map_idx, b.id) :: !flat;
+            incr flat_count)
+          blocks;
+        segs := { s_base = !lo; s_limit = !hi + 1; s_ids = ids } :: !segs
+      end)
     maps;
   let pairs = Array.of_list (List.rev !flat) in
+  let leaders = Array.of_list (List.rev !segs) in
+  Array.sort (fun a b -> compare a.s_base b.s_base) leaders;
   {
     config;
-    leader_index;
+    leaders;
     maps;
     map_of_block = Array.map fst pairs;
     local_id = Array.map snd pairs;
@@ -87,6 +107,20 @@ let create config maps =
     emulation_cycles = 0;
     native_cycles = 0;
   }
+
+(* Flat id of the block leader at [addr], or -1. *)
+let flat_of_addr t addr =
+  let segs = t.leaders in
+  let n = Array.length segs in
+  let rec find k =
+    if k = n then -1
+    else
+      let s = Array.unsafe_get segs k in
+      if addr >= s.s_base && addr < s.s_limit then
+        Array.unsafe_get s.s_ids (addr - s.s_base)
+      else find (k + 1)
+  in
+  find 0
 
 let observer t : Machine.observer =
  fun r ->
@@ -102,18 +136,19 @@ let observer t : Machine.observer =
     t.total <- Int64.add t.total 1L;
     t.emulation_cycles <-
       t.emulation_cycles + emulation_cost node.Exec_graph.instr;
-    match Hashtbl.find_opt t.leader_index node.Exec_graph.addr with
-    | Some flat ->
-        t.counts.(flat) <- t.counts.(flat) + 1;
-        t.emulation_cycles <- t.emulation_cycles + t.config.probe_cost
-    | None -> ()
+    let flat = flat_of_addr t node.Exec_graph.addr in
+    if flat >= 0 then begin
+      t.counts.(flat) <- t.counts.(flat) + 1;
+      t.emulation_cycles <- t.emulation_cycles + t.config.probe_cost
+    end
   end;
   t.native_cycles <- r.cycles
 
 let block_count t map (block : Basic_block.t) =
-  match Hashtbl.find_opt t.leader_index block.addr with
-  | Some flat when t.maps.(t.map_of_block.(flat)) == map -> t.counts.(flat)
-  | Some _ | None -> 0
+  match flat_of_addr t block.addr with
+  | flat when flat >= 0 && t.maps.(t.map_of_block.(flat)) == map ->
+      t.counts.(flat)
+  | _ -> 0
 
 let block_counts t =
   let out = ref [] in

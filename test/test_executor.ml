@@ -1,0 +1,247 @@
+(* Differential tests for the tiered executor: every engine (legacy
+   per-instruction loop, cached block closures, chained superblocks)
+   must retire a bit-identical stream.  Identity is checked at four
+   depths — run statistics, the full observer-visible retirement
+   stream (hashed), PMU sample archives byte for byte, and fused
+   pipeline reconstructions — over the bundled registry workloads,
+   tight-budget Runaway runs and seeded random synthetic programs. *)
+
+open Hbbp_cpu
+open Hbbp_core
+
+let checkb = Alcotest.(check bool)
+let engines = Machine.all_engines
+
+(* ------------------------------------------------------------------ *)
+(* Harness: run one engine, observer-armed, folding every field the
+   observer can see into a rolling hash.  The retirement record is a
+   reused scratch buffer, so the fold reads everything before
+   returning.  Runaway runs hash their whole prefix, so a budget-capped
+   comparison still checks stream identity instruction by
+   instruction.                                                        *)
+
+type outcome =
+  | Finished of Machine.run_stats
+  | Ran_away of int
+  | Faulted of string
+
+let mix h v = (h * 0x1000193) lxor v
+
+let run_hashed engine ?max_instructions (w : Workload.t) =
+  let machine = Machine.create ~process:w.Workload.live_process ~engine () in
+  let hash = ref 0x811c9dc5 and retired = ref 0 in
+  Machine.add_observer machine (fun r ->
+      incr retired;
+      let h = mix !hash r.Machine.node.Exec_graph.addr in
+      let h = mix h r.Machine.taken_src in
+      let h = mix h r.Machine.taken_tgt in
+      let h = mix h r.Machine.retired_index in
+      let h = mix h r.Machine.cycles in
+      hash := mix h (Bool.to_int r.Machine.shadow_active));
+  let outcome =
+    match Machine.run machine ~entry:w.Workload.entry ?max_instructions () with
+    | stats -> Finished stats
+    | exception Machine.Runaway n -> Ran_away n
+    | exception Machine.Machine_fault msg -> Faulted msg
+  in
+  (outcome, !hash, !retired)
+
+let run_bare engine ?max_instructions (w : Workload.t) =
+  let machine = Machine.create ~process:w.Workload.live_process ~engine () in
+  match Machine.run machine ~entry:w.Workload.entry ?max_instructions () with
+  | stats -> Finished stats
+  | exception Machine.Runaway n -> Ran_away n
+  | exception Machine.Machine_fault msg -> Faulted msg
+
+let pp_outcome = function
+  | Finished s ->
+      Printf.sprintf "finished retired=%d cycles=%d taken=%d kernel=%d"
+        s.Machine.retired s.Machine.cycles s.Machine.taken_branches
+        s.Machine.kernel_retired
+  | Ran_away n -> Printf.sprintf "runaway %d" n
+  | Faulted msg -> Printf.sprintf "fault %s" msg
+
+(* Compare every engine's (outcome, stream hash, retirement count)
+   against the legacy reference. *)
+let check_differential ~what ?max_instructions (w : Workload.t) =
+  let reference = run_hashed Machine.Legacy ?max_instructions w in
+  List.iter
+    (fun engine ->
+      let got = run_hashed engine ?max_instructions w in
+      let ro, rh, rn = reference and go, gh, gn = got in
+      if (ro, rh, rn) <> (go, gh, gn) then
+        Alcotest.failf "%s: %s engine diverged from legacy: %s / %s (%d vs %d \
+                        retirements, hash %x vs %x)"
+          what
+          (Machine.engine_name engine)
+          (pp_outcome go) (pp_outcome ro) gn rn gh rh)
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Registry sweep: every bundled workload, budget-capped so the suite
+   stays fast.  Workloads larger than the budget raise Runaway at the
+   same retirement in every engine (the due-by-N budgeting identity);
+   smaller ones finish and compare full stats.                         *)
+
+let test_registry_differential () =
+  List.iter
+    (fun name ->
+      let w = Hbbp_workloads.Registry.find name in
+      check_differential ~what:name ~max_instructions:400_000 w)
+    Hbbp_workloads.Registry.names
+
+(* Full, uncapped runs on the machine-bench set: short blocks (mcf),
+   branch/x87-heavy (test40), syscall-heavy (hello), SSE (fitter-sse). *)
+let bench_set = [ "mcf"; "test40"; "hello"; "fitter-sse" ]
+
+let test_bench_set_full_runs () =
+  List.iter
+    (fun name ->
+      let w = Hbbp_workloads.Registry.find name in
+      check_differential ~what:name w;
+      (* Bare runs (no observers) take the separate no-observer path;
+         their stats must match the armed stats too. *)
+      let armed, _, _ = run_hashed Machine.Legacy w in
+      List.iter
+        (fun engine ->
+          let bare = run_bare engine w in
+          if bare <> armed then
+            Alcotest.failf "%s: bare %s run disagrees with armed legacy: %s \
+                            vs %s"
+              name
+              (Machine.engine_name engine)
+              (pp_outcome bare) (pp_outcome armed))
+        engines)
+    bench_set
+
+(* Runaway budgeting: sweep awkward budgets (mid-block, block boundary,
+   budget 1) and require identical truncation points. *)
+let test_runaway_budgets () =
+  let w = Hbbp_workloads.Registry.find "hello" in
+  List.iter
+    (fun budget ->
+      check_differential
+        ~what:(Printf.sprintf "hello budget=%d" budget)
+        ~max_instructions:budget w)
+    [ 1; 2; 3; 7; 100; 1_001; 65_537 ]
+
+(* ------------------------------------------------------------------ *)
+(* Archive and reconstruction identity through the pipeline.           *)
+
+let config_for engine =
+  { Pipeline.default_config with Pipeline.engine; keep_records = true }
+
+let test_archives_byte_identical () =
+  List.iter
+    (fun name ->
+      let w = Hbbp_workloads.Registry.find name in
+      let bytes_of engine =
+        Hbbp_collector.Perf_data.to_bytes
+          (Pipeline.collect_archive ~config:(config_for engine) w)
+      in
+      let reference = bytes_of Machine.Legacy in
+      List.iter
+        (fun engine ->
+          checkb
+            (Printf.sprintf "%s: %s archive byte-identical to legacy" name
+               (Machine.engine_name engine))
+            true
+            (Bytes.equal (bytes_of engine) reference))
+        engines)
+    [ "hello"; "test40" ]
+
+let profiles_equal (a : Pipeline.profile) (b : Pipeline.profile) =
+  compare a.stats b.stats = 0
+  && compare a.pmu_health b.pmu_health = 0
+  && compare a.reference.counts b.reference.counts = 0
+  && compare a.ebs.Hbbp_analyzer.Ebs_estimator.bbec.counts
+       b.ebs.Hbbp_analyzer.Ebs_estimator.bbec.counts
+     = 0
+  && compare a.lbr.Hbbp_analyzer.Lbr_estimator.bbec.counts
+       b.lbr.Hbbp_analyzer.Lbr_estimator.bbec.counts
+     = 0
+  && compare a.hbbp.counts b.hbbp.counts = 0
+  && compare a.reference_mix b.reference_mix = 0
+  && compare a.pmu_counts b.pmu_counts = 0
+  && compare a.records b.records = 0
+  && compare a.quality b.quality = 0
+
+let test_reconstructions_identical () =
+  let w = Hbbp_workloads.Registry.find "hello" in
+  let reference = Pipeline.run ~config:(config_for Machine.Legacy) w in
+  List.iter
+    (fun engine ->
+      let p = Pipeline.run ~config:(config_for engine) w in
+      checkb
+        (Printf.sprintf "%s profile equals legacy" (Machine.engine_name engine))
+        true
+        (profiles_equal p reference))
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random-program fuzz: synthetic workloads spanning the
+   generator's space (block shapes, FP flavours, indirect calls,
+   long-latency density) must agree across engines, full-run.          *)
+
+let fuzz_params seed =
+  let module C = Hbbp_workloads.Codegen in
+  let bit n = Int64.(to_int (logand (shift_right_logical seed n) 1L)) = 1 in
+  let pick n k = Int64.(to_int (rem (shift_right_logical seed n) (of_int k))) in
+  {
+    C.blocks = 3 + pick 0 14;
+    mean_len = 2 + pick 4 9;
+    len_jitter = pick 8 4;
+    iterations = 200 + (100 * pick 10 8);
+    call_rate = float_of_int (pick 13 4) /. 8.0;
+    indirect_calls = bit 16;
+    profile =
+      {
+        C.fp =
+          [| C.No_fp; C.X87_fp; C.Sse_scalar_fp; C.Sse_packed_fp;
+             C.Avx_fp; C.Mixed_fp |].(pick 17 6);
+        fp_rate = float_of_int (pick 20 5) /. 8.0;
+        mem_rate = float_of_int (pick 23 5) /. 8.0;
+        long_rate = float_of_int (pick 26 3) /. 16.0;
+        simd_int_rate = float_of_int (pick 28 3) /. 8.0;
+      };
+  }
+
+let test_fuzz_random_programs () =
+  for i = 0 to 11 do
+    let seed = Int64.of_int ((i * 0x9e3779b9) + 1) in
+    let name = Printf.sprintf "fuzz%d" i in
+    let ctx = Hbbp_workloads.Codegen.create_ctx ~seed in
+    let funcs =
+      Hbbp_workloads.Codegen.synthetic_funcs ctx ~name:("f_" ^ name)
+        ~helpers:(1 + (i mod 3))
+        (fuzz_params seed)
+    in
+    let w = Hbbp_workloads.Codegen.user_workload ~name funcs in
+    check_differential ~what:name w
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "executor"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "registry sweep (capped)" `Quick
+            test_registry_differential;
+          Alcotest.test_case "bench set full runs + bare path" `Quick
+            test_bench_set_full_runs;
+          Alcotest.test_case "runaway budget sweep" `Quick test_runaway_budgets;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "archives byte-identical" `Quick
+            test_archives_byte_identical;
+          Alcotest.test_case "reconstructions identical" `Quick
+            test_reconstructions_identical;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "random programs" `Quick test_fuzz_random_programs;
+        ] );
+    ]
