@@ -93,6 +93,43 @@ let preload ?jobs:j () =
       Hashtbl.replace cache w.Workload.name p)
     entries profiles
 
+(* ---- unified BENCH_*.json header ----------------------------------- *)
+
+(* Every BENCH_*.json opens with the same header fields, so tooling that
+   trends results across commits can join the files on one schema
+   without per-bench special cases. *)
+let schema_version = 1
+
+let utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Best effort: benches must also run from an exported tree. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+(* The opening fields of a BENCH_*.json object (no surrounding braces,
+   no trailing comma); writers embed it as the first line after [{]. *)
+let json_header ~bench =
+  Printf.sprintf
+    {|"schema_version": %d,
+  "bench": "%s",
+  "utc": "%s",
+  "host_recommended_domains": %d,
+  "ocaml_version": "%s",
+  "git_rev": "%s"|}
+    schema_version bench (utc ())
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version (git_rev ())
+
 let avg_weighted_error p bbec =
   (Pipeline.error_report p bbec).Hbbp_core.Error.avg_weighted_error
 

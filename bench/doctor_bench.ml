@@ -1,0 +1,26 @@
+(* Doctor bench: runs the parallel-efficiency attribution on a small
+   workload and publishes the full report as BENCH_doctor.json, so the
+   scaling trajectory of the sharded analysis path is trended across
+   commits alongside the raw pipeline numbers. *)
+
+open Hbbp_core
+module U = Bench_util
+
+let run ppf =
+  U.header ppf "Doctor: sharded-analysis scaling (writes BENCH_doctor.json)";
+  let w = Hbbp_workloads.Registry.find "hello" in
+  let max_jobs = min 4 (Domain.recommended_domain_count ()) in
+  let report = Doctor.run ~max_jobs w in
+  Doctor.pp ppf report;
+  let oc = open_out "BENCH_doctor.json" in
+  Printf.fprintf oc {|{
+  %s,
+  "report": %s
+}
+|}
+    (U.json_header ~bench:"doctor")
+    (Doctor.to_json report);
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_doctor.json@.";
+  if not report.Doctor.rep_consistent then
+    failwith "BENCH doctor: reconstructions differ across job counts"

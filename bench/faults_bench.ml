@@ -139,7 +139,7 @@ let run ppf =
   let oc = open_out "BENCH_faults.json" in
   Printf.fprintf oc
     {|{
-  "bench": "faults",
+  %s,
   "workloads": %d,
   "rounds": %d,
   "baseline_s": %.4f,
@@ -153,6 +153,7 @@ let run ppf =
   "mild_tally": {%s}
 }
 |}
+    (U.json_header ~bench:"faults")
     (List.length ws) rounds !baseline_s !inert_s !mild_s inert_overhead
     mild_overhead hook_ns identical (List.length degraded)
     (String.concat ", "

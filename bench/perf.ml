@@ -186,8 +186,7 @@ let run ppf =
   in
   Printf.fprintf oc
     {|{
-  "bench": "pipeline",
-  "host_recommended_domains": %d,
+  %s,
   "oversubscribed": %b,
   "workloads": %d,
   "total_retired": %d,
@@ -201,7 +200,8 @@ let run ppf =
   "machine_run_retired_per_sec": { %s }
 }
 |}
-    recommended oversubscribed (List.length entries) retired seq_s
+    (U.json_header ~bench:"pipeline")
+    oversubscribed (List.length entries) retired seq_s
     (float_of_int retired /. seq_s)
     requested_jobs par_jobs par_s
     (float_of_int retired /. par_s)

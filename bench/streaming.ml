@@ -151,7 +151,7 @@ let run ppf =
   in
   Printf.fprintf oc
     {|{
-  "bench": "streaming",
+  %s,
   "workload": "%s",
   "records": %d,
   "ebs_period": %d,
@@ -163,6 +163,7 @@ let run ppf =
   "peak_ratio_batch_over_streaming": %.3f
 }
 |}
+    (U.json_header ~bench:"streaming")
     name n_records archive.Perf_data.ebs_period archive.Perf_data.lbr_period
     Perf_data.Stream.default_chunk_records (mode "batch" batch)
     (mode "streaming" streaming)

@@ -123,7 +123,7 @@ let run ppf =
   let oc = open_out "BENCH_telemetry.json" in
   Printf.fprintf oc
     {|{
-  "bench": "telemetry",
+  %s,
   "workloads": %d,
   "rounds": %d,
   "baseline_s": %.4f,
@@ -136,7 +136,17 @@ let run ppf =
   "profiles_identical": %b
 }
 |}
+    (U.json_header ~bench:"telemetry")
     (List.length ws) rounds !baseline_s !disabled_s !enabled_s
     disabled_overhead enabled_overhead span_ns !span_count identical;
   close_out oc;
-  Format.fprintf ppf "wrote BENCH_telemetry.json@."
+  Format.fprintf ppf "wrote BENCH_telemetry.json@.";
+  (* CI gate: disabled telemetry must be free.  The disabled series is
+     the baseline re-measured, so anything beyond 1% is a real
+     regression of the disabled fast path, not noise — fail loudly. *)
+  if disabled_overhead > 0.01 then
+    failwith
+      (Printf.sprintf
+         "BENCH telemetry: disabled-telemetry overhead %.2f%% exceeds the \
+          1%% budget"
+         (100.0 *. disabled_overhead))

@@ -85,7 +85,7 @@ let run ppf =
   let oc = open_out "BENCH_verifier.json" in
   Printf.fprintf oc
     {|{
-  "bench": "verifier",
+  %s,
   "lint": {
     "bytes": %d,
     "seconds_per_pass": %.6f,
@@ -100,6 +100,7 @@ let run ppf =
   }
 }
 |}
+    (U.json_header ~bench:"verifier")
     lint_bytes lint_seconds lint_mb_per_s
     archive.Hbbp_collector.Perf_data.workload_name
     (List.length archive.Hbbp_collector.Perf_data.records)

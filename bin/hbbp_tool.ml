@@ -54,11 +54,22 @@ let metrics_arg =
           "After the run, print the metrics-registry snapshot as $(b,json) \
            or $(b,table). Defaults to $(b,HBBP_METRICS) when set.")
 
+let metrics_stream_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-stream" ] ~docv:"FILE"
+        ~doc:
+          "While the run executes, append full metric-registry snapshots \
+           to $(docv) as JSONL (one object per line with a monotonic \
+           $(i,seq)), so long runs are observable before they finish. \
+           Defaults to $(b,HBBP_METRICS_STREAM) when set.")
+
 (* Arm telemetry before the work, flush it after (also on [die]/raise:
    [exit] does not run the finalizer, which is fine — a failed run has
    nothing worth flushing). *)
-let with_telemetry trace metrics f =
-  Telemetry.configure ?trace ?metrics ();
+let with_telemetry trace metrics stream f =
+  Telemetry.configure ?trace ?metrics ?metrics_stream:stream ();
   let v = f () in
   Telemetry.finalize Format.std_formatter;
   v
@@ -193,11 +204,11 @@ let config_with_engine engine =
   | Some engine -> { Pipeline.default_config with Pipeline.engine }
 
 let profile_cmd =
-  let run positional named jobs engine faults trace metrics =
+  let run positional named jobs engine faults trace metrics stream =
     let names = positional @ named in
     if names = [] then die "profile: no workload given (see 'hbbp list')";
     let ws = List.map find_workload names in
-    with_telemetry trace metrics @@ fun () ->
+    with_telemetry trace metrics stream @@ fun () ->
     with_faults faults @@ fun () ->
     let profiles =
       Pipeline.run_many ?jobs ~config:(config_with_engine engine) ws
@@ -220,7 +231,7 @@ let profile_cmd =
           multiple workloads run in parallel (-j)")
     Term.(
       const run $ workloads_pos_arg $ workload_opt_arg $ jobs_arg $ engine_arg
-      $ faults_arg $ trace_arg $ metrics_arg)
+      $ faults_arg $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 (* ---- mix ----------------------------------------------------------- *)
 
@@ -326,8 +337,8 @@ let train_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit graphviz instead of ASCII.")
   in
-  let run dot jobs faults trace metrics =
-    with_telemetry trace metrics @@ fun () ->
+  let run dot jobs faults trace metrics stream =
+    with_telemetry trace metrics stream @@ fun () ->
     with_faults faults @@ fun () ->
     let tree, dataset =
       Training.build ?jobs (Hbbp_workloads.Training_set.all ())
@@ -352,7 +363,7 @@ let train_cmd =
        ~doc:
          "Run the HBBP criteria search on the training corpus (profiled \
           in parallel, -j)")
-    Term.(const run $ dot $ jobs_arg $ faults_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ dot $ jobs_arg $ faults_arg $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 (* ---- collect / analyze --------------------------------------------- *)
 
@@ -374,10 +385,10 @@ let shards_arg =
            $(b,hbbp stats) to merge them back exactly.")
 
 let collect_cmd =
-  let run names output shards jobs engine faults trace metrics =
+  let run names output shards jobs engine faults trace metrics stream =
     if shards < 1 then die "collect: --shards must be at least 1";
     let ws = List.map find_workload names in
-    with_telemetry trace metrics @@ fun () ->
+    with_telemetry trace metrics stream @@ fun () ->
     with_faults faults @@ fun () ->
     let archives =
       Pipeline.collect_many ?jobs ~config:(config_with_engine engine) ws
@@ -413,7 +424,7 @@ let collect_cmd =
           over several archives")
     Term.(
       const run $ workloads_arg $ output_arg $ shards_arg $ jobs_arg
-      $ engine_arg $ faults_arg $ trace_arg $ metrics_arg)
+      $ engine_arg $ faults_arg $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 let archives_arg =
   Arg.(
@@ -429,8 +440,8 @@ let analyze_cmd =
   let top =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
   in
-  let run paths top trace metrics =
-    with_telemetry trace metrics @@ fun () ->
+  let run paths top trace metrics stream =
+    with_telemetry trace metrics stream @@ fun () ->
     match Pipeline.analyze_archives paths with
     | Error msg -> die "%s" msg
     | Ok (meta, r) ->
@@ -465,7 +476,7 @@ let analyze_cmd =
           bit-identical to analyzing the unsharded archive. Exits 2 when \
           the reconstruction is degraded, 1 when an archive is unreadable \
           or shard metadata disagrees")
-    Term.(const run $ archives_arg $ top $ trace_arg $ metrics_arg)
+    Term.(const run $ archives_arg $ top $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 (* ---- stats ---------------------------------------------------------- *)
 
@@ -524,9 +535,23 @@ let stats_cmd =
       r.Pipeline.r_quality;
     match r.Pipeline.r_quality with Pipeline.Full -> false | Pipeline.Degraded _ -> true
   in
-  let run paths trace metrics =
+  let health_arg =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "After the analysis, print the rolled-up health verdict \
+             (ok/warn/critical with reasons) assembled from the run's \
+             degrade.*, verify.*, lbr.*, pmu.*, faults.*, pool.* and \
+             gc.* metrics; a critical verdict also exits 2.")
+  in
+  let run paths health trace metrics stream =
     let degraded = ref false in
-    with_telemetry trace metrics (fun () ->
+    let critical = ref false in
+    (* The rollup reads the metrics registry, so --health turns it on
+       even when no snapshot printing was requested. *)
+    if health then Hbbp_telemetry.Metrics.enable ();
+    with_telemetry trace metrics stream (fun () ->
         (* Per-archive stats stream each file independently... *)
         List.iter
           (fun path ->
@@ -540,7 +565,7 @@ let stats_cmd =
            collection).  The merged verdict drives the exit code: shards
            that starve a channel individually can be healthy together. *)
         if List.length paths > 1 then
-          match Pipeline.analyze_archives paths with
+          (match Pipeline.analyze_archives paths with
           | Error msg ->
               Format.eprintf "hbbp: no merged view: %s@." msg
           | Ok (meta, r) ->
@@ -549,7 +574,14 @@ let stats_cmd =
                 print_stats
                   (Printf.sprintf "merged (%d archives)" (List.length paths))
                   meta r);
-    if !degraded then exit 2
+        if health then begin
+          let verdict = Telemetry.health () in
+          Format.printf "@.%a" Hbbp_telemetry.Health.pp verdict;
+          match verdict with
+          | Hbbp_telemetry.Health.Critical _ -> critical := true
+          | Hbbp_telemetry.Health.Ok | Hbbp_telemetry.Health.Warn _ -> ()
+        end);
+    if !degraded || !critical then exit 2
   in
   Cmd.v
     (Cmd.info "stats"
@@ -557,10 +589,13 @@ let stats_cmd =
          "Print collection and sampling-health statistics of archive(s), \
           streamed in bounded chunks: record volume, sample split, \
           stream-walk failure rate, bias flags, salvage/integrity status; \
-          several archives also report their merged reconstruction. Exits \
-          2 when the (merged) reconstruction is degraded, 1 when an \
-          archive is unreadable")
-    Term.(const run $ archives_arg $ trace_arg $ metrics_arg)
+          several archives also report their merged reconstruction, and \
+          $(b,--health) a rolled-up ok/warn/critical verdict. Exits 2 \
+          when the (merged) reconstruction is degraded or the verdict is \
+          critical, 1 when an archive is unreadable")
+    Term.(
+      const run $ archives_arg $ health_arg $ trace_arg $ metrics_arg
+      $ metrics_stream_arg)
 
 (* ---- lint ----------------------------------------------------------- *)
 
@@ -716,11 +751,11 @@ let lint_cmd =
           lr_flow = Some flow_report;
         }
   in
-  let run targets json flow trace metrics =
+  let run targets json flow trace metrics stream =
     let archives, workloads =
       List.partition Sys.file_exists targets
     in
-    with_telemetry trace metrics @@ fun () ->
+    with_telemetry trace metrics stream @@ fun () ->
     let results =
       List.map (lint_workload ~flow) workloads
       @ (if archives = [] then [] else [ lint_archives archives ])
@@ -761,7 +796,7 @@ let lint_cmd =
           agreement) and flow-check archive reconstructions against \
           Kirchhoff conservation. Exits 0 when clean, 2 on findings, 1 \
           when a target is unreadable")
-    Term.(const run $ targets $ json $ flow $ trace_arg $ metrics_arg)
+    Term.(const run $ targets $ json $ flow $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 (* ---- loops ---------------------------------------------------------- *)
 
@@ -775,6 +810,74 @@ let loops_cmd =
     (Cmd.info "loops"
        ~doc:"Natural loops with composition and estimated trip counts")
     Term.(const run $ workload_arg)
+
+(* ---- doctor --------------------------------------------------------- *)
+
+let doctor_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a machine-readable report on stdout: \
+             $(i,{\"reports\":[...]}) with one entry per workload.")
+  in
+  let max_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Try every job count from 1 to $(docv) (default: the host's \
+             recommended domain count, capped at 4).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shards to split the archive into, i.e. parallel task \
+             granularity (default: twice the maximum job count).")
+  in
+  let run positional named json max_jobs shards engine trace metrics stream =
+    let names =
+      match positional @ named with [] -> [ "mcf"; "hello" ] | ns -> ns
+    in
+    let ws = List.map find_workload names in
+    with_telemetry trace metrics stream @@ fun () ->
+    let reports =
+      List.map
+        (fun w ->
+          Doctor.run ?max_jobs ?shards ~config:(config_with_engine engine) w)
+        ws
+    in
+    if json then
+      print_endline
+        (Printf.sprintf "{\"reports\":[%s]}"
+           (String.concat "," (List.map Doctor.to_json reports)))
+    else
+      List.iteri
+        (fun k r ->
+          if k > 0 then Format.printf "@.";
+          Doctor.pp Format.std_formatter r)
+        reports;
+    if List.exists (fun r -> not r.Doctor.rep_consistent) reports then exit 2
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Attribute parallel (in)efficiency of the sharded analysis path: \
+          collect an archive, shard it, replay the stream→merge→finalize \
+          analysis at -j 1..N and report speedup, efficiency, the serial \
+          merge tail, per-worker utilization and busy-time imbalance, \
+          per-domain GC activity, task-size statistics and the top \
+          allocation sites by span. Defaults to the $(b,mcf) and \
+          $(b,hello) workloads. Exits 2 if any job count reconstructs \
+          different counts (determinism violation)")
+    Term.(
+      const run $ workloads_pos_arg $ workload_opt_arg $ json $ max_jobs
+      $ shards $ engine_arg $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 (* ---- capabilities --------------------------------------------------- *)
 
@@ -805,4 +908,4 @@ let () =
        (Cmd.group info
           [ list_cmd; profile_cmd; mix_cmd; bias_cmd; train_cmd;
             collect_cmd; analyze_cmd; stats_cmd; lint_cmd; loops_cmd;
-            capabilities_cmd ]))
+            doctor_cmd; capabilities_cmd ]))

@@ -1,0 +1,45 @@
+(** Health rollup: fold the metrics registry into one typed verdict.
+
+    Every subsystem reports its own trouble through metrics —
+    [degrade.*] (reconstruction quality), [verify.*] (flow
+    conservation), [lbr.*] / [pmu.*] (channel health), [faults.*]
+    (injected faults), [pool.*] (parallel efficiency), [gc.*] (memory
+    pressure).  {!evaluate} reads them back with one set of thresholds
+    so the CLI ([hbbp stats --health]) and CI ask a single question
+    instead of re-deriving cutoffs per caller. *)
+
+type status =
+  | Ok
+  | Warn of string list  (** Suspicious but usable; human-readable reasons. *)
+  | Critical of string list
+      (** The run's output should not be trusted (e.g. flow-conservation
+          violations).  Reasons list criticals first, then warnings. *)
+
+type thresholds = {
+  warn_stream_failure : float;
+      (** LBR stream failure rate that draws a warning; the default
+          mirrors the pipeline's own starvation cutoff (0.10). *)
+  crit_stream_failure : float;
+  warn_pool_utilization : float;
+      (** Pool utilization below this (with tasks executed) warns and
+          points at [hbbp doctor]. *)
+  warn_promotion_share : float;
+      (** promoted/allocated share above this warns of major-heap churn. *)
+  min_words_for_gc_verdict : float;
+      (** Allocation volume below which the GC ratio is not judged. *)
+}
+
+val default_thresholds : thresholds
+
+val evaluate : ?thresholds:thresholds -> Metrics.snapshot -> status
+
+val status_name : status -> string
+
+(** Criticals first, then warnings; [[]] for [Ok]. *)
+val reasons : status -> string list
+
+(** [{"status":"ok"|"warn"|"critical","reasons":[...]}] — no trailing
+    newline. *)
+val to_json : status -> string
+
+val pp : Format.formatter -> status -> unit

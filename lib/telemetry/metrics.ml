@@ -109,29 +109,47 @@ type value =
 
 type snapshot = (string * value) list
 
+(* Read one histogram consistently: the bucket array, count and sum are
+   separate atomics, so a concurrent [observe] can land between reads.
+   Re-read the count after the pass and retry while it moved; after
+   [max_tries] accept the last pass (the residual inconsistency is then
+   bounded by the updates of one in-flight [observe], i.e. one bucket
+   increment vs count/sum — never a torn value). *)
+let read_histogram h =
+  let max_tries = 8 in
+  let rec go tries =
+    let before = Atomic.get h.h_count in
+    let buckets = Array.map Atomic.get h.buckets in
+    let sum = Atomic.get h.h_sum in
+    let after = Atomic.get h.h_count in
+    if before = after || tries >= max_tries then
+      Histogram { bounds = Array.copy h.bounds; buckets; count = after; sum }
+    else go (tries + 1)
+  in
+  go 1
+
+(* Two phases: collect the metric handles under the registry lock, then
+   read every value in one tight allocation-light pass.  Cross-metric
+   skew is bounded by the duration of that pass (microseconds — no I/O,
+   no lock waits); each individual value is a single atomic read (plus
+   the histogram retry above), never torn. *)
 let snapshot () =
   Mutex.lock registry_lock;
-  let entries =
-    Hashtbl.fold
-      (fun name m acc ->
-        let v =
-          match m with
-          | M_counter c -> Counter (Atomic.get c.c)
-          | M_gauge g -> Gauge (Atomic.get g.g)
-          | M_histogram h ->
-              Histogram
-                {
-                  bounds = Array.copy h.bounds;
-                  buckets = Array.map Atomic.get h.buckets;
-                  count = Atomic.get h.h_count;
-                  sum = Atomic.get h.h_sum;
-                }
-        in
-        (name, v) :: acc)
-      registry []
-  in
+  let handles = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
   Mutex.unlock registry_lock;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  let handles =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) handles
+  in
+  List.map
+    (fun (name, m) ->
+      let v =
+        match m with
+        | M_counter c -> Counter (Atomic.get c.c)
+        | M_gauge g -> Gauge (Atomic.get g.g)
+        | M_histogram h -> read_histogram h
+      in
+      (name, v))
+    handles
 
 let find snapshot name = List.assoc_opt name snapshot
 
@@ -154,9 +172,11 @@ let json_float v =
     Printf.sprintf "%.1f" v
   else Printf.sprintf "%.17g" v
 
-let to_json snapshot =
+(* The bare {...} metrics object, for embedding (JSONL snapshot lines,
+   health payloads). *)
+let json_object snapshot =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"metrics\":{";
+  Buffer.add_string buf "{";
   List.iteri
     (fun k (name, v) ->
       if k > 0 then Buffer.add_string buf ",";
@@ -178,8 +198,11 @@ let to_json snapshot =
                (String.concat ","
                   (List.map string_of_int (Array.to_list buckets)))))
     snapshot;
-  Buffer.add_string buf "}}\n";
+  Buffer.add_string buf "}";
   Buffer.contents buf
+
+let to_json snapshot =
+  Printf.sprintf "{\"metrics\":%s}\n" (json_object snapshot)
 
 let hist_cell bounds buckets count sum =
   let mean = if count = 0 then 0.0 else sum /. float_of_int count in

@@ -60,7 +60,23 @@ type value =
 (** Sorted by metric name. *)
 type snapshot = (string * value) list
 
+(** One consistent pass over the registry: metric handles are collected
+    under the registry lock, then every value is read in a single tight
+    loop.  Each value is one atomic read; histograms re-read their
+    count around the bucket pass and retry while it moves, so a
+    histogram's [count]/[buckets]/[sum] agree unless an [observe] is
+    in flight for the entire retry window (at most one update of skew,
+    never a torn value).  Cross-metric skew is bounded by the duration
+    of the read pass itself — no I/O or lock waits happen inside it —
+    so a snapshot never mixes values from two distinct instants further
+    apart than that pass. *)
 val snapshot : unit -> snapshot
+
 val find : snapshot -> string -> value option
 val to_json : snapshot -> string
+
+(** The bare [{...}] metrics object without the [{"metrics": ...}]
+    wrapper or trailing newline — for embedding in JSONL stream lines
+    and health payloads. *)
+val json_object : snapshot -> string
 val pp_table : Format.formatter -> snapshot -> unit

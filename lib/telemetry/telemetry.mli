@@ -1,23 +1,47 @@
 (** Front-door configuration glue used by the CLI, the bench driver and
-    the examples: turn tracing/metrics on from explicit settings or the
-    [HBBP_TRACE] / [HBBP_METRICS] environment variables, and flush the
-    results once at the end of a run. *)
+    the examples: turn the observability subsystems on from explicit
+    settings or the environment, and flush everything once at the end of
+    a run.
+
+    Subsystems and their sources (explicit argument wins, then the
+    environment variable, then off):
+
+    - span tracing → Chrome trace file: [?trace] / [HBBP_TRACE=FILE]
+    - metrics snapshot printed at exit: [?metrics] / [HBBP_METRICS=json|table]
+    - continuous JSONL metric stream ({!Snapshot}): [?metrics_stream] /
+      [HBBP_METRICS_STREAM=FILE]
+    - runtime profiler ({!Runtime_profiler}): on automatically whenever
+      any of the above is armed; opt out with [~runtime_profile:false] /
+      [HBBP_RUNTIME_PROFILE=0], force on with [true] / [=1]
+    - allocation sampler: opt in with [~alloc_sample:true] /
+      [HBBP_ALLOC_SAMPLE=1] (or a sampling rate in (0,1]) *)
 
 type metrics_format = [ `Json | `Table ]
 
-(** [configure ?trace ?metrics ()] — enable tracing and/or metrics.
-    Explicit arguments win; absent ones fall back to the environment:
-    [HBBP_TRACE=FILE] sets the trace output path, [HBBP_METRICS=json]
-    or [=table] selects the snapshot format (anything else draws a
-    one-line warning on stderr and is ignored).  When neither source
-    sets a value, the corresponding subsystem stays off. *)
-val configure : ?trace:string -> ?metrics:metrics_format -> unit -> unit
+(** [configure ()] — arm the subsystems listed above.  Calling it again
+    re-applies (a second stream path reopens the stream; everything else
+    is idempotent). *)
+val configure :
+  ?trace:string ->
+  ?metrics:metrics_format ->
+  ?metrics_stream:string ->
+  ?stream_every_spans:int ->
+  ?stream_interval_s:float ->
+  ?runtime_profile:bool ->
+  ?alloc_sample:bool ->
+  unit ->
+  unit
 
-(** True when {!configure} armed tracing or metrics. *)
+(** True when {!configure} armed anything. *)
 val active : unit -> bool
 
-(** [finalize ppf] — write the trace file (if tracing was configured)
-    and print the metrics snapshot in the configured format to [ppf].
-    Idempotent: a second call without a new {!configure} does
-    nothing. *)
+(** The {!Health} verdict over the current metrics registry. *)
+val health : unit -> Health.status
+
+(** [finalize ppf] — flush and tear everything down: disable the
+    profiler, emit the final stream snapshot and close the stream, write
+    the trace file, print the metrics snapshot to [ppf], then disable
+    {e and reset} tracing and metrics.  After [finalize] an instrumented
+    span is a ~2 ns no-op again, and a later {!configure} starts from an
+    empty registry.  Idempotent. *)
 val finalize : Format.formatter -> unit

@@ -17,6 +17,13 @@ let utilization (s : worker_stats) =
   let total = s.busy_s +. s.wait_s in
   if total <= 0.0 then 0.0 else s.busy_s /. total
 
+type worker_timeline = { intervals : (float * float) array; dropped : int }
+
+(* Newest [timeline_capacity] task intervals are kept per worker; older
+   ones are counted in [dropped].  4096 tasks ≈ tens of full bench
+   sweeps — big enough that a drop means a genuinely task-stormy run. *)
+let timeline_capacity = 4096
+
 (* One accounting cell per worker (cell 0 doubles as the caller's cell
    on the single-job sequential path).  Workers update their own cell
    under the pool lock; [stats] reads under the same lock. *)
@@ -24,7 +31,19 @@ type cell = {
   mutable c_tasks : int;
   mutable c_busy_s : float;
   mutable c_wait_s : float;
+  (* Ring of (start, stop) gettimeofday pairs, oldest overwritten. *)
+  t_ring : (float * float) array;
+  mutable t_next : int;
+  mutable t_len : int;
+  mutable t_dropped : int;
 }
+
+(* Under the pool lock, alongside the busy/tasks update. *)
+let note_interval cell ~t0 ~t1 =
+  cell.t_ring.(cell.t_next) <- (t0, t1);
+  cell.t_next <- (cell.t_next + 1) mod timeline_capacity;
+  if cell.t_len < timeline_capacity then cell.t_len <- cell.t_len + 1
+  else cell.t_dropped <- cell.t_dropped + 1
 
 type t = {
   n_jobs : int;
@@ -61,10 +80,11 @@ let worker pool idx =
     | Some run ->
         let t0 = now () in
         let complete = run () in
-        let dt = now () -. t0 in
+        let t1 = now () in
         Mutex.lock pool.lock;
         cell.c_tasks <- cell.c_tasks + 1;
-        cell.c_busy_s <- cell.c_busy_s +. dt;
+        cell.c_busy_s <- cell.c_busy_s +. (t1 -. t0);
+        note_interval cell ~t0 ~t1;
         Mutex.unlock pool.lock;
         complete ();
         next ()
@@ -93,7 +113,15 @@ let create ?jobs () =
       workers = [];
       cells =
         Array.init n_jobs (fun _ ->
-            { c_tasks = 0; c_busy_s = 0.0; c_wait_s = 0.0 });
+            {
+              c_tasks = 0;
+              c_busy_s = 0.0;
+              c_wait_s = 0.0;
+              t_ring = Array.make timeline_capacity (0.0, 0.0);
+              t_next = 0;
+              t_len = 0;
+              t_dropped = 0;
+            });
     }
   in
   if n_jobs > 1 then
@@ -106,6 +134,27 @@ let stats pool =
   let out =
     Array.map
       (fun c -> { tasks = c.c_tasks; busy_s = c.c_busy_s; wait_s = c.c_wait_s })
+      pool.cells
+  in
+  Mutex.unlock pool.lock;
+  out
+
+let timeline pool =
+  Mutex.lock pool.lock;
+  let out =
+    Array.map
+      (fun c ->
+        (* Chronological: the ring's oldest entry sits at [t_next] once
+           it has wrapped, at 0 before. *)
+        let first =
+          if c.t_len < timeline_capacity then 0 else c.t_next
+        in
+        {
+          intervals =
+            Array.init c.t_len (fun k ->
+                c.t_ring.((first + k) mod timeline_capacity));
+          dropped = c.t_dropped;
+        })
       pool.cells
   in
   Mutex.unlock pool.lock;
@@ -133,6 +182,27 @@ let emit_metrics pool =
       all
   end
 
+(* Replay each worker's retained task intervals as a 0/1 "busy" counter
+   track, so Perfetto shows the pool's occupancy as square waves aligned
+   with the pipeline spans.  Counter tracks are keyed by name, so each
+   worker gets its own; timestamps come from the recorded wall-clock
+   pairs, not from emission time. *)
+let emit_timeline pool =
+  if Trace.enabled () then
+    Array.iteri
+      (fun k (tl : worker_timeline) ->
+        let name = Printf.sprintf "pool.worker%d.busy" k in
+        Array.iter
+          (fun (t0, t1) ->
+            Trace.counter ~ts_us:(Trace.us_of_abs t0) name [ ("busy", 1.0) ];
+            Trace.counter ~ts_us:(Trace.us_of_abs t1) name [ ("busy", 0.0) ])
+          tl.intervals;
+        if tl.dropped > 0 && Metrics.enabled () then
+          Metrics.add
+            (Metrics.counter (Printf.sprintf "pool.domain%d.timeline_dropped" k))
+            tl.dropped)
+      (timeline pool)
+
 let shutdown pool =
   Mutex.lock pool.lock;
   if pool.closed then Mutex.unlock pool.lock
@@ -142,7 +212,8 @@ let shutdown pool =
     Mutex.unlock pool.lock;
     List.iter Domain.join pool.workers;
     pool.workers <- [];
-    emit_metrics pool
+    emit_metrics pool;
+    emit_timeline pool
   end
 
 let map_array pool f xs =
@@ -158,8 +229,10 @@ let map_array pool f xs =
       (fun x ->
         let t0 = now () in
         let v = apply x in
+        let t1 = now () in
         cell.c_tasks <- cell.c_tasks + 1;
-        cell.c_busy_s <- cell.c_busy_s +. (now () -. t0);
+        cell.c_busy_s <- cell.c_busy_s +. (t1 -. t0);
+        note_interval cell ~t0 ~t1;
         v)
       xs
   end

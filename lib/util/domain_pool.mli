@@ -45,6 +45,21 @@ val jobs : t -> int
     per-domain [pool.domain<k>.*] metrics. *)
 val stats : t -> worker_stats array
 
+(** The newest {!timeline_capacity} task intervals of one worker,
+    oldest first, as absolute [Unix.gettimeofday] (start, stop) pairs;
+    [dropped] counts older intervals the ring has forgotten. *)
+type worker_timeline = { intervals : (float * float) array; dropped : int }
+
+val timeline_capacity : int
+
+(** [timeline pool] — per-worker task timelines, indexed like {!stats}
+    (the sequential path records into slot 0).  A consistent snapshot
+    under the pool lock.  When tracing is enabled, {!shutdown} replays
+    these intervals into the trace as per-worker [pool.worker<k>.busy]
+    0/1 counter tracks — the pool's occupancy rendered as square waves
+    aligned with the pipeline spans. *)
+val timeline : t -> worker_timeline array
+
 (** [map pool f xs] — apply [f] to every element, in parallel across the
     pool's workers, returning results in input order.  If one or more
     applications raise, the exception of the {e lowest-indexed} failing

@@ -6,6 +6,8 @@
 open Hbbp_core
 module Trace = Hbbp_telemetry.Trace
 module Metrics = Hbbp_telemetry.Metrics
+module Telemetry = Hbbp_telemetry.Telemetry
+module Profiler = Hbbp_telemetry.Runtime_profiler
 module Pool = Hbbp_util.Domain_pool
 
 let checkb = Alcotest.(check bool)
@@ -146,6 +148,22 @@ let test_trace_export_shape () =
   checkb "has thread metadata" true (contains "thread_name");
   checkb "escapes arg strings" true (contains "quo\\\"ted")
 
+let test_counter_and_instant_export () =
+  Trace.enable ();
+  Trace.counter "t.heap" [ ("words", 123.0); ("top", 456.0) ];
+  Trace.instant ~cat:"gc" "major";
+  checki "both events recorded" 2 (Trace.event_count ());
+  let json = Trace.export () in
+  let contains sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "counter event exported" true (contains "\"ph\":\"C\"");
+  checkb "counter series exported" true (contains "\"words\":123.000");
+  checkb "instant event exported" true (contains "\"ph\":\"i\"");
+  checkb "instant name exported" true (contains "\"major\"")
+
 let test_spans_across_domains () =
   Trace.enable ();
   Pool.with_pool ~jobs:3 (fun pool ->
@@ -247,6 +265,137 @@ let test_telemetry_does_not_change_profiles () =
   | Some (Metrics.Counter n) -> checki "runs counted" 2 n
   | _ -> Alcotest.fail "pipeline.runs counter missing"
 
+(* ------------------------------------------------------------------ *)
+(* Runtime profiler                                                    *)
+
+let test_profiler_gc_metrics () =
+  Metrics.enable ();
+  Profiler.enable ();
+  Fun.protect
+    ~finally:(fun () -> Profiler.disable ())
+    (fun () ->
+      Trace.with_span "rp-outer" (fun () ->
+          Trace.with_span "rp-inner" (fun () ->
+              (* Allocate enough that the quick_stat word delta is
+                 unmistakably nonzero. *)
+              ignore (Sys.opaque_identity (Array.init 100_000 string_of_int)))));
+  let snap = Metrics.snapshot () in
+  (match Metrics.find snap "gc.allocated_words" with
+  | Some (Metrics.Counter n) -> checkb "allocation accounted" true (n > 0)
+  | _ -> Alcotest.fail "gc.allocated_words counter missing");
+  (* Exclusive attribution: the allocation happened inside rp-inner, so
+     the inner span owns (nearly all of) it; rp-outer must not
+     double-count. *)
+  let span_words name =
+    match Metrics.find snap ("alloc.span." ^ name ^ ".words") with
+    | Some (Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let inner = span_words "rp-inner" and outer = span_words "rp-outer" in
+  checkb "inner span owns the allocation" true (inner > 100_000);
+  checkb "outer span does not double-count" true (outer < inner);
+  match Metrics.find snap "gc.heap_words" with
+  | Some (Metrics.Gauge v) -> checkb "heap gauge sampled" true (v > 0.0)
+  | _ -> Alcotest.fail "gc.heap_words gauge missing"
+
+let test_profiler_disabled_leaves_no_trace () =
+  Metrics.enable ();
+  Profiler.enable ();
+  Profiler.disable ();
+  Trace.with_span "rp-after" (fun () ->
+      ignore (Sys.opaque_identity (Array.make 1000 0)));
+  let snap = Metrics.snapshot () in
+  checkb "no gc metrics after disable" true
+    (Metrics.find snap "gc.allocated_words" = None)
+
+let test_sampler_armed_byte_identity () =
+  let ws = [ mk_workload ~seed:0xACEDL "samp-a" ] in
+  let off = List.map Pipeline.run ws in
+  Metrics.enable ();
+  Profiler.enable ();
+  let mode = Profiler.arm_sampler () in
+  let on =
+    Fun.protect
+      ~finally:(fun () ->
+        Profiler.disarm_sampler ();
+        Profiler.disable ())
+      (fun () -> List.map Pipeline.run ws)
+  in
+  checkb "sampler armed in some mode" true (mode <> Profiler.Sampler_off);
+  List.iter2
+    (fun a b ->
+      checkb "profiles byte-identical with sampler armed" true
+        (profiles_equal a b))
+    off on;
+  (* Whichever mode armed, the per-span allocation attribution must have
+     landed somewhere. *)
+  let snap = Metrics.snapshot () in
+  let any_span_alloc =
+    List.exists
+      (fun (name, v) ->
+        String.length name > 11
+        && String.sub name 0 11 = "alloc.span."
+        && (match v with Metrics.Counter n -> n > 0 | _ -> false))
+      snap
+  in
+  checkb "span allocation attributed" true any_span_alloc
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry.configure / finalize lifecycle                            *)
+
+let null_ppf =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let test_configure_finalize_lifecycle () =
+  let trace_path = Filename.temp_file "hbbp-test-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.finalize null_ppf;
+      Sys.remove trace_path)
+    (fun () ->
+      Telemetry.configure ~trace:trace_path ();
+      checkb "configure armed tracing" true (Trace.enabled ());
+      checkb "profiler auto-armed with a sink" true (Profiler.enabled ());
+      (* Double-configure: re-applying the same settings must not lose
+         already-recorded spans. *)
+      Trace.with_span "before-reconfigure" (fun () -> ());
+      Telemetry.configure ~trace:trace_path ();
+      Trace.with_span "after-reconfigure" (fun () -> ());
+      checkb "reconfigure keeps spans" true (Trace.span_count () >= 2);
+      Telemetry.finalize null_ppf;
+      (* finalize wrote the trace and tore everything down. *)
+      checkb "trace file written" true
+        (let ic = open_in trace_path in
+         let len = in_channel_length ic in
+         close_in ic;
+         len > 0);
+      checkb "tracing off after finalize" false (Trace.enabled ());
+      checkb "metrics off after finalize" false (Metrics.enabled ());
+      checkb "profiler off after finalize" false (Profiler.enabled ());
+      (* finalize-then-span: a silent no-op, nothing recorded. *)
+      Trace.with_span "ghost" (fun () -> ());
+      checki "no spans after finalize" 0 (Trace.span_count ());
+      (* finalize is idempotent. *)
+      Telemetry.finalize null_ppf;
+      (* Re-configure after finalize: starts from an empty registry. *)
+      Telemetry.configure ~trace:trace_path ();
+      checkb "re-armed after finalize" true (Trace.enabled ());
+      checki "fresh span buffer" 0 (Trace.span_count ());
+      Trace.with_span "reborn" (fun () -> ());
+      checki "recording again" 1 (Trace.span_count ()))
+
+let test_configure_metrics_only () =
+  Fun.protect
+    ~finally:(fun () -> Telemetry.finalize null_ppf)
+    (fun () ->
+      Telemetry.configure ~metrics:`Json ();
+      checkb "metrics armed" true (Metrics.enabled ());
+      checkb "tracing stays off" false (Trace.enabled ());
+      checkb "active" true (Telemetry.active ());
+      (* The health rollup over a clean registry is Ok. *)
+      checks "clean registry is healthy" "ok"
+        (Hbbp_telemetry.Health.status_name (Telemetry.health ())))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -267,8 +416,27 @@ let () =
             (clean test_span_survives_exception);
           Alcotest.test_case "export shape" `Quick
             (clean test_trace_export_shape);
+          Alcotest.test_case "counter and instant export" `Quick
+            (clean test_counter_and_instant_export);
           Alcotest.test_case "spans across domains" `Quick
             (clean test_spans_across_domains);
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "gc metrics at span boundaries" `Quick
+            (clean test_profiler_gc_metrics);
+          Alcotest.test_case "disable removes the probe" `Quick
+            (clean test_profiler_disabled_leaves_no_trace);
+          Alcotest.test_case "sampler armed keeps profiles byte-identical"
+            `Quick
+            (clean test_sampler_armed_byte_identity);
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "configure / finalize / re-configure" `Quick
+            (clean test_configure_finalize_lifecycle);
+          Alcotest.test_case "metrics-only configure and health" `Quick
+            (clean test_configure_metrics_only);
         ] );
       ( "pool_stats",
         [
