@@ -130,6 +130,15 @@ let json_header ~bench =
     (Domain.recommended_domain_count ())
     Sys.ocaml_version (git_rev ())
 
+(* Atomic publication of bench artifacts: format into memory, then
+   tmp+rename through Durable (no fsync — the overhead gates measure
+   the same machinery they guard).  A killed bench run never leaves a
+   torn BENCH_*.json behind for the trending tooling to choke on. *)
+let write_out path fmt =
+  Printf.ksprintf
+    (fun s -> Hbbp_durable.Durable.write_file ~fsync:false ~path s)
+    fmt
+
 let avg_weighted_error p bbec =
   (Pipeline.error_report p bbec).Hbbp_core.Error.avg_weighted_error
 

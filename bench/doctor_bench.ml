@@ -12,15 +12,13 @@ let run ppf =
   let max_jobs = min 4 (Domain.recommended_domain_count ()) in
   let report = Doctor.run ~max_jobs w in
   Doctor.pp ppf report;
-  let oc = open_out "BENCH_doctor.json" in
-  Printf.fprintf oc {|{
+  U.write_out "BENCH_doctor.json" {|{
   %s,
   "report": %s
 }
 |}
     (U.json_header ~bench:"doctor")
     (Doctor.to_json report);
-  close_out oc;
   Format.fprintf ppf "wrote BENCH_doctor.json@.";
   if not report.Doctor.rep_consistent then
     failwith "BENCH doctor: reconstructions differ across job counts"

@@ -136,8 +136,7 @@ let run ppf =
     tally;
   if not identical then
     failwith "BENCH faults: arming the inert plan changed profile bytes";
-  let oc = open_out "BENCH_faults.json" in
-  Printf.fprintf oc
+  U.write_out "BENCH_faults.json"
     {|{
   %s,
   "workloads": %d,
@@ -158,5 +157,4 @@ let run ppf =
     mild_overhead hook_ns identical (List.length degraded)
     (String.concat ", "
        (List.map (fun (k, n) -> Printf.sprintf {|"%s": %d|} k n) tally));
-  close_out oc;
   Format.fprintf ppf "wrote BENCH_faults.json@."

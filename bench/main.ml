@@ -35,13 +35,14 @@ let all : (string * (Format.formatter -> unit)) list =
     ("faults", Faults_bench.run);
     ("verifier", Verifier_bench.run);
     ("doctor", Doctor_bench.run);
+    ("recovery", Recovery_bench.run);
   ]
 
 (* Targets that never touch the profile cache; everything else benefits
    from the parallel preload. *)
 let no_sweep =
   [ "table2"; "table4"; "micro"; "pipeline"; "executor"; "streaming";
-    "telemetry"; "faults"; "verifier"; "doctor" ]
+    "telemetry"; "faults"; "verifier"; "doctor"; "recovery" ]
 
 let () =
   let ppf = Format.std_formatter in

@@ -166,7 +166,7 @@ let run ppf =
     Hbbp_cpu.Machine.all_engines;
   if not identical then
     failwith "BENCH pipeline: parallel profiles differ from sequential";
-  let oc = open_out "BENCH_pipeline.json" in
+
   let machine_json =
     String.concat ",\n"
       (List.map
@@ -184,7 +184,7 @@ let run ppf =
            Printf.sprintf {|"%s": %.0f|} name (engine_rate machine_runs name))
          Hbbp_cpu.Machine.all_engines)
   in
-  Printf.fprintf oc
+  U.write_out "BENCH_pipeline.json"
     {|{
   %s,
   "oversubscribed": %b,
@@ -206,7 +206,6 @@ let run ppf =
     requested_jobs par_jobs par_s
     (float_of_int retired /. par_s)
     speedup identical machine_json aggregate_json;
-  close_out oc;
   Format.fprintf ppf "wrote BENCH_pipeline.json@.";
   (* The sweep already profiled everything: seed the shared cache so any
      targets after this one in the same run are free. *)

@@ -47,9 +47,7 @@ let child role paths out =
   in
   let dt = now () -. t0 in
   let peak = (Gc.quick_stat ()).Gc.top_heap_words in
-  let oc = open_out out in
-  Printf.fprintf oc "%d %d %d %.6f\n" base peak records dt;
-  close_out oc;
+  Bench_util.write_out out "%d %d %d %.6f\n" base peak records dt;
   exit 0
 
 type measurement = {
@@ -142,14 +140,13 @@ let run ppf =
   Format.fprintf ppf "peak-heap ratio batch/streaming: %.2fx@." ratio;
   if batch.m_records <> n_records || streaming.m_records <> n_records then
     failwith "BENCH streaming: modes disagree on record count";
-  let oc = open_out "BENCH_streaming.json" in
   let mode label m =
     Printf.sprintf
       {|"%s": { "seconds": %.3f, "peak_heap_bytes": %d, "records_per_sec": %.0f }|}
       label m.seconds m.peak_bytes
       (float_of_int m.m_records /. m.seconds)
   in
-  Printf.fprintf oc
+  U.write_out "BENCH_streaming.json"
     {|{
   %s,
   "workload": "%s",
@@ -168,5 +165,4 @@ let run ppf =
     Perf_data.Stream.default_chunk_records (mode "batch" batch)
     (mode "streaming" streaming)
     (mode "sharded" sharded) ratio;
-  close_out oc;
   Format.fprintf ppf "wrote BENCH_streaming.json@."

@@ -120,8 +120,7 @@ let run ppf =
     identical;
   if not identical then
     failwith "BENCH telemetry: enabling telemetry changed profile bytes";
-  let oc = open_out "BENCH_telemetry.json" in
-  Printf.fprintf oc
+  U.write_out "BENCH_telemetry.json"
     {|{
   %s,
   "workloads": %d,
@@ -139,7 +138,6 @@ let run ppf =
     (U.json_header ~bench:"telemetry")
     (List.length ws) rounds !baseline_s !disabled_s !enabled_s
     disabled_overhead enabled_overhead span_ns !span_count identical;
-  close_out oc;
   Format.fprintf ppf "wrote BENCH_telemetry.json@.";
   (* CI gate: disabled telemetry must be free.  The disabled series is
      the baseline re-measured, so anything beyond 1% is a real

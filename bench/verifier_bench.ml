@@ -82,8 +82,7 @@ let run ppf =
     archive.Hbbp_collector.Perf_data.workload_name
     (List.length archive.Hbbp_collector.Perf_data.records)
     (100.0 *. flow_share);
-  let oc = open_out "BENCH_verifier.json" in
-  Printf.fprintf oc
+  U.write_out "BENCH_verifier.json"
     {|{
   %s,
   "lint": {
@@ -105,5 +104,4 @@ let run ppf =
     archive.Hbbp_collector.Perf_data.workload_name
     (List.length archive.Hbbp_collector.Perf_data.records)
     flow_seconds reconstruct_seconds flow_share;
-  close_out oc;
   Format.fprintf ppf "wrote BENCH_verifier.json@."

@@ -31,6 +31,32 @@ let find_workload name =
   | w -> w
   | exception Invalid_argument msg -> die "%s" msg
 
+(* ---- graceful shutdown --------------------------------------------- *)
+
+(* SIGINT/SIGTERM latch a flag; resumable commands poll it at safe
+   points (shard boundaries, archive boundaries), durably publish their
+   progress (manifest / checkpoint) and exit with the conventional
+   128+signal status.  The handlers only set the flag — all real work
+   happens on the main path, so no state is torn mid-write. *)
+let stop_signal = Atomic.make 0
+let should_stop () = Atomic.get stop_signal <> 0
+
+let install_signal_handlers () =
+  let arm s =
+    try ignore (Sys.signal s (Sys.Signal_handle (Atomic.set stop_signal)))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  arm Sys.sigint;
+  arm Sys.sigterm
+
+(* Flush telemetry (the [with_telemetry] finalizer never runs once we
+   [exit]) and leave with the typed shutdown status. *)
+let exit_interrupted ~hint =
+  Telemetry.finalize Format.std_formatter;
+  Format.eprintf "hbbp: interrupted; progress saved — %s@." hint;
+  let s = Atomic.get stop_signal in
+  exit (if s = Sys.sigterm then 143 else 130)
+
 let profile_of name = Pipeline.run (find_workload name)
 
 (* ---- telemetry flags ------------------------------------------------ *)
@@ -384,35 +410,82 @@ let shards_arg =
            analyzable archive; pass them all to $(b,hbbp analyze) or \
            $(b,hbbp stats) to merge them back exactly.")
 
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue an interrupted run from its durable progress record \
+           (collection manifest / analysis checkpoint) instead of \
+           starting over; the final output is byte-identical to an \
+           uninterrupted run.")
+
+(* Kill-window widener for the chaos harness: a per-shard publication
+   delay so an external SIGKILL reliably lands between shards. *)
+let shard_delay () =
+  match Sys.getenv_opt "HBBP_SHARD_DELAY" with
+  | None -> 0.0
+  | Some s -> ( match float_of_string_opt s with Some d -> d | None -> 0.0)
+
 let collect_cmd =
-  let run names output shards jobs engine faults trace metrics stream =
+  let run names output shards jobs engine faults resume trace metrics stream
+      =
     if shards < 1 then die "collect: --shards must be at least 1";
     let ws = List.map find_workload names in
+    install_signal_handlers ();
     with_telemetry trace metrics stream @@ fun () ->
     with_faults faults @@ fun () ->
-    let archives =
-      Pipeline.collect_many ?jobs ~config:(config_with_engine engine) ws
-    in
     let single = match names with [ _ ] -> true | _ -> false in
-    List.iter2
-      (fun name (archive : Hbbp_collector.Perf_data.t) ->
-        let path = if single then output else name ^ ".hbbp" in
-        let paths =
-          Hbbp_collector.Perf_data.save_sharded archive ~shards ~path
-        in
-        let n = List.length archive.Hbbp_collector.Perf_data.records in
-        List.iteri
-          (fun i p ->
-            (* The i-th shard holds the records in [lo, hi). *)
-            let lo = i * n / shards and hi = (i + 1) * n / shards in
-            Format.printf
-              "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@." p
-              (hi - lo)
-              (List.length archive.Hbbp_collector.Perf_data.analysis_images)
-              archive.Hbbp_collector.Perf_data.ebs_period
-              archive.Hbbp_collector.Perf_data.lbr_period)
-          paths)
-      names archives
+    let delay = shard_delay () in
+    if resume || delay > 0.0 then
+      (* Resumable path: each workload re-collects deterministically and
+         republishes only missing or torn shards, guided by the
+         manifest.  Sequential — shard reuse accounting and the chaos
+         kill window both want a single publication stream. *)
+      List.iter2
+        (fun name w ->
+          let path = if single then output else name ^ ".hbbp" in
+          match
+            Recover.collect_sharded ~config:(config_with_engine engine)
+              ~resume ~should_stop ~inter_shard_delay_s:delay ~shards ~path
+              w
+          with
+          | paths, statuses ->
+              List.iter2
+                (fun p status ->
+                  Format.printf "%s %s@."
+                    (match status with
+                    | Recover.Reused -> "reused"
+                    | Recover.Written -> "wrote")
+                    p)
+                paths statuses
+          | exception Recover.Interrupted ->
+              exit_interrupted ~hint:"rerun with --resume")
+        names ws
+    else begin
+      let archives =
+        Pipeline.collect_many ?jobs ~config:(config_with_engine engine) ws
+      in
+      List.iter2
+        (fun name (archive : Hbbp_collector.Perf_data.t) ->
+          let path = if single then output else name ^ ".hbbp" in
+          let paths =
+            Hbbp_collector.Perf_data.save_sharded archive ~shards ~path
+          in
+          let n = List.length archive.Hbbp_collector.Perf_data.records in
+          List.iteri
+            (fun i p ->
+              (* The i-th shard holds the records in [lo, hi). *)
+              let lo = i * n / shards and hi = (i + 1) * n / shards in
+              Format.printf
+                "wrote %s: %d records, %d images, EBS/LBR periods %d/%d@." p
+                (hi - lo)
+                (List.length archive.Hbbp_collector.Perf_data.analysis_images)
+                archive.Hbbp_collector.Perf_data.ebs_period
+                archive.Hbbp_collector.Perf_data.lbr_period)
+            paths)
+        names archives
+    end
   in
   Cmd.v
     (Cmd.info "collect"
@@ -421,10 +494,13 @@ let collect_cmd =
           portable perf.data-style archives; with several workloads the \
           collections run in parallel (-j) and each archive lands in \
           $(i,WORKLOAD).hbbp; $(b,--shards) splits each record stream \
-          over several archives")
+          over several archives. Shards are published atomically with a \
+          sidecar manifest; an interrupted collection continues with \
+          $(b,--resume), converging to byte-identical archives")
     Term.(
       const run $ workloads_arg $ output_arg $ shards_arg $ jobs_arg
-      $ engine_arg $ faults_arg $ trace_arg $ metrics_arg $ metrics_stream_arg)
+      $ engine_arg $ faults_arg $ resume_arg $ trace_arg $ metrics_arg
+      $ metrics_stream_arg)
 
 let archives_arg =
   Arg.(
@@ -436,13 +512,40 @@ let archives_arg =
            collection are streamed and merged into a single \
            reconstruction.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Save a durable analysis checkpoint to $(docv) after each \
+           consumed archive (default when resuming: \
+           $(i,FIRST_ARCHIVE).ckpt); $(b,--resume) restarts from it. \
+           Deleted automatically on success.")
+
 let analyze_cmd =
   let top =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
   in
-  let run paths top trace metrics stream =
+  let run paths top checkpoint resume trace metrics stream =
+    install_signal_handlers ();
     with_telemetry trace metrics stream @@ fun () ->
-    match Pipeline.analyze_archives paths with
+    let checkpoint =
+      match (checkpoint, resume) with
+      | (Some _ as c), _ -> c
+      | None, true -> Some (List.hd paths ^ ".ckpt")
+      | None, false -> None
+    in
+    let result =
+      match checkpoint with
+      | None -> Pipeline.analyze_archives paths
+      | Some checkpoint -> (
+          try
+            Recover.analyze_archives ~resume ~should_stop ~checkpoint paths
+          with Recover.Interrupted ->
+            exit_interrupted ~hint:"rerun with --resume")
+    in
+    match result with
     | Error msg -> die "%s" msg
     | Ok (meta, r) ->
         let partial = r.Pipeline.r_partial in
@@ -473,10 +576,14 @@ let analyze_cmd =
        ~doc:
          "Analyze archive(s) offline, streaming the records in bounded \
           chunks; several shards merge into one reconstruction, \
-          bit-identical to analyzing the unsharded archive. Exits 2 when \
-          the reconstruction is degraded, 1 when an archive is unreadable \
-          or shard metadata disagrees")
-    Term.(const run $ archives_arg $ top $ trace_arg $ metrics_arg $ metrics_stream_arg)
+          bit-identical to analyzing the unsharded archive. With \
+          $(b,--checkpoint) the merged state is durably checkpointed \
+          between archives and $(b,--resume) restarts from it. Exits 2 \
+          when the reconstruction is degraded, 1 when an archive is \
+          unreadable or shard metadata disagrees")
+    Term.(
+      const run $ archives_arg $ top $ checkpoint_arg $ resume_arg
+      $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
 (* ---- stats ---------------------------------------------------------- *)
 

@@ -95,6 +95,49 @@ module Acc = struct
       snapshots = a.snapshots + b.snapshots;
       deep_total = a.deep_total + b.deep_total;
     }
+
+  (* Checkpoint support.  Tables export as key-sorted assoc lists, so
+     the serialized form is deterministic however the table was
+     populated; [finalize] sorts its stats anyway, so import order
+     cannot perturb results. *)
+  type repr = {
+    r_entry0 : (int * int) list;
+    r_deep : (int * int) list;
+    r_adjacent : (int * int) list;
+    r_failed : (int * int) list;
+    r_snapshots : int;
+    r_deep_total : int;
+  }
+
+  let sorted_bindings table =
+    List.sort
+      (fun (a, _) (b, _) -> compare (a : int) b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+  let table_of_bindings bindings =
+    let t = Hashtbl.create (max 16 (List.length bindings)) in
+    List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings;
+    t
+
+  let export acc =
+    {
+      r_entry0 = sorted_bindings acc.entry0;
+      r_deep = sorted_bindings acc.deep;
+      r_adjacent = sorted_bindings acc.adjacent;
+      r_failed = sorted_bindings acc.failed;
+      r_snapshots = acc.snapshots;
+      r_deep_total = acc.deep_total;
+    }
+
+  let import r =
+    {
+      entry0 = table_of_bindings r.r_entry0;
+      deep = table_of_bindings r.r_deep;
+      adjacent = table_of_bindings r.r_adjacent;
+      failed = table_of_bindings r.r_failed;
+      snapshots = r.r_snapshots;
+      deep_total = r.r_deep_total;
+    }
 end
 
 let finalize ?(params = default_params) static (acc : Acc.acc) ~replay =

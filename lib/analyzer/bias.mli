@@ -54,6 +54,22 @@ module Acc : sig
 
   (** Pure: returns a fresh accumulator, inputs are unchanged. *)
   val merge : acc -> acc -> acc
+
+  (** Checkpoint support: per-branch tallies as key-sorted assoc lists
+      (deterministic serialization); [import (export acc)] is
+      behaviourally identical to [acc] — [finalize] sorts its stats,
+      so table iteration order never reaches the output. *)
+  type repr = {
+    r_entry0 : (int * int) list;
+    r_deep : (int * int) list;
+    r_adjacent : (int * int) list;
+    r_failed : (int * int) list;
+    r_snapshots : int;
+    r_deep_total : int;
+  }
+
+  val export : acc -> repr
+  val import : repr -> acc
 end
 
 (** [finalize static acc ~replay] — resolve flags from the merged

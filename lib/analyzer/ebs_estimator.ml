@@ -22,6 +22,11 @@ module Acc = struct
       raw = Array.init (Array.length a.raw) (fun gid -> a.raw.(gid) + b.raw.(gid));
       unattributed = a.unattributed + b.unattributed;
     }
+
+  (* Checkpoint support: the accumulator state is integers only, so a
+     round trip through export/import is exact. *)
+  let export acc = (Array.copy acc.raw, acc.unattributed)
+  let import (raw, unattributed) = { raw = Array.copy raw; unattributed }
 end
 
 let finalize static ~period (acc : Acc.acc) =

@@ -29,6 +29,12 @@ module Acc : sig
   (** Pure: returns a fresh accumulator, inputs are unchanged.
       @raise Invalid_argument when the block counts differ. *)
   val merge : acc -> acc -> acc
+
+  (** Checkpoint support: (per-block raw tallies, unattributed count).
+      [import (export acc)] is an exact copy. *)
+  val export : acc -> int array * int
+
+  val import : int array * int -> acc
 end
 
 (** [finalize static ~period acc] — scale the merged tally into a BBEC

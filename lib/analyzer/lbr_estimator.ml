@@ -97,6 +97,38 @@ module Acc = struct
       inconsistent = a.inconsistent + b.inconsistent;
       discarded = a.discarded + b.discarded;
     }
+
+  (* Checkpoint support: integer state only, so the round trip is
+     exact.  Empty rows stay empty (length 0), preserving the sparse
+     representation [merge] and [finalize] rely on. *)
+  type repr = {
+    r_total_blocks : int;
+    r_by_k : int array array;
+    r_snapshots : int;
+    r_usable : int;
+    r_inconsistent : int;
+    r_discarded : int;
+  }
+
+  let export acc =
+    {
+      r_total_blocks = acc.total_blocks;
+      r_by_k = Array.map Array.copy acc.by_k;
+      r_snapshots = acc.snapshots;
+      r_usable = acc.usable;
+      r_inconsistent = acc.inconsistent;
+      r_discarded = acc.discarded;
+    }
+
+  let import r =
+    {
+      total_blocks = r.r_total_blocks;
+      by_k = Array.map Array.copy r.r_by_k;
+      snapshots = r.r_snapshots;
+      usable = r.r_usable;
+      inconsistent = r.r_inconsistent;
+      discarded = r.r_discarded;
+    }
 end
 
 let finalize _static ~period (acc : Acc.acc) =

@@ -44,6 +44,22 @@ module Acc : sig
   (** Pure: returns a fresh accumulator, inputs are unchanged.
       @raise Invalid_argument when the block counts differ. *)
   val merge : acc -> acc -> acc
+
+  (** Checkpoint support: the full integer state of one accumulator.
+      Rows of [r_by_k] with length 0 are "no stream of that depth
+      seen" (the sparse representation); [import (export acc)] is an
+      exact copy. *)
+  type repr = {
+    r_total_blocks : int;
+    r_by_k : int array array;
+    r_snapshots : int;
+    r_usable : int;
+    r_inconsistent : int;
+    r_discarded : int;
+  }
+
+  val export : acc -> repr
+  val import : repr -> acc
 end
 
 (** [finalize static ~period acc] — convert the merged visit tallies to

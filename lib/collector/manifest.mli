@@ -1,0 +1,56 @@
+(** Sidecar manifest of a sharded collection.
+
+    Lives next to the archive at [<path>.manifest] and is rewritten
+    atomically after every published shard, so at any kill point it
+    names exactly the set of durably published shards.  [--resume]
+    reads it back, re-verifies each named shard by size and CRC-32,
+    and only re-collects what is missing or torn.
+
+    The format is line-oriented text:
+
+    {v hbbp-manifest v1
+       label mcf
+       shards 3
+       shard 0 15816 f0a1b2c3 trace.0of3.hbbp
+       shard 1 15704 9d8e7f60 trace.1of3.hbbp
+       shard 2 15790 01234567 trace.2of3.hbbp
+       complete v}
+
+    A manifest without the trailing [complete] line describes an
+    interrupted collection. *)
+
+type shard = {
+  index : int;
+  file : string;  (** Basename, relative to the archive's directory. *)
+  size : int;
+  crc32 : int;
+}
+
+type t = {
+  label : string;  (** Free-form (the workload name). *)
+  shards : int;
+  written : shard list;  (** Ascending index order. *)
+  complete : bool;
+}
+
+(** [path_for archive_path] — the sidecar path, [archive_path ^ ".manifest"]. *)
+val path_for : string -> string
+
+(** Describe one published shard (computes the CRC). *)
+val shard_of_bytes : index:int -> file:string -> bytes -> shard
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+(** Atomically (re)write the sidecar for [archive_path]. *)
+val save : t -> archive_path:string -> unit
+
+(** [None] when no sidecar exists. *)
+val load : archive_path:string -> (t, string) result option
+
+(** Does the named shard exist in [dir] with the recorded size and
+    CRC-32? *)
+val shard_ok : dir:string -> shard -> bool
+
+(** Indices of the written shards that verify on disk. *)
+val verified_indices : dir:string -> t -> int list

@@ -449,12 +449,15 @@ let of_bytes data =
     | v -> raise (Parse (Bad_version v))
   with Parse e -> Error e
 
+(* Durable publication: tmp + fsync + rename, so a kill at any byte
+   offset leaves the previous archive (or nothing) — never a torn
+   file.  Archive faults (bit flips / truncation) are applied to the
+   serialized bytes first, exactly as before: they model damage to the
+   data, not to the write path (that is the io.* family, injected
+   inside Durable itself). *)
 let save ?version t ~path =
   let data = Faults.mangle_archive (to_bytes ?version t) in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_bytes oc data)
+  Hbbp_durable.Durable.write_bytes ~path data
 
 let load ~path =
   let ic = open_in_bin path in
@@ -476,22 +479,44 @@ let shard_path path index shards =
   let stem = if ext = "" then path else Filename.remove_extension path in
   Printf.sprintf "%s.%dof%d%s" stem index shards ext
 
-let save_sharded ?version t ~shards ~path =
-  if shards < 1 then invalid_arg "Perf_data.save_sharded: shards < 1";
-  if shards = 1 then begin
-    save ?version t ~path;
-    [ path ]
-  end
+(* The exact bytes each shard would hold on disk (mangled per the
+   armed archive-fault plan, like [save]) without writing anything —
+   the unit of work resumable collection compares and publishes. *)
+let sharded_bytes ?version t ~shards ~path =
+  if shards < 1 then invalid_arg "Perf_data.sharded_bytes: shards < 1";
+  if shards = 1 then [ (path, Faults.mangle_archive (to_bytes ?version t)) ]
   else begin
     let records = Array.of_list t.records in
     let n = Array.length records in
     List.init shards (fun i ->
         let lo = i * n / shards and hi = (i + 1) * n / shards in
         let slice = Array.to_list (Array.sub records lo (hi - lo)) in
-        let p = shard_path path i shards in
-        save ?version { t with records = slice } ~path:p;
-        p)
+        ( shard_path path i shards,
+          Faults.mangle_archive (to_bytes ?version { t with records = slice })
+        ))
   end
+
+let save_sharded ?version t ~shards ~path =
+  let parts = sharded_bytes ?version t ~shards ~path in
+  let written =
+    List.mapi
+      (fun i (p, data) ->
+        Hbbp_durable.Durable.write_bytes ~path:p data;
+        Manifest.shard_of_bytes ~index:i ~file:(Filename.basename p) data)
+      parts
+  in
+  (* One progressive rewrite per shard would also be correct; a plain
+     [save_sharded] is not resumable, so a single complete manifest at
+     the end records the collection for later verification. *)
+  Manifest.save
+    {
+      Manifest.label = t.workload_name;
+      shards;
+      written;
+      complete = true;
+    }
+    ~archive_path:path;
+  List.map fst parts
 
 (* ------------------------------------------------------------------ *)
 (* Chunked streaming reader                                            *)

@@ -86,7 +86,9 @@ val to_bytes : ?version:int -> t -> bytes
     typed [Error] — never raises, whatever the input bytes. *)
 val of_bytes : bytes -> (read, error) result
 
-(** [save ?version t ~path] — write the archive.  When a fault plan with
+(** [save ?version t ~path] — write the archive atomically
+    ({!Hbbp_durable.Durable.write_bytes}: tmp + fsync + rename), so a
+    crash mid-write never leaves a torn file.  When a fault plan with
     archive faults is armed ({!Hbbp_faults.Faults.arm}), the serialized
     bytes are mangled (bit flips / truncation) before hitting disk. *)
 val save : ?version:int -> t -> path:string -> unit
@@ -101,10 +103,23 @@ val load : path:string -> (read, error) result
     returns the paths written.  ["trace.hbbp"] with 3 shards becomes
     ["trace.0of3.hbbp"] … ["trace.2of3.hbbp"]; with [shards = 1] the
     archive is written to [path] unchanged.  Concatenating the shards'
-    record streams in order reproduces [t.records] exactly.
+    record streams in order reproduces [t.records] exactly.  Each
+    shard is published atomically, and a complete {!Manifest} sidecar
+    is written last.
     @raise Invalid_argument when [shards < 1]. *)
 val save_sharded :
   ?version:int -> t -> shards:int -> path:string -> string list
+
+(** [shard_path path i shards] — the name of shard [i]:
+    ["trace.hbbp"] → ["trace.0of3.hbbp"]. *)
+val shard_path : string -> int -> int -> string
+
+(** [sharded_bytes ?version t ~shards ~path] — the exact
+    (path, bytes) each shard of {!save_sharded} would publish, without
+    touching the filesystem (archive-fault mangling included).  The
+    unit of comparison for resumable collection. *)
+val sharded_bytes :
+  ?version:int -> t -> shards:int -> path:string -> (string * bytes) list
 
 (** {1 Chunked streaming reader}
 

@@ -231,6 +231,295 @@ module Partial = struct
       lost = a.lost + b.lost;
       faults_rev = b.faults_rev @ a.faults_rev;
     }
+
+  (* ---------------------------------------------------------------- *)
+  (* Checkpoint serialization: the archive's v2 framing style — magic,
+     version byte, CRC-guarded length-prefixed sections — over the
+     accumulator state.  Everything in a partial is integer-domain
+     (tallies, counts, sorted assoc lists), so serialize/restore is an
+     exact round trip and a resumed analysis finalizes to the same
+     bytes as an uninterrupted one. *)
+
+  let magic = "HBBPPART"
+  let serialize_version = 1
+
+  let w_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+  let w_str buf s =
+    w_i64 buf (String.length s);
+    Buffer.add_string buf s
+
+  let section_code = function
+    | Perf_data.Header -> 0
+    | Perf_data.Images -> 1
+    | Perf_data.Kernel_text -> 2
+    | Perf_data.Records -> 3
+
+  let section_of_code = function
+    | 0 -> Some Perf_data.Header
+    | 1 -> Some Perf_data.Images
+    | 2 -> Some Perf_data.Kernel_text
+    | 3 -> Some Perf_data.Records
+    | _ -> None
+
+  let serialize t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf magic;
+    Buffer.add_uint8 buf serialize_version;
+    let section write_payload =
+      let p = Buffer.create 1024 in
+      write_payload p;
+      let payload = Buffer.to_bytes p in
+      w_i64 buf (Bytes.length payload);
+      w_i64 buf (Hbbp_util.Crc32.bytes payload);
+      Buffer.add_bytes buf payload
+    in
+    section (fun p ->
+        w_i64 p t.ebs_period;
+        w_i64 p t.lbr_period;
+        w_i64 p t.records;
+        w_i64 p t.ebs_samples;
+        w_i64 p t.lbr_snapshots;
+        w_i64 p t.other_samples;
+        w_i64 p t.lost);
+    section (fun p ->
+        let raw, unattributed = Ebs_estimator.Acc.export t.ebs_acc in
+        w_i64 p unattributed;
+        w_i64 p (Array.length raw);
+        Array.iter (w_i64 p) raw);
+    section (fun p ->
+        let r = Lbr_estimator.Acc.export t.lbr_acc in
+        w_i64 p r.Lbr_estimator.Acc.r_total_blocks;
+        w_i64 p r.Lbr_estimator.Acc.r_snapshots;
+        w_i64 p r.Lbr_estimator.Acc.r_usable;
+        w_i64 p r.Lbr_estimator.Acc.r_inconsistent;
+        w_i64 p r.Lbr_estimator.Acc.r_discarded;
+        let by_k = r.Lbr_estimator.Acc.r_by_k in
+        w_i64 p (Array.length by_k);
+        Array.iter
+          (fun row ->
+            w_i64 p (Array.length row);
+            Array.iter (w_i64 p) row)
+          by_k);
+    section (fun p ->
+        let r = Bias.Acc.export t.bias_acc in
+        w_i64 p r.Bias.Acc.r_snapshots;
+        w_i64 p r.Bias.Acc.r_deep_total;
+        let table bindings =
+          w_i64 p (List.length bindings);
+          List.iter
+            (fun (k, v) ->
+              w_i64 p k;
+              w_i64 p v)
+            bindings
+        in
+        table r.Bias.Acc.r_entry0;
+        table r.Bias.Acc.r_deep;
+        table r.Bias.Acc.r_adjacent;
+        table r.Bias.Acc.r_failed);
+    section (fun p ->
+        let faults = List.rev t.faults_rev in
+        w_i64 p (List.length faults);
+        List.iter
+          (fun f ->
+            match f with
+            | Perf_data.Checksum_mismatch s ->
+                Buffer.add_uint8 p 0;
+                Buffer.add_uint8 p (section_code s)
+            | Perf_data.Truncated_records { expected; salvaged } ->
+                Buffer.add_uint8 p 1;
+                w_i64 p (match expected with None -> -1 | Some e -> e);
+                w_i64 p salvaged
+            | Perf_data.Corrupt_records { index; reason; salvaged } ->
+                Buffer.add_uint8 p 2;
+                w_i64 p index;
+                w_i64 p salvaged;
+                w_str p reason)
+          faults);
+    Buffer.to_bytes buf
+
+  exception Bad of string
+
+  type cursor = { data : bytes; mutable pos : int; limit : int }
+
+  let need c n =
+    if c.pos + n > c.limit then raise (Bad "truncated checkpoint state")
+
+  let r_i64 c =
+    need c 8;
+    let v = Int64.to_int (Bytes.get_int64_le c.data c.pos) in
+    c.pos <- c.pos + 8;
+    v
+
+  let r_u8 c =
+    need c 1;
+    let v = Bytes.get_uint8 c.data c.pos in
+    c.pos <- c.pos + 1;
+    v
+
+  let r_str c =
+    let n = r_i64 c in
+    if n < 0 then raise (Bad "negative string length");
+    need c n;
+    let s = Bytes.sub_string c.data c.pos n in
+    c.pos <- c.pos + n;
+    s
+
+  let r_array c =
+    let n = r_i64 c in
+    if n < 0 then raise (Bad "negative array length");
+    Array.init n (fun _ -> r_i64 c)
+
+  (* One CRC-guarded section: bounds the cursor to the payload, runs
+     the parser, then checks the parser consumed exactly the payload. *)
+  let r_section c parse =
+    let len = r_i64 c in
+    if len < 0 then raise (Bad "negative section length");
+    let crc = r_i64 c in
+    need c len;
+    if Hbbp_util.Crc32.bytes ~off:c.pos ~len c.data <> crc then
+      raise (Bad "section CRC mismatch");
+    let sub = { data = c.data; pos = c.pos; limit = c.pos + len } in
+    let v = parse sub in
+    if sub.pos <> sub.limit then raise (Bad "trailing section bytes");
+    c.pos <- c.pos + len;
+    v
+
+  let restore ~static data =
+    try
+      if Bytes.length data < String.length magic + 1 then
+        raise (Bad "truncated header");
+      if
+        not
+          (String.equal
+             (Bytes.sub_string data 0 (String.length magic))
+             magic)
+      then raise (Bad "bad magic");
+      let c =
+        { data; pos = String.length magic; limit = Bytes.length data }
+      in
+      (match r_u8 c with
+      | v when v = serialize_version -> ()
+      | v -> raise (Bad (Printf.sprintf "unsupported version %d" v)));
+      let ebs_period, lbr_period, records, ebs_samples, lbr_snapshots,
+          other_samples, lost =
+        r_section c (fun s ->
+            let ebs_period = r_i64 s in
+            let lbr_period = r_i64 s in
+            let records = r_i64 s in
+            let ebs_samples = r_i64 s in
+            let lbr_snapshots = r_i64 s in
+            let other_samples = r_i64 s in
+            let lost = r_i64 s in
+            ( ebs_period, lbr_period, records, ebs_samples, lbr_snapshots,
+              other_samples, lost ))
+      in
+      let ebs_acc =
+        r_section c (fun s ->
+            let unattributed = r_i64 s in
+            let raw = r_array s in
+            if Array.length raw <> Static.total_blocks static then
+              raise (Bad "EBS block count does not match the static view");
+            Ebs_estimator.Acc.import (raw, unattributed))
+      in
+      let lbr_acc =
+        r_section c (fun s ->
+            let total_blocks = r_i64 s in
+            if total_blocks <> Static.total_blocks static then
+              raise (Bad "LBR block count does not match the static view");
+            let snapshots = r_i64 s in
+            let usable = r_i64 s in
+            let inconsistent = r_i64 s in
+            let discarded = r_i64 s in
+            let n_k = r_i64 s in
+            if n_k < 0 then raise (Bad "negative row count");
+            let by_k = Array.init n_k (fun _ -> r_array s) in
+            Array.iter
+              (fun row ->
+                let n = Array.length row in
+                if n <> 0 && n <> total_blocks then
+                  raise (Bad "LBR row length mismatch"))
+              by_k;
+            Lbr_estimator.Acc.import
+              {
+                Lbr_estimator.Acc.r_total_blocks = total_blocks;
+                r_by_k = by_k;
+                r_snapshots = snapshots;
+                r_usable = usable;
+                r_inconsistent = inconsistent;
+                r_discarded = discarded;
+              })
+      in
+      let bias_acc =
+        r_section c (fun s ->
+            let snapshots = r_i64 s in
+            let deep_total = r_i64 s in
+            let table () =
+              let n = r_i64 s in
+              if n < 0 then raise (Bad "negative table size");
+              List.init n (fun _ ->
+                  let k = r_i64 s in
+                  let v = r_i64 s in
+                  (k, v))
+            in
+            let entry0 = table () in
+            let deep = table () in
+            let adjacent = table () in
+            let failed = table () in
+            Bias.Acc.import
+              {
+                Bias.Acc.r_entry0 = entry0;
+                r_deep = deep;
+                r_adjacent = adjacent;
+                r_failed = failed;
+                r_snapshots = snapshots;
+                r_deep_total = deep_total;
+              })
+      in
+      let faults =
+        r_section c (fun s ->
+            let n = r_i64 s in
+            if n < 0 then raise (Bad "negative fault count");
+            List.init n (fun _ ->
+                match r_u8 s with
+                | 0 -> (
+                    let code = r_u8 s in
+                    match section_of_code code with
+                    | Some sec -> Perf_data.Checksum_mismatch sec
+                    | None ->
+                        raise (Bad (Printf.sprintf "bad section code %d" code)))
+                | 1 ->
+                    let expected = r_i64 s in
+                    let salvaged = r_i64 s in
+                    Perf_data.Truncated_records
+                      {
+                        expected = (if expected < 0 then None else Some expected);
+                        salvaged;
+                      }
+                | 2 ->
+                    let index = r_i64 s in
+                    let salvaged = r_i64 s in
+                    let reason = r_str s in
+                    Perf_data.Corrupt_records { index; reason; salvaged }
+                | t -> raise (Bad (Printf.sprintf "bad fault tag %d" t))))
+      in
+      if c.pos <> c.limit then raise (Bad "trailing bytes");
+      Ok
+        {
+          static;
+          ebs_period;
+          lbr_period;
+          ebs_acc;
+          lbr_acc;
+          bias_acc;
+          records;
+          ebs_samples;
+          lbr_snapshots;
+          other_samples;
+          lost;
+          faults_rev = List.rev faults;
+        }
+    with Bad msg -> Error msg
 end
 
 type reconstruction = {

@@ -173,6 +173,26 @@ module Partial : sig
   val other_samples : t -> int
   val lost_records : t -> int
   val faults : t -> Perf_data.fault list
+
+  (** {2 Checkpointing}
+
+      A partial serializes to a versioned, CRC-guarded binary blob
+      (the archive's v2 section framing over the accumulator state).
+      The state is integer-domain throughout, so
+      [restore ~static (serialize p)] rebuilds a partial that
+      finalizes {e byte-identically} to [p] — the property [--resume]
+      rests on. *)
+
+  (** Serialize the full accumulator state (everything except the
+      static view, which the restorer supplies). *)
+  val serialize : t -> bytes
+
+  (** [restore ~static data] — rebuild a partial over [static] (which
+      must describe the same program the serialized partial was
+      accumulated against — block counts are checked).  Returns a
+      typed error on damage: bad magic/version, CRC mismatch,
+      truncation, or a block-count mismatch. *)
+  val restore : static:Static.t -> bytes -> (t, string) result
 end
 
 type reconstruction = {

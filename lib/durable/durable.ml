@@ -1,0 +1,132 @@
+(* Atomic whole-file publication: write a sibling tmp file, fsync it,
+   rename over the destination.  POSIX rename is atomic within a
+   filesystem, so a reader (or a crash) sees either the old complete
+   file or the new complete file — never a torn mix.
+
+   The [io.*] fault family injects syscall-level failures here:
+   ENOSPC aborts the write (tmp removed, typed error raised), EINTR
+   and short writes are absorbed by the write loop, and transient
+   fsync/rename failures are retried through [Retry]. *)
+
+module Faults = Hbbp_faults.Faults
+
+exception No_space of string
+
+let () =
+  Printexc.register_printer (function
+    | No_space path -> Some (Printf.sprintf "Durable.No_space(%S)" path)
+    | _ -> None)
+
+let writes_cell = Atomic.make 0
+let bytes_cell = Atomic.make 0
+
+let tally () =
+  let w = Atomic.get writes_cell and b = Atomic.get bytes_cell in
+  (if w > 0 then [ ("durable.writes", w) ] else [])
+  @ if b > 0 then [ ("durable.bytes", b) ] else []
+
+let reset_tally () =
+  Atomic.set writes_cell 0;
+  Atomic.set bytes_cell 0
+
+let tmp_suffix = ".tmp"
+
+(* Unique per process so concurrent writers of the same path never
+   share a staging file; [remove_stale ~path] matches on the prefix. *)
+let tmp_path path = Printf.sprintf "%s%s.%d" path tmp_suffix (Unix.getpid ())
+
+let remove_stale ~path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ tmp_suffix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun n entry ->
+          if String.starts_with ~prefix entry then begin
+            (try Sys.remove (Filename.concat dir entry) with Sys_error _ -> ());
+            n + 1
+          end
+          else n)
+        0 entries
+
+(* Flush the directory so the rename itself survives a crash.  Not all
+   filesystems support fsync on a directory fd; failure is harmless
+   (the data file is already durable). *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let write_file ?(fsync = true) ?retry ~path contents =
+  let inj = Faults.io_injector () in
+  let policy = Option.value retry ~default:Retry.default in
+  let tmp = tmp_path path in
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  let cleanup () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    try Sys.remove tmp with Sys_error _ -> ()
+  in
+  match
+    (match inj with
+    | Some i when Faults.io_enospc i ->
+        raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp))
+    | _ -> ());
+    let len = String.length contents in
+    let pos = ref 0 in
+    while !pos < len do
+      let remaining = len - !pos in
+      let wrote =
+        try
+          (match inj with
+          | Some i when Faults.io_eintr i ->
+              raise (Unix.Unix_error (Unix.EINTR, "write", tmp))
+          | _ -> ());
+          let chunk =
+            match inj with
+            | Some i -> (
+                match Faults.io_short_write i ~len:remaining with
+                | Some n -> n
+                | None -> remaining)
+            | None -> remaining
+          in
+          Unix.write_substring fd contents !pos chunk
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      pos := !pos + wrote
+    done;
+    if fsync then
+      Retry.with_retry ~policy (fun () ->
+          (match inj with
+          | Some i when Faults.io_fsync_fail i ->
+              raise (Unix.Unix_error (Unix.EBUSY, "fsync", tmp))
+          | _ -> ());
+          Unix.fsync fd);
+    Unix.close fd;
+    Retry.with_retry ~policy (fun () ->
+        (match inj with
+        | Some i when Faults.io_rename_fail i ->
+            raise (Unix.Unix_error (Unix.EBUSY, "rename", tmp))
+        | _ -> ());
+        Unix.rename tmp path);
+    if fsync then fsync_dir (Filename.dirname path)
+  with
+  | () ->
+      ignore (Atomic.fetch_and_add writes_cell 1);
+      ignore (Atomic.fetch_and_add bytes_cell (String.length contents))
+  | exception Unix.Unix_error (Unix.ENOSPC, _, _) ->
+      cleanup ();
+      raise (No_space path)
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      cleanup ();
+      Printexc.raise_with_backtrace e bt
+
+let write_bytes ?fsync ?retry ~path data =
+  write_file ?fsync ?retry ~path (Bytes.unsafe_to_string data)

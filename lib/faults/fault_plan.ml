@@ -18,7 +18,21 @@ type collector = {
 
 type archive = { bit_flips : int; truncate_at : int }
 
-type t = { seed : int64; pmu : pmu; collector : collector; archive : archive }
+type io = {
+  enospc_rate : float;
+  partial_write_rate : float;
+  eintr_rate : float;
+  rename_fail_rate : float;
+  fsync_fail_rate : float;
+}
+
+type t = {
+  seed : int64;
+  pmu : pmu;
+  collector : collector;
+  archive : archive;
+  io : io;
+}
 
 let none =
   {
@@ -42,6 +56,14 @@ let none =
         reorder_window = 0;
       };
     archive = { bit_flips = 0; truncate_at = 0 };
+    io =
+      {
+        enospc_rate = 0.0;
+        partial_write_rate = 0.0;
+        eintr_rate = 0.0;
+        rename_fail_rate = 0.0;
+        fsync_fail_rate = 0.0;
+      };
   }
 
 let pmu_active p =
@@ -56,6 +78,10 @@ let collector_active c =
   || c.drop_sample_rate > 0.0 || c.reorder_window > 1
 
 let archive_active a = a.bit_flips > 0 || a.truncate_at <> 0
+
+let io_active i =
+  i.enospc_rate > 0.0 || i.partial_write_rate > 0.0 || i.eintr_rate > 0.0
+  || i.rename_fail_rate > 0.0 || i.fsync_fail_rate > 0.0
 
 (* ------------------------------------------------------------------ *)
 (* Spec strings                                                        *)
@@ -81,6 +107,7 @@ let parse_int key v =
 
 let apply plan key v =
   let p = plan.pmu and c = plan.collector and a = plan.archive in
+  let i = plan.io in
   match key with
   | "seed" -> (
       match Int64.of_string_opt v with
@@ -128,6 +155,21 @@ let apply plan key v =
   | "arch.truncate" ->
       let* n = parse_int key v in
       Ok { plan with archive = { a with truncate_at = n } }
+  | "io.enospc" ->
+      let* f = parse_rate key v in
+      Ok { plan with io = { i with enospc_rate = f } }
+  | "io.partial_write" ->
+      let* f = parse_rate key v in
+      Ok { plan with io = { i with partial_write_rate = f } }
+  | "io.eintr" ->
+      let* f = parse_rate key v in
+      Ok { plan with io = { i with eintr_rate = f } }
+  | "io.rename_fail" ->
+      let* f = parse_rate key v in
+      Ok { plan with io = { i with rename_fail_rate = f } }
+  | "io.fsync_fail" ->
+      let* f = parse_rate key v in
+      Ok { plan with io = { i with fsync_fail_rate = f } }
   | _ -> Error (Printf.sprintf "unknown fault key %S" key)
 
 let of_string spec =
@@ -176,6 +218,12 @@ let to_string t =
   let a = t.archive in
   if a.bit_flips > 0 then put "arch.flips=%d" a.bit_flips;
   if a.truncate_at <> 0 then put "arch.truncate=%d" a.truncate_at;
+  let i = t.io in
+  if i.enospc_rate > 0.0 then put "io.enospc=%g" i.enospc_rate;
+  if i.partial_write_rate > 0.0 then put "io.partial_write=%g" i.partial_write_rate;
+  if i.eintr_rate > 0.0 then put "io.eintr=%g" i.eintr_rate;
+  if i.rename_fail_rate > 0.0 then put "io.rename_fail=%g" i.rename_fail_rate;
+  if i.fsync_fail_rate > 0.0 then put "io.fsync_fail=%g" i.fsync_fail_rate;
   if Buffer.length b = 0 then "seed=1" else Buffer.contents b
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -13,7 +13,11 @@
       reordering within a bounded window (what a lossy ring buffer and
       an unsynchronised reader do to a perf.data stream);
     - {b archive}: bit flips at seeded offsets and truncation of the
-      serialized archive (torn writes, bad storage).
+      serialized archive (torn writes, bad storage);
+    - {b io}: transient and permanent syscall-level failures at the
+      durable write paths ([ENOSPC], short writes, [EINTR], failed
+      [rename]/[fsync]) — what a full, slow, or flaky filesystem does
+      to an unattended collector.
 
     Plans parse from compact [key=value] spec strings (the [--faults]
     CLI flag and the [HBBP_FAULTS] environment variable):
@@ -21,7 +25,9 @@
     {v seed=7,pmu.drop=0.05,pmu.burst_every=50,pmu.burst_len=4,
        pmu.skid=2,pmu.jitter=3,lbr.truncate=8,lbr.stuck=0.05,
        lbr.misrotate=0.02,rec.drop_sample=0.02,rec.drop_mmap=0.5,
-       rec.drop_comm=1.0,rec.reorder=16,arch.flips=3,arch.truncate=-100 v} *)
+       rec.drop_comm=1.0,rec.reorder=16,arch.flips=3,arch.truncate=-100,
+       io.enospc=0.1,io.partial_write=0.2,io.eintr=0.3,
+       io.rename_fail=0.05,io.fsync_fail=0.05 v} *)
 
 type pmu = {
   drop_rate : float;  (** Probability a delivered sample record is lost. *)
@@ -54,7 +60,26 @@ type archive = {
           bytes off the end; 0: off. *)
 }
 
-type t = { seed : int64; pmu : pmu; collector : collector; archive : archive }
+type io = {
+  enospc_rate : float;
+      (** Probability a durable write fails with "no space left". *)
+  partial_write_rate : float;
+      (** Probability a [write] syscall is cut short (retried by the
+          write loop, so data is never lost — only extra syscalls). *)
+  eintr_rate : float;  (** Probability a [write] reports [EINTR]. *)
+  rename_fail_rate : float;
+      (** Probability the atomic publish [rename] fails transiently. *)
+  fsync_fail_rate : float;
+      (** Probability an [fsync] fails transiently. *)
+}
+
+type t = {
+  seed : int64;
+  pmu : pmu;
+  collector : collector;
+  archive : archive;
+  io : io;
+}
 
 (** The inert plan: all rates and counts zero.  Arming it is
     behaviourally identical to not arming anything. *)
@@ -63,6 +88,7 @@ val none : t
 val pmu_active : pmu -> bool
 val collector_active : collector -> bool
 val archive_active : archive -> bool
+val io_active : io -> bool
 
 (** [of_string spec] — parse a comma-separated [key=value] spec (see
     above; unknown keys, malformed values, and out-of-range rates are

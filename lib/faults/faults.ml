@@ -24,6 +24,11 @@ let tally_names =
     "records.reordered_windows";
     "archive.bit_flips";
     "archive.truncated_bytes";
+    "io.enospc";
+    "io.partial_write";
+    "io.eintr";
+    "io.rename_fail";
+    "io.fsync_fail";
   ]
 
 let cells : (string * int Atomic.t) list =
@@ -181,6 +186,52 @@ let apply_stream inj ~classify records =
     else kept
   in
   (kept, !dropped)
+
+(* ------------------------------------------------------------------ *)
+(* IO layer                                                            *)
+
+type io_injector = { io : Fault_plan.io; iprng : Fault_prng.t }
+
+let io_injector () =
+  match Atomic.get current with
+  | Some p when Fault_plan.io_active p.Fault_plan.io ->
+      Some
+        {
+          io = p.Fault_plan.io;
+          (* Offset the seed so IO draws never mirror the other layers. *)
+          iprng = Fault_prng.create ~seed:(Int64.add p.Fault_plan.seed 0x10ADL);
+        }
+  | Some _ | None -> None
+
+let io_enospc inj =
+  let hit = Fault_prng.bool inj.iprng inj.io.Fault_plan.enospc_rate in
+  if hit then bump "io.enospc" 1;
+  hit
+
+(* A short write keeps at least one byte of progress so the retrying
+   write loop always terminates. *)
+let io_short_write inj ~len =
+  if len > 1 && Fault_prng.bool inj.iprng inj.io.Fault_plan.partial_write_rate
+  then begin
+    bump "io.partial_write" 1;
+    Some (1 + Fault_prng.int inj.iprng (len - 1))
+  end
+  else None
+
+let io_eintr inj =
+  let hit = Fault_prng.bool inj.iprng inj.io.Fault_plan.eintr_rate in
+  if hit then bump "io.eintr" 1;
+  hit
+
+let io_rename_fail inj =
+  let hit = Fault_prng.bool inj.iprng inj.io.Fault_plan.rename_fail_rate in
+  if hit then bump "io.rename_fail" 1;
+  hit
+
+let io_fsync_fail inj =
+  let hit = Fault_prng.bool inj.iprng inj.io.Fault_plan.fsync_fail_rate in
+  if hit then bump "io.fsync_fail" 1;
+  hit
 
 (* ------------------------------------------------------------------ *)
 (* Archive layer                                                       *)

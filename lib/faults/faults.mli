@@ -68,6 +68,33 @@ type record_class = Rec_comm | Rec_mmap | Rec_sample | Rec_other
 val apply_stream :
   stream_injector -> classify:('a -> record_class) -> 'a list -> 'a list * int
 
+(** {1 IO layer}
+
+    Seeded failure decisions for the durable write paths (see
+    [Durable]).  One injector is created per durable operation, so
+    decisions are deterministic in the (plan seed, op order) pair. *)
+
+type io_injector
+
+(** [None] when disarmed or the armed plan has no [io.*] faults. *)
+val io_injector : unit -> io_injector option
+
+(** Should this durable write fail as if the disk were full? *)
+val io_enospc : io_injector -> bool
+
+(** [io_short_write inj ~len] — [Some n] (with [1 <= n < len]) to cut
+    one [write] syscall short, [None] to let it through whole. *)
+val io_short_write : io_injector -> len:int -> int option
+
+(** Should this [write] report [EINTR]? *)
+val io_eintr : io_injector -> bool
+
+(** Should the atomic publish [rename] fail transiently? *)
+val io_rename_fail : io_injector -> bool
+
+(** Should this [fsync] fail transiently? *)
+val io_fsync_fail : io_injector -> bool
+
 (** {1 Archive layer} *)
 
 (** [mangle_archive data] — apply the armed plan's bit flips and

@@ -106,6 +106,35 @@ let evaluate ?(thresholds = default_thresholds) (snap : Metrics.snapshot) =
   if faults > 0 then warn "faults: %d injected fault event%s" faults
       (if faults = 1 then "" else "s");
 
+  (* Resilience: exhausted retry budgets mean a durable write
+     ultimately failed; taken retries and resume repair work succeeded
+     but point at a flaky or interrupted environment. *)
+  let exhausted = counter snap "retry.exhausted" in
+  if exhausted > 0 then
+    crit "retry: %d retry budget%s exhausted (durable write failed)" exhausted
+      (if exhausted = 1 then "" else "s");
+  let retries = counter snap "retry.attempts" in
+  if retries > 0 then
+    warn "retry: %d transient I/O failure%s retried" retries
+      (if retries = 1 then "" else "s");
+  let rewritten = counter snap "recover.shards_rewritten" in
+  if rewritten > 0 then
+    warn "recover: %d shard%s rewritten on resume (previous run left them torn or stale)"
+      rewritten
+      (if rewritten = 1 then "" else "s");
+  let stuck_workers = counter snap "pool.watchdog_stuck" in
+  if stuck_workers > 0 then
+    crit "pool: watchdog flagged %d stuck worker report%s" stuck_workers
+      (if stuck_workers = 1 then "" else "s");
+  let timeouts = counter snap "pool.timeouts" in
+  if timeouts > 0 then
+    warn "pool: %d task%s cancelled on deadline" timeouts
+      (if timeouts = 1 then "" else "s");
+  let restores = counter snap "checkpoint.restores" in
+  if restores > 0 then
+    warn "checkpoint: resumed from checkpoint (%d restore%s)" restores
+      (if restores = 1 then "" else "s");
+
   (* Parallel efficiency: a busy pool that spent most of its time
      waiting is the signature `hbbp doctor` attributes in depth. *)
   (match (counter snap "pool.tasks", gauge snap "pool.utilization") with

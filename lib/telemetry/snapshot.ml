@@ -59,8 +59,9 @@ let emit_locked t =
   t.seq <- t.seq + 1;
   t.spans_since <- 0;
   t.last_emit <- now ();
-  output_string t.oc line;
-  output_char t.oc '\n';
+  (* One buffered write + flush per line: a crash between lines leaves
+     the stream at a line boundary, never inside one. *)
+  output_string t.oc (line ^ "\n");
   flush t.oc
 
 let emit_now () =

@@ -105,7 +105,20 @@ let active () =
   !trace_path <> None || !metrics_format <> None || Snapshot.active ()
   || !profiling
 
-let health () = Health.evaluate (Metrics.snapshot ())
+(* Mirror the retry/durable-write tallies into the registry as
+   counters (delta-based, so repeated folds never double-count) the
+   same way the CLI mirrors [Faults.tally] as [faults.*]. *)
+let fold_resilience_tallies () =
+  List.iter
+    (fun (k, v) ->
+      let c = Metrics.counter k in
+      let cur = Metrics.counter_value c in
+      if v > cur then Metrics.add c (v - cur))
+    (Hbbp_durable.Retry.tally () @ Hbbp_durable.Durable.tally ())
+
+let health () =
+  fold_resilience_tallies ();
+  Health.evaluate (Metrics.snapshot ())
 
 (* Teardown order matters: the profiler probe and the snapshot tick go
    first (so the final trace/metrics flushes see quiescent hooks), then
@@ -117,6 +130,7 @@ let finalize ppf =
     Runtime_profiler.disable ();
     profiling := false
   end;
+  fold_resilience_tallies ();
   Snapshot.finalize ();
   (match !trace_path with
   | Some path ->

@@ -340,8 +340,6 @@ let export () =
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 
-let write ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (export ()))
+(* Atomic publish: an interrupted run leaves the previous trace (or
+   nothing), never a torn JSON file Perfetto rejects. *)
+let write ~path = Hbbp_durable.Durable.write_file ~fsync:false ~path (export ())

@@ -13,6 +13,7 @@ open Hbbp_collector
 open Hbbp_core
 module Plan = Hbbp_faults.Fault_plan
 module Faults = Hbbp_faults.Faults
+module Durable = Hbbp_durable.Durable
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -87,7 +88,8 @@ let full_spec =
   "seed=7,pmu.drop=0.05,pmu.burst_every=50,pmu.burst_len=4,pmu.skid=2,\
    pmu.jitter=3,lbr.truncate=8,lbr.stuck=0.05,lbr.misrotate=0.02,\
    rec.drop_comm=1.0,rec.drop_mmap=0.5,rec.drop_sample=0.02,rec.reorder=16,\
-   arch.flips=3,arch.truncate=-100"
+   arch.flips=3,arch.truncate=-100,io.enospc=0.01,io.partial_write=0.2,\
+   io.eintr=0.3,io.rename_fail=0.05,io.fsync_fail=0.04"
 
 let test_plan_parse () =
   let p = plan_of_spec full_spec in
@@ -102,6 +104,16 @@ let test_plan_parse () =
   checki "reorder window" 16 p.Plan.collector.Plan.reorder_window;
   checki "bit flips" 3 p.Plan.archive.Plan.bit_flips;
   checki "truncate at" (-100) p.Plan.archive.Plan.truncate_at;
+  Alcotest.(check (float 1e-9)) "io enospc" 0.01 p.Plan.io.Plan.enospc_rate;
+  Alcotest.(check (float 1e-9))
+    "io partial write" 0.2 p.Plan.io.Plan.partial_write_rate;
+  Alcotest.(check (float 1e-9)) "io eintr" 0.3 p.Plan.io.Plan.eintr_rate;
+  Alcotest.(check (float 1e-9))
+    "io rename fail" 0.05 p.Plan.io.Plan.rename_fail_rate;
+  Alcotest.(check (float 1e-9))
+    "io fsync fail" 0.04 p.Plan.io.Plan.fsync_fail_rate;
+  checkb "io active" true (Plan.io_active p.Plan.io);
+  checkb "inert io inactive" false (Plan.io_active Plan.none.Plan.io);
   (* Canonical spec strings parse back to the same plan. *)
   (match Plan.of_string (Plan.to_string p) with
   | Ok p' -> checkb "roundtrip" true (p = p')
@@ -120,6 +132,9 @@ let test_plan_bad_specs () =
       "pmu.drop=1.5";
       "pmu.drop=-0.1";
       "bogus=1";
+      "io.enospc=1.5";
+      "io.eintr=-0.2";
+      "io.bogus=1";
       "pmu.drop=abc";
       "seed=";
       "=1";
@@ -643,6 +658,80 @@ let test_chaos_grid () =
         chaos_plans)
     chaos_seeds
 
+(* ------------------------------------------------------------------ *)
+(* IO-layer injection at the durable write paths                       *)
+
+let io_payload =
+  String.init 4096 (fun i -> Char.chr (((i * 31) + 7) land 0xff))
+
+let io_target name = Filename.temp_file ("hbbp-io-" ^ name) ".bin"
+let read_back path = In_channel.with_open_bin path In_channel.input_all
+
+let no_stale path =
+  checki
+    ("no stale tmp beside " ^ Filename.basename path)
+    0
+    (Durable.remove_stale ~path)
+
+let test_io_disarmed_identity () =
+  let p1 = io_target "off" and p2 = io_target "inert" in
+  Durable.write_file ~path:p1 io_payload;
+  Faults.arm Plan.none;
+  Durable.write_file ~path:p2 io_payload;
+  Faults.disarm ();
+  checkb "disarmed and inert-armed durable writes byte-identical" true
+    (String.equal (read_back p1) (read_back p2));
+  no_stale p1;
+  no_stale p2;
+  checki "nothing tallied" 0 (List.length (Faults.tally ()));
+  Sys.remove p1;
+  Sys.remove p2
+
+let test_io_absorbed_faults_identical () =
+  (* Transient faults at every site, at rates the in-loop absorption and
+     the retry wrapper recover from: published bytes must not change. *)
+  let clean = io_target "clean" and faulty = io_target "faulty" in
+  Durable.write_file ~path:clean io_payload;
+  Faults.reset_tally ();
+  Faults.arm
+    (plan_of_spec
+       "seed=23,io.partial_write=1.0,io.eintr=0.5,io.rename_fail=0.3,\
+        io.fsync_fail=0.3");
+  Durable.write_file ~path:faulty io_payload;
+  Faults.disarm ();
+  checkb "published bytes identical under absorbed io faults" true
+    (String.equal (read_back clean) (read_back faulty));
+  no_stale faulty;
+  checkb "io faults tallied" true
+    (List.exists
+       (fun (k, n) -> String.equal k "io.partial_write" && n > 0)
+       (Faults.tally ()));
+  Sys.remove clean;
+  Sys.remove faulty
+
+let test_io_enospc_typed () =
+  let path = io_target "enospc" in
+  Sys.remove path;
+  Faults.arm (plan_of_spec "seed=29,io.enospc=1.0");
+  (match Durable.write_file ~path io_payload with
+  | () -> Alcotest.fail "io.enospc=1.0 write unexpectedly succeeded"
+  | exception Durable.No_space _ -> ());
+  Faults.disarm ();
+  checkb "target absent after failed publication" false (Sys.file_exists path);
+  no_stale path
+
+let test_io_rename_exhausts () =
+  let path = io_target "rename" in
+  Sys.remove path;
+  Faults.arm (plan_of_spec "seed=31,io.rename_fail=1.0");
+  (match Durable.write_file ~path io_payload with
+  | () -> Alcotest.fail "io.rename_fail=1.0 write unexpectedly succeeded"
+  | exception Hbbp_durable.Retry.Exhausted _ -> ());
+  Faults.disarm ();
+  checkb "target absent after exhausted publication" false
+    (Sys.file_exists path);
+  no_stale path
+
 let test_chaos_determinism () =
   let w = mk_workload ~seed:0xC0DEL "det" in
   let spec =
@@ -686,6 +775,16 @@ let () =
         [
           tc "truncation salvage" `Quick test_archive_truncation_salvage;
           tc "bit flips" `Quick test_archive_bit_flips;
+        ] );
+      ( "io",
+        [
+          tc "disarmed byte-identity at write sites" `Quick
+            test_io_disarmed_identity;
+          tc "absorbed faults keep bytes identical" `Quick
+            test_io_absorbed_faults_identical;
+          tc "enospc surfaces typed" `Quick test_io_enospc_typed;
+          tc "rename exhaustion surfaces typed" `Quick
+            test_io_rename_exhausts;
         ] );
       ( "fuzz",
         [
