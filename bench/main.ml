@@ -34,6 +34,7 @@ let all : (string * (Format.formatter -> unit)) list =
     ("telemetry", Telemetry.run);
     ("faults", Faults_bench.run);
     ("verifier", Verifier_bench.run);
+    ("repair", Repair_bench.run);
     ("doctor", Doctor_bench.run);
     ("recovery", Recovery_bench.run);
   ]
@@ -43,6 +44,9 @@ let all : (string * (Format.formatter -> unit)) list =
 let no_sweep =
   [ "table2"; "table4"; "micro"; "pipeline"; "executor"; "streaming";
     "telemetry"; "faults"; "verifier"; "doctor"; "recovery" ]
+
+(* "repair" sweeps the full registry through the profile cache, so it
+   is NOT in [no_sweep]: the preload fills the cache it reads. *)
 
 let () =
   let ppf = Format.std_formatter in

@@ -1,0 +1,200 @@
+(* Count-repair accuracy and overhead bench.  Writes BENCH_repair.json.
+
+   Three series:
+
+   - accuracy: for every bundled workload, the repair pass must not
+     lose ground on either axis — post-repair conservation error <=
+     pre-repair, and weighted mix error of the repaired BBEC <= raw
+     HBBP's.  The materiality floor passes healthy profiles through
+     untouched, so equality is the common case there;
+   - chaos: on degraded fixtures — healthy reconstructions with
+     seeded, localized count corruption (the severe damage stuck LBR
+     paths and lost shards produce, which the flow check exists to
+     catch) — the improvement must be strict on both axes.  Uniform
+     damage like dropped samples is not usable here: it scales counts
+     evenly, conservation is scale-invariant, so repair correctly
+     declines to touch it;
+   - overhead: one repair pass on the worst-violating workload's
+     reconstruction must cost <= 5% of its offline reconstruct time.
+
+   Any gate failure exits nonzero so CI trends cannot silently rot. *)
+
+open Hbbp_core
+open Hbbp_analyzer
+module V = Hbbp_verifier
+module U = Bench_util
+
+let now = Unix.gettimeofday
+let overhead_budget = 0.05
+let chaos_workloads = [ "fitter-sse"; "train-branchy" ]
+
+(* Localized, deterministic damage: every 7th live block's count is
+   zeroed — the one-sided mass loss a dropped shard or dead sampling
+   region produces, far below any lower bound the neighborhood
+   supports. *)
+let corrupt (bbec : Bbec.t) =
+  let counts = Array.copy bbec.Bbec.counts in
+  let live = ref 0 in
+  Array.iteri
+    (fun gid c ->
+      if c > 0. then begin
+        incr live;
+        if !live mod 7 = 0 then counts.(gid) <- 0.
+      end)
+    counts;
+  { Bbec.method_ = bbec.Bbec.method_; counts }
+
+type row = {
+  name : string;
+  pre : float;
+  post : float;
+  raw_mix : float;
+  rep_mix : float;
+  iterations : int;
+  adjusted : int;
+}
+
+let row_of_profile (p : Pipeline.profile) =
+  let rep =
+    match p.Pipeline.repair_report with
+    | Some r -> r
+    | None -> failwith "BENCH repair: profile carries no repair report"
+  in
+  {
+    name = p.Pipeline.workload.Workload.name;
+    pre = rep.V.Repair.pre.V.Flow.conservation_error;
+    post = rep.V.Repair.post.V.Flow.conservation_error;
+    raw_mix = U.hbbp_error p;
+    rep_mix = U.avg_weighted_error p rep.V.Repair.repaired;
+    iterations = rep.V.Repair.iterations;
+    adjusted = rep.V.Repair.adjusted_blocks;
+  }
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "  %-22s conservation %.4f -> %.4f   mix %.4f -> %.4f  (%d sweeps, %d \
+     blocks)@."
+    r.name r.pre r.post r.raw_mix r.rep_mix r.iterations r.adjusted
+
+let json_row r =
+  Printf.sprintf
+    {|    {"workload": "%s", "pre_conservation_error": %.6f, "post_conservation_error": %.6f, "raw_mix_error": %.6f, "repaired_mix_error": %.6f, "iterations": %d, "adjusted_blocks": %d}|}
+    r.name r.pre r.post r.raw_mix r.rep_mix r.iterations r.adjusted
+
+let run ppf =
+  U.header ppf "Count repair (writes BENCH_repair.json)";
+  (* -- accuracy over every bundled workload ------------------------- *)
+  let rows =
+    List.map
+      (fun name -> row_of_profile (U.profile (Hbbp_workloads.Registry.find name)))
+      Hbbp_workloads.Registry.names
+  in
+  List.iter (pp_row ppf) rows;
+  let slack = 1e-12 in
+  let bad_conservation = List.filter (fun r -> r.post > r.pre +. slack) rows in
+  let bad_mix = List.filter (fun r -> r.rep_mix > r.raw_mix +. slack) rows in
+  (* -- chaos fixtures: repair must strictly improve ----------------- *)
+  let chaos_rows =
+    List.map
+      (fun name ->
+        let p = U.profile (Hbbp_workloads.Registry.find name) in
+        let damaged = corrupt p.Pipeline.hbbp in
+        let fstruct = V.Flow.structure p.Pipeline.static in
+        let rep = V.Repair.repair fstruct damaged in
+        {
+          name;
+          pre = rep.V.Repair.pre.V.Flow.conservation_error;
+          post = rep.V.Repair.post.V.Flow.conservation_error;
+          raw_mix = U.avg_weighted_error p damaged;
+          rep_mix = U.avg_weighted_error p rep.V.Repair.repaired;
+          iterations = rep.V.Repair.iterations;
+          adjusted = rep.V.Repair.adjusted_blocks;
+        })
+      chaos_workloads
+  in
+  Format.fprintf ppf "chaos fixtures (localized corruption):@.";
+  List.iter (pp_row ppf) chaos_rows;
+  let weak_chaos =
+    List.filter
+      (fun r -> r.post >= r.pre -. slack || r.rep_mix >= r.raw_mix -. slack)
+      chaos_rows
+  in
+  (* -- overhead on the worst-violating reconstruction --------------- *)
+  let worst =
+    List.fold_left (fun a b -> if b.pre > a.pre then b else a) (List.hd rows)
+      rows
+  in
+  let archive =
+    Pipeline.collect_archive (Hbbp_workloads.Registry.find worst.name)
+  in
+  let t0 = now () in
+  let r = Pipeline.analyze_archive archive in
+  let reconstruct_seconds = now () -. t0 in
+  let fstruct = V.Flow.structure r.Pipeline.r_static in
+  let iters = 20 in
+  let t0 = now () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (V.Repair.repair fstruct r.Pipeline.r_hbbp))
+  done;
+  let repair_seconds = (now () -. t0) /. float_of_int iters in
+  let share = repair_seconds /. reconstruct_seconds in
+  Format.fprintf ppf
+    "repair: %.2f ms vs %.0f ms reconstruct (%s) — %.2f%% of reconstruct \
+     time (target < %.0f%%)@."
+    (repair_seconds *. 1e3)
+    (reconstruct_seconds *. 1e3)
+    worst.name (100.0 *. share)
+    (100.0 *. overhead_budget);
+  (* -- verdicts ----------------------------------------------------- *)
+  let fail = ref [] in
+  if bad_conservation <> [] then
+    fail :=
+      Printf.sprintf "conservation regressed on %s"
+        (String.concat ", " (List.map (fun r -> r.name) bad_conservation))
+      :: !fail;
+  if bad_mix <> [] then
+    fail :=
+      Printf.sprintf "mix error regressed on %s"
+        (String.concat ", " (List.map (fun r -> r.name) bad_mix))
+      :: !fail;
+  if weak_chaos <> [] then
+    fail :=
+      Printf.sprintf "chaos fixture not strictly improved on %s"
+        (String.concat ", " (List.map (fun r -> r.name) weak_chaos))
+      :: !fail;
+  if share > overhead_budget then
+    fail :=
+      Printf.sprintf "repair cost %.2f%% of reconstruct (budget %.0f%%)"
+        (100.0 *. share)
+        (100.0 *. overhead_budget)
+      :: !fail;
+  U.write_out "BENCH_repair.json"
+    {|{
+  %s,
+  "overhead": {
+    "workload": "%s",
+    "repair_seconds": %.6f,
+    "reconstruct_seconds": %.6f,
+    "share_of_reconstruct": %.6f,
+    "budget": %.2f
+  },
+  "chaos_fixture": "%s",
+  "workloads": [
+%s
+  ],
+  "chaos": [
+%s
+  ],
+  "gates_passed": %b
+}
+|}
+    (U.json_header ~bench:"repair")
+    worst.name repair_seconds reconstruct_seconds share overhead_budget
+    "every 7th live block zeroed"
+    (String.concat ",\n" (List.map json_row rows))
+    (String.concat ",\n" (List.map json_row chaos_rows))
+    (!fail = []);
+  Format.fprintf ppf "wrote BENCH_repair.json@.";
+  match !fail with
+  | [] -> ()
+  | msgs -> failwith ("BENCH repair: " ^ String.concat "; " msgs)

@@ -512,6 +512,46 @@ let archives_arg =
            collection are streamed and merged into a single \
            reconstruction.")
 
+let repair_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("off", Pipeline.Off);
+             ("report", Pipeline.Report);
+             ("apply", Pipeline.Apply);
+           ])
+        Pipeline.Report
+    & info [ "repair" ] ~docv:"MODE"
+        ~doc:
+          "Count-repair policy: $(b,off) skips the pass, $(b,report) \
+           (default) measures what repair would do, $(b,apply) replaces \
+           the HBBP counts with the repaired vector.  The quality \
+           verdict always reflects the pre-repair flow check.")
+
+let emit_profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-profile" ] ~docv:"FILE"
+        ~doc:
+          "Write the reconstruction as a compiler-consumable PGO \
+           artifact (LLVM-profdata-shaped JSON: per-function block \
+           weights and branch probabilities) to $(docv), atomically.")
+
+let emit_profile ~workload ~mode path (r : Pipeline.reconstruction) =
+  let json =
+    Profile_export.to_json ~workload
+      ?repair:
+        (Option.map
+           (fun rep -> (mode = Pipeline.Apply, rep))
+           r.Pipeline.r_repair)
+      r.Pipeline.r_static r.Pipeline.r_hbbp
+  in
+  Hbbp_durable.Durable.write_file ~path json;
+  Format.printf "profile written to %s@." path
+
 let checkpoint_arg =
   Arg.(
     value
@@ -527,7 +567,8 @@ let analyze_cmd =
   let top =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
   in
-  let run paths top checkpoint resume trace metrics stream =
+  let run paths top checkpoint resume repair profile_out trace metrics stream
+      =
     install_signal_handlers ();
     with_telemetry trace metrics stream @@ fun () ->
     let checkpoint =
@@ -538,10 +579,11 @@ let analyze_cmd =
     in
     let result =
       match checkpoint with
-      | None -> Pipeline.analyze_archives paths
+      | None -> Pipeline.analyze_archives ~repair paths
       | Some checkpoint -> (
           try
-            Recover.analyze_archives ~resume ~should_stop ~checkpoint paths
+            Recover.analyze_archives ~repair ~resume ~should_stop ~checkpoint
+              paths
           with Recover.Interrupted ->
             exit_interrupted ~hint:"rerun with --resume")
     in
@@ -563,10 +605,19 @@ let analyze_cmd =
           r.Pipeline.r_lbr.Lbr_estimator.snapshots
           (List.length (Bias.flagged_blocks r.Pipeline.r_bias));
         Format.printf "quality: %a@." Pipeline.pp_quality r.Pipeline.r_quality;
+        Option.iter
+          (fun rep -> Format.printf "%a@." Hbbp_verifier.Repair.pp_report rep)
+          r.Pipeline.r_repair;
         Format.printf "@.Instruction mix (HBBP):@.";
         Pivot.render Format.std_formatter
           (Views.top_mnemonics top
              (Mix.of_bbec r.Pipeline.r_static r.Pipeline.r_hbbp));
+        Option.iter
+          (fun path ->
+            emit_profile
+              ~workload:meta.Hbbp_collector.Perf_data.workload_name
+              ~mode:repair path r)
+          profile_out;
         (match r.Pipeline.r_quality with
         | Pipeline.Full -> ()
         | Pipeline.Degraded _ -> exit 2)
@@ -583,7 +634,8 @@ let analyze_cmd =
           unreadable or shard metadata disagrees")
     Term.(
       const run $ archives_arg $ top $ checkpoint_arg $ resume_arg
-      $ trace_arg $ metrics_arg $ metrics_stream_arg)
+      $ repair_mode_arg $ emit_profile_arg $ trace_arg $ metrics_arg
+      $ metrics_stream_arg)
 
 (* ---- stats ---------------------------------------------------------- *)
 
@@ -742,9 +794,14 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Version of the machine-readable lint report below; bump on any
+   shape change so CI consumers can pin what they parse. *)
+let lint_schema_version = 1
+
 let lint_json results =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"targets\":[";
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\":%d,\"targets\":[" lint_schema_version);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
@@ -905,6 +962,154 @@ let lint_cmd =
           when a target is unreadable")
     Term.(const run $ targets $ json $ flow $ trace_arg $ metrics_arg $ metrics_stream_arg)
 
+(* ---- repair --------------------------------------------------------- *)
+
+type repair_result = {
+  rr_target : string;
+  rr_kind : [ `Workload | `Archive ];
+  rr_report : V.Repair.report;
+  rr_raw_error : float option;  (* mix error vs reference, workloads only *)
+  rr_repaired_error : float option;
+}
+
+let repair_violation r =
+  r.rr_report.V.Repair.post.V.Flow.conservation_error
+  > Pipeline.default_thresholds.Pipeline.max_conservation_error
+
+let repair_schema_version = 1
+
+let repair_json results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\":%d,\"targets\":["
+       repair_schema_version);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      let rep = r.rr_report in
+      let opt_float = function
+        | Some v -> Printf.sprintf "%.6f" v
+        | None -> "null"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"target\":\"%s\",\"kind\":\"%s\",\"pre_conservation_error\":%.6f,\"post_conservation_error\":%.6f,\"iterations\":%d,\"converged\":%b,\"adjusted_blocks\":%d,\"moved_mass\":%.1f,\"raw_mix_error\":%s,\"repaired_mix_error\":%s,\"violation\":%b}"
+           (json_escape r.rr_target)
+           (match r.rr_kind with
+           | `Workload -> "workload"
+           | `Archive -> "archive")
+           rep.V.Repair.pre.V.Flow.conservation_error
+           rep.V.Repair.post.V.Flow.conservation_error
+           rep.V.Repair.iterations rep.V.Repair.converged
+           rep.V.Repair.adjusted_blocks rep.V.Repair.moved_mass
+           (opt_float r.rr_raw_error)
+           (opt_float r.rr_repaired_error)
+           (repair_violation r)))
+    results;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"violations\":%d}"
+       (List.length (List.filter repair_violation results)));
+  Buffer.contents buf
+
+let repair_cmd =
+  let targets =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Workload name (see $(b,hbbp list)) or archive file written \
+             by $(b,hbbp collect).  All archive paths together are \
+             analyzed as shards of one collection.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
+  in
+  let repair_workload name =
+    let p = profile_of name in
+    let rep =
+      match p.Pipeline.repair_report with
+      | Some rep -> rep
+      | None -> die "%s: pipeline config disabled repair" name
+    in
+    let err bbec =
+      (Pipeline.error_report p bbec).Error.avg_weighted_error
+    in
+    ( {
+        rr_target = name;
+        rr_kind = `Workload;
+        rr_report = rep;
+        rr_raw_error = Some (err p.Pipeline.hbbp);
+        rr_repaired_error = Some (err rep.V.Repair.repaired);
+      },
+      (p.Pipeline.static, name) )
+  in
+  let repair_archives paths =
+    match Pipeline.analyze_archives paths with
+    | Error msg -> die "%s" msg
+    | Ok (meta, r) ->
+        let rep = Option.get r.Pipeline.r_repair in
+        ( {
+            rr_target = String.concat " " paths;
+            rr_kind = `Archive;
+            rr_report = rep;
+            rr_raw_error = None;
+            rr_repaired_error = None;
+          },
+          ( r.Pipeline.r_static,
+            meta.Hbbp_collector.Perf_data.workload_name ) )
+  in
+  let run targets json profile_out trace metrics stream =
+    with_telemetry trace metrics stream @@ fun () ->
+    let archives, workloads = List.partition Sys.file_exists targets in
+    let results =
+      List.map repair_workload workloads
+      @ if archives = [] then [] else [ repair_archives archives ]
+    in
+    (match (profile_out, results) with
+    | None, _ -> ()
+    | Some path, [ (r, (static, workload)) ] ->
+        let jsn =
+          Profile_export.to_json ~workload
+            ~repair:(true, r.rr_report)
+            static r.rr_report.V.Repair.repaired
+        in
+        Hbbp_durable.Durable.write_file ~path jsn;
+        Format.printf "profile written to %s@." path
+    | Some _, _ ->
+        die "--emit-profile needs exactly one target (or one archive set)");
+    let results = List.map fst results in
+    if json then print_endline (repair_json results)
+    else
+      List.iter
+        (fun r ->
+          Format.printf "%s: %a@." r.rr_target V.Repair.pp_report
+            r.rr_report;
+          match (r.rr_raw_error, r.rr_repaired_error) with
+          | Some raw, Some fixed ->
+              Format.printf
+                "%s: weighted mix error vs reference %.4f -> %.4f@."
+                r.rr_target raw fixed
+          | _ -> ())
+        results;
+    if List.exists repair_violation results then exit 2
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Project reconstructed HBBP counts onto the flow-conservation \
+          polytope of the CFG (weighted Kirchhoff repair; low-confidence \
+          blocks absorb the correction) and report the residual shrink; \
+          workload targets also report the weighted mix error against \
+          the instrumentation reference before and after.  Exits 2 when \
+          a repaired reconstruction still violates the conservation \
+          threshold, 1 when a target is unreadable")
+    Term.(
+      const run $ targets $ json $ emit_profile_arg $ trace_arg
+      $ metrics_arg $ metrics_stream_arg)
+
 (* ---- loops ---------------------------------------------------------- *)
 
 let loops_cmd =
@@ -1014,5 +1219,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; profile_cmd; mix_cmd; bias_cmd; train_cmd;
-            collect_cmd; analyze_cmd; stats_cmd; lint_cmd; loops_cmd;
-            doctor_cmd; capabilities_cmd ]))
+            collect_cmd; analyze_cmd; stats_cmd; lint_cmd; repair_cmd;
+            loops_cmd; doctor_cmd; capabilities_cmd ]))

@@ -74,6 +74,8 @@ let default_thresholds =
     max_conservation_error = 0.15;
   }
 
+type repair_mode = Off | Report | Apply
+
 type config = {
   model : Pmu_model.t;
   criteria : Criteria.t;
@@ -84,6 +86,7 @@ type config = {
   thresholds : thresholds;
   keep_records : bool;
   engine : Machine.engine;
+  repair : repair_mode;
 }
 
 let default_config =
@@ -97,6 +100,7 @@ let default_config =
     thresholds = default_thresholds;
     keep_records = false;
     engine = Machine.default_engine ();
+    repair = Report;
   }
 
 type profile = {
@@ -123,6 +127,7 @@ type profile = {
   records : Record.t list;
   record_count : int;
   quality : quality;
+  repair_report : Hbbp_verifier.Repair.report option;
 }
 
 let user_maps static =
@@ -529,6 +534,8 @@ type reconstruction = {
   r_bias : Bias.t;
   r_hbbp : Bbec.t;
   r_quality : quality;
+  r_flow : Hbbp_verifier.Flow.report;
+  r_repair : Hbbp_verifier.Repair.report option;
   r_partial : Partial.t;
 }
 
@@ -642,7 +649,7 @@ let fallback_criteria = function
    batch, streaming, merged shards — go through here, which is what
    makes them bit-identical. *)
 let finalize ?(criteria = Criteria.default) ?(thresholds = default_thresholds)
-    ?replay (p : Partial.t) =
+    ?(repair = Report) ?replay (p : Partial.t) =
   let span name f = Trace.with_span ~cat:"analyze" name f in
   let static = Partial.static p in
   let ebs =
@@ -689,9 +696,10 @@ let finalize ?(criteria = Criteria.default) ?(thresholds = default_thresholds)
   (* Kirchhoff cross-check of the fused counts: badly non-conserving
      flow means the reconstruction is internally inconsistent no matter
      how healthy each channel looked on its own. *)
-  let flow =
+  let fstruct, flow =
     Trace.with_span ~cat:"verify" "flow_check" (fun () ->
-        Hbbp_verifier.Flow.check static hbbp)
+        let s = Hbbp_verifier.Flow.structure static in
+        (s, Hbbp_verifier.Flow.check_with s hbbp))
   in
   if Metrics.enabled () then begin
     Metrics.set
@@ -730,6 +738,58 @@ let finalize ?(criteria = Criteria.default) ?(thresholds = default_thresholds)
     end
     else quality
   in
+  (* Count repair: project the fused counts onto the conservation
+     polytope, low-confidence blocks absorbing the correction.  The
+     quality verdict above is deliberately based on the *pre*-repair
+     check — Apply mode cleans the counts but cannot launder a corrupt
+     reconstruction into a Full verdict. *)
+  let repair_report =
+    match repair with
+    | Off -> None
+    | Report | Apply ->
+        let weights =
+          Hbbp_verifier.Repair.confidence
+            ~use_ebs:
+              (Array.map
+                 (function
+                   | Criteria.Use_ebs -> true
+                   | Criteria.Use_lbr -> false)
+                 (Combine.decisions static ~criteria ~bias ~ebs ~lbr))
+            ~ebs_raw:ebs.Ebs_estimator.raw
+            ~lbr_weight:lbr.Lbr_estimator.weight
+            (Static.total_blocks static)
+        in
+        let rep =
+          Trace.with_span ~cat:"verify" "repair" (fun () ->
+              Hbbp_verifier.Repair.repair ~weights fstruct hbbp)
+        in
+        if Metrics.enabled () then begin
+          Metrics.add (Metrics.counter "repair.runs") 1;
+          Metrics.set
+            (Metrics.gauge "repair.pre_conservation_error")
+            rep.Hbbp_verifier.Repair.pre.Hbbp_verifier.Flow.conservation_error;
+          Metrics.set
+            (Metrics.gauge "repair.post_conservation_error")
+            rep.Hbbp_verifier.Repair.post.Hbbp_verifier.Flow.conservation_error;
+          Metrics.add
+            (Metrics.counter "repair.adjusted_blocks")
+            rep.Hbbp_verifier.Repair.adjusted_blocks;
+          Metrics.add
+            (Metrics.counter "repair.sweeps")
+            rep.Hbbp_verifier.Repair.iterations;
+          Metrics.set
+            (Metrics.gauge "repair.moved_mass")
+            rep.Hbbp_verifier.Repair.moved_mass;
+          if repair = Apply then
+            Metrics.add (Metrics.counter "repair.applied") 1
+        end;
+        Some rep
+  in
+  let hbbp =
+    match (repair, repair_report) with
+    | Apply, Some rep -> rep.Hbbp_verifier.Repair.repaired
+    | _ -> hbbp
+  in
   let r =
     {
       r_static = static;
@@ -738,26 +798,28 @@ let finalize ?(criteria = Criteria.default) ?(thresholds = default_thresholds)
       r_bias = bias;
       r_hbbp = hbbp;
       r_quality = quality;
+      r_flow = flow;
+      r_repair = repair_report;
       r_partial = p;
     }
   in
   record_reconstruction_metrics r;
   r
 
-let reconstruct ?criteria ?thresholds ?(ledger = []) ~static ~ebs_period
-    ~lbr_period records =
+let reconstruct ?criteria ?thresholds ?repair ?(ledger = []) ~static
+    ~ebs_period ~lbr_period records =
   let p = Partial.create ~static ~ebs_period ~lbr_period () in
   Partial.note_faults p ledger;
   Partial.feed p records;
-  finalize ?criteria ?thresholds ~replay:(fun f -> f records) p
+  finalize ?criteria ?thresholds ?repair ~replay:(fun f -> f records) p
 
 (* Chunked streaming reconstruction: [chunks ()] yields record chunks
    until [None]; state stays bounded by the accumulators plus one chunk.
    [replay] must re-yield the same stream when provided — the bias
    contamination pass needs a second look only when pass one flags a
    branch, so clean streams are single-pass. *)
-let reconstruct_stream ?criteria ?thresholds ?(ledger = []) ?replay ~static
-    ~ebs_period ~lbr_period chunks =
+let reconstruct_stream ?criteria ?thresholds ?repair ?(ledger = []) ?replay
+    ~static ~ebs_period ~lbr_period chunks =
   let p = Partial.create ~static ~ebs_period ~lbr_period () in
   Partial.note_faults p ledger;
   let rec pump () =
@@ -768,15 +830,15 @@ let reconstruct_stream ?criteria ?thresholds ?(ledger = []) ?replay ~static
     | None -> ()
   in
   pump ();
-  finalize ?criteria ?thresholds ?replay p
+  finalize ?criteria ?thresholds ?repair ?replay p
 
 (* Merging finalized reconstructions re-finalizes the merged partial
    state — the estimator/bias accumulators are the mergeable core; the
    finalized arrays themselves are not (fallback and bias are
    non-linear).  [replay] re-yields the {e combined} stream for the
    contamination pass. *)
-let merge_reconstructions ?criteria ?thresholds ?replay a b =
-  finalize ?criteria ?thresholds ?replay
+let merge_reconstructions ?criteria ?thresholds ?repair ?replay a b =
+  finalize ?criteria ?thresholds ?repair ?replay
     (Partial.merge a.r_partial b.r_partial)
 
 let collect_archive ?(config = default_config) (w : Workload.t) =
@@ -803,9 +865,10 @@ let collect_archive ?(config = default_config) (w : Workload.t) =
       Perf_data.of_session ~workload_name:w.Workload.name ~session
         ~analysis:w.Workload.analysis_process ~live:w.Workload.live_process)
 
-let analyze_archive ?criteria ?thresholds ?ledger (archive : Perf_data.t) =
+let analyze_archive ?criteria ?thresholds ?repair ?ledger
+    (archive : Perf_data.t) =
   let static = Static.create_exn (Perf_data.analysis_process archive) in
-  reconstruct ?criteria ?thresholds ?ledger ~static
+  reconstruct ?criteria ?thresholds ?repair ?ledger ~static
     ~ebs_period:archive.Perf_data.ebs_period
     ~lbr_period:archive.Perf_data.lbr_period archive.Perf_data.records
 
@@ -814,7 +877,7 @@ let analyze_archive ?criteria ?thresholds ?ledger (archive : Perf_data.t) =
    order, finalized over the merged totals.  All archives must agree on
    workload name and sampling periods (shards of one collection do);
    the static view is built once, from the first archive's metadata. *)
-let analyze_archives ?criteria ?thresholds ?chunk_records paths =
+let analyze_archives ?criteria ?thresholds ?repair ?chunk_records paths =
   if paths = [] then invalid_arg "Pipeline.analyze_archives: no archives";
   let render e = Format.asprintf "%a" Perf_data.pp_error e in
   let exception Fail of string in
@@ -902,7 +965,7 @@ let analyze_archives ?criteria ?thresholds ?chunk_records paths =
                   pump ()))
         paths
     in
-    Ok (Option.get !meta, finalize ?criteria ?thresholds ~replay merged)
+    Ok (Option.get !meta, finalize ?criteria ?thresholds ?repair ~replay merged)
   with
   | Fail msg -> Error msg
   | Sys_error msg -> Error msg
@@ -985,7 +1048,8 @@ let run ?(config = default_config) (w : Workload.t) =
         Session.records session w.live_process ~pid:1 ~name:w.name)
   in
   let r =
-    reconstruct ~criteria:config.criteria ~thresholds:config.thresholds ~static
+    reconstruct ~criteria:config.criteria ~thresholds:config.thresholds
+      ~repair:config.repair ~static
       ~ebs_period:(Session.ebs_period session)
       ~lbr_period:(Session.lbr_period session) records
   in
@@ -1029,6 +1093,7 @@ let run ?(config = default_config) (w : Workload.t) =
       records = (if config.keep_records then records else []);
       record_count = List.length records;
       quality = r.r_quality;
+      repair_report = r.r_repair;
     }
   in
   record_run_metrics p;

@@ -68,6 +68,15 @@ type thresholds = {
 
 val default_thresholds : thresholds
 
+(** What {!finalize} does with the flow-conservation count-repair pass
+    ({!Hbbp_verifier.Repair}): [Off] skips it; [Report] (the default)
+    runs it and records the report on [r_repair] without touching the
+    counts; [Apply] additionally replaces [r_hbbp] with the repaired
+    BBEC.  The degradation verdict always reflects the {e pre}-repair
+    flow check, so [Apply] cannot launder a corrupt reconstruction into
+    a [Full] verdict. *)
+type repair_mode = Off | Report | Apply
+
 type config = {
   model : Pmu_model.t;
   criteria : Criteria.t;
@@ -88,6 +97,9 @@ type config = {
           bit-identical streams; this only selects dispatch cost.
           Default {!Machine.default_engine} (superblock unless the
           [HBBP_ENGINE] environment variable overrides it). *)
+  repair : repair_mode;
+      (** Count-repair policy for every reconstruction this config
+          drives.  Default {!Report}. *)
 }
 
 val default_config : config
@@ -120,6 +132,9 @@ type profile = {
       (** Raw record stream — [[]] unless {!config.keep_records}. *)
   record_count : int;  (** Records collected (kept or not). *)
   quality : quality;  (** Degradation verdict of the reconstruction. *)
+  repair_report : Hbbp_verifier.Repair.report option;
+      (** Count-repair report ([None] when {!config.repair} is [Off]).
+          [hbbp] is the repaired BBEC iff the mode was [Apply]. *)
 }
 
 val run : ?config:config -> Workload.t -> profile
@@ -202,6 +217,12 @@ type reconstruction = {
   r_bias : Bias.t;
   r_hbbp : Bbec.t;
   r_quality : quality;
+  r_flow : Hbbp_verifier.Flow.report;
+      (** Conservation check of the fused counts, {e before} any
+          repair. *)
+  r_repair : Hbbp_verifier.Repair.report option;
+      (** Count-repair report ([None] when the repair mode is [Off]).
+          [r_hbbp] is the repaired BBEC iff the mode was [Apply]. *)
   r_partial : Partial.t;
       (** The mergeable state this reconstruction was finalized from
           (enables {!merge_reconstructions}). *)
@@ -214,10 +235,12 @@ type reconstruction = {
     record stream for the bias contamination pass; it is only consulted
     when bias pass one flagged a branch, so clean streams stay
     single-pass.  With [replay] omitted, contamination is skipped
-    ({!Hbbp_analyzer.Bias.finalize}). *)
+    ({!Hbbp_analyzer.Bias.finalize}).  [repair] selects the count-repair
+    policy (default [Report]). *)
 val finalize :
   ?criteria:Criteria.t ->
   ?thresholds:thresholds ->
+  ?repair:repair_mode ->
   ?replay:((Record.t list -> unit) -> unit) ->
   Partial.t ->
   reconstruction
@@ -234,6 +257,7 @@ val finalize :
 val reconstruct :
   ?criteria:Criteria.t ->
   ?thresholds:thresholds ->
+  ?repair:repair_mode ->
   ?ledger:Perf_data.fault list ->
   static:Static.t ->
   ebs_period:int ->
@@ -250,6 +274,7 @@ val reconstruct :
 val reconstruct_stream :
   ?criteria:Criteria.t ->
   ?thresholds:thresholds ->
+  ?repair:repair_mode ->
   ?ledger:Perf_data.fault list ->
   ?replay:((Record.t list -> unit) -> unit) ->
   static:Static.t ->
@@ -269,6 +294,7 @@ val reconstruct_stream :
 val merge_reconstructions :
   ?criteria:Criteria.t ->
   ?thresholds:thresholds ->
+  ?repair:repair_mode ->
   ?replay:((Record.t list -> unit) -> unit) ->
   reconstruction ->
   reconstruction ->
@@ -291,6 +317,7 @@ val collect_many :
 val analyze_archive :
   ?criteria:Criteria.t ->
   ?thresholds:thresholds ->
+  ?repair:repair_mode ->
   ?ledger:Perf_data.fault list ->
   Perf_data.t ->
   reconstruction
@@ -310,6 +337,7 @@ val analyze_archive :
 val analyze_archives :
   ?criteria:Criteria.t ->
   ?thresholds:thresholds ->
+  ?repair:repair_mode ->
   ?chunk_records:int ->
   string list ->
   (Perf_data.t * reconstruction, string) result

@@ -1,0 +1,68 @@
+(** Compiler-consumable profile artifact: the reconstructed (and
+    optionally repaired) block counts serialized as the
+    LLVM-profdata-shaped JSON a PGO consumer wants — per-function block
+    weights plus branch probabilities — rather than the instruction-mix
+    views the rest of the repo reports.
+
+    {1 Schema (version 1)}
+
+    {v
+    {
+      "schema_version": 1,
+      "format": "hbbp-pgo",
+      "workload": "<name>",
+      "method": "EBS" | "LBR" | "HBBP" | "SDE",
+      "total_flow": <float>,            // sum of all block counts
+      "repair": null | {
+        "applied": <bool>,              // counts are the repaired ones
+        "converged": <bool>,
+        "iterations": <int>,
+        "adjusted_blocks": <int>,
+        "moved_mass": <float>,
+        "pre_conservation_error": <float>,
+        "post_conservation_error": <float>
+      },
+      "functions": [
+        {
+          "name": "<symbol or image name>",
+          "image": "<image name>",
+          "ring": "user" | "kernel",
+          "entry_address": <int>,
+          "entry_count": <float>,       // count of the entry block (0 if
+                                        // the entry is not a block start)
+          "total_count": <float>,       // sum over the function's blocks
+          "blocks": [
+            { "address": <int>, "instructions": <int>, "count": <float> }
+          ],
+          "branches": [
+            { "address": <int>,         // the branch instruction
+              "taken_target": <int>,
+              "taken": <float>,         // counts of the two successor
+              "not_taken": <float>,     //   blocks (flow estimate)
+              "probability": <float> }  // taken / (taken + not_taken),
+                                        // 0.5 when both are zero
+          ]
+        }
+      ]
+    }
+    v}
+
+    Blocks outside every symbol are grouped under a pseudo-function
+    named after their image.  Functions appear in image order then
+    ascending entry address; blocks and branches in ascending address —
+    the output is byte-stable for a given (static, bbec) pair. *)
+
+open Hbbp_analyzer
+
+val schema_version : int
+
+(** [to_json ?workload ?repair static bbec] — render the artifact.
+    [repair] is [(applied, report)]: the {!Hbbp_verifier.Repair} report
+    to embed, with [applied] telling the consumer whether [bbec] is the
+    repaired vector or merely a checked one. *)
+val to_json :
+  ?workload:string ->
+  ?repair:bool * Hbbp_verifier.Repair.report ->
+  Static.t ->
+  Bbec.t ->
+  string

@@ -180,7 +180,7 @@ let rec prefix_of done_paths paths =
   | d :: ds, p :: ps when String.equal d p -> prefix_of ds ps
   | _ -> None
 
-let analyze_archives ?criteria ?thresholds ?chunk_records
+let analyze_archives ?criteria ?thresholds ?repair ?chunk_records
     ?(checkpoint_every = default_checkpoint_every) ?(resume = false)
     ?(should_stop = fun () -> false) ~checkpoint paths =
   if paths = [] then invalid_arg "Recover.analyze_archives: no archives";
@@ -289,6 +289,6 @@ let analyze_archives ?criteria ?thresholds ?chunk_records
                     pump ()))
           paths
       in
-      let r = Pipeline.finalize ?criteria ?thresholds ~replay m in
+      let r = Pipeline.finalize ?criteria ?thresholds ?repair ~replay m in
       Checkpoint.remove ~path:checkpoint;
       Ok (meta0, r)

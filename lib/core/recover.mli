@@ -64,6 +64,7 @@ val default_checkpoint_every : int
 val analyze_archives :
   ?criteria:Criteria.t ->
   ?thresholds:Pipeline.thresholds ->
+  ?repair:Pipeline.repair_mode ->
   ?chunk_records:int ->
   ?checkpoint_every:int ->
   ?resume:bool ->

@@ -22,6 +22,17 @@ type report = {
   by_depth : (int * float) list;
 }
 
+type structure = {
+  s_blocks : int;
+  s_entry : bool array;
+  s_out_guaranteed : int list array;
+  s_out_conditional : int list array;
+  s_in_guaranteed : (int * int) list array;
+  s_in_conditional : (int * int) list array;
+  s_loop_depth : int array;
+  s_instrs : int array;
+}
+
 let loop_depths static n =
   let depth = Array.make n 0 in
   List.iter
@@ -44,18 +55,24 @@ let loop_depths static n =
     (Process.images (Static.process static));
   depth
 
-let check ?(worst = 10) static (bbec : Bbec.t) =
+(* Collapse an edge list with repeats into (endpoint, multiplicity) pairs,
+   preserving first-occurrence order.  Lists are tiny (<= 2 out-edges per
+   block), so the quadratic scan is irrelevant. *)
+let with_multiplicity edges =
+  List.fold_left
+    (fun acc e ->
+      let rec bump = function
+        | [] -> [ (e, 1) ]
+        | (e', m) :: rest when e' = e -> (e', m + 1) :: rest
+        | p :: rest -> p :: bump rest
+      in
+      bump acc)
+    [] edges
+
+let structure static =
   let n = Static.total_blocks static in
-  let counts = Array.init n (fun gid -> Bbec.count bbec gid) in
-  let inflow_min = Array.make n 0. in
-  let inflow_max = Array.make n 0. in
   let entry = Array.make n false in
   let mark_entry gid = entry.(gid) <- true in
-  let guaranteed gid c =
-    inflow_min.(gid) <- inflow_min.(gid) +. c;
-    inflow_max.(gid) <- inflow_max.(gid) +. c
-  in
-  let possible gid c = inflow_max.(gid) <- inflow_max.(gid) +. c in
   (* External entries: symbol entries, image bases, and address-taken
      constants (immediates naming a block entry feed indirect jumps and
      calls the CFG cannot represent). *)
@@ -80,43 +97,91 @@ let check ?(worst = 10) static (bbec : Bbec.t) =
             instr.Instruction.operands)
         b.Basic_block.instrs)
     static;
-  (* Propagate each block's count along its static out-edges. *)
+  (* Static out-edges per block, in terminator order (taken edge before
+     fall-through) so float accumulation downstream is reproducible. *)
+  let out_g = Array.make n [] in
+  let out_c = Array.make n [] in
   Static.iter
     (fun gid _ b ->
-      let c = counts.(gid) in
+      let g = ref [] and c = ref [] in
       let taken addr k =
-        Option.iter (fun t -> k t c) (Static.find_starting static addr)
+        Option.iter (fun t -> k := t :: !k) (Static.find_starting static addr)
       in
       let fallthrough k =
-        Option.iter (fun t -> k t c) (Static.next_in_layout static gid)
+        Option.iter (fun t -> k := t :: !k) (Static.next_in_layout static gid)
       in
-      match b.Basic_block.term with
-      | Term_fallthrough -> fallthrough guaranteed
-      | Term_jump a -> taken a guaranteed
+      (match b.Basic_block.term with
+      | Term_fallthrough -> fallthrough g
+      | Term_jump a -> taken a g
       | Term_cond a ->
-          taken a possible;
-          fallthrough possible
+          taken a c;
+          fallthrough c
       | Term_call (Some a) ->
           (* The call executes the callee entry AND, on return, the
              layout successor — both once per execution of the block. *)
-          taken a guaranteed;
-          fallthrough guaranteed
-      | Term_call None -> fallthrough guaranteed
+          taken a g;
+          fallthrough g
+      | Term_call None -> fallthrough g
       | Term_syscall ->
           (* The kernel resumes at the layout successor eventually, but
              via SYSRET, not a static edge: treat the resume point as
              externally enterable rather than guaranteeing inflow. *)
           Option.iter mark_entry (Static.next_in_layout static gid)
-      | Term_indirect_jump | Term_ret | Term_sysret | Term_halt -> ())
+      | Term_indirect_jump | Term_ret | Term_sysret | Term_halt -> ());
+      out_g.(gid) <- List.rev !g;
+      out_c.(gid) <- List.rev !c)
     static;
-  let depths = loop_depths static n in
+  (* Invert to predecessor lists with multiplicity, ascending gid order. *)
+  let in_g = Array.make n [] in
+  let in_c = Array.make n [] in
+  for gid = n - 1 downto 0 do
+    List.iter
+      (fun t -> in_g.(t) <- gid :: in_g.(t))
+      (List.rev out_g.(gid));
+    List.iter
+      (fun t -> in_c.(t) <- gid :: in_c.(t))
+      (List.rev out_c.(gid))
+  done;
+  let instrs = Array.make n 0 in
+  Static.iter
+    (fun gid _ b ->
+      instrs.(gid) <- Array.length b.Basic_block.instrs)
+    static;
+  {
+    s_blocks = n;
+    s_entry = entry;
+    s_out_guaranteed = out_g;
+    s_out_conditional = out_c;
+    s_in_guaranteed = Array.map with_multiplicity in_g;
+    s_in_conditional = Array.map with_multiplicity in_c;
+    s_loop_depth = loop_depths static n;
+    s_instrs = instrs;
+  }
+
+let check_with ?(worst = 10) s (bbec : Bbec.t) =
+  let n = s.s_blocks in
+  let counts = Array.init n (fun gid -> Bbec.count bbec gid) in
+  let inflow_min = Array.make n 0. in
+  let inflow_max = Array.make n 0. in
+  (* Propagate each block's count along its static out-edges. *)
+  for gid = 0 to n - 1 do
+    let c = counts.(gid) in
+    List.iter
+      (fun t ->
+        inflow_min.(t) <- inflow_min.(t) +. c;
+        inflow_max.(t) <- inflow_max.(t) +. c)
+      s.s_out_guaranteed.(gid);
+    List.iter
+      (fun t -> inflow_max.(t) <- inflow_max.(t) +. c)
+      s.s_out_conditional.(gid)
+  done;
   let flows =
     Array.init n (fun gid ->
         let c = counts.(gid) in
         let low = inflow_min.(gid) and high = inflow_max.(gid) in
         let residual =
           Float.max 0. (low -. c)
-          +. (if entry.(gid) then 0. else Float.max 0. (c -. high))
+          +. (if s.s_entry.(gid) then 0. else Float.max 0. (c -. high))
         in
         {
           gid;
@@ -124,8 +189,8 @@ let check ?(worst = 10) static (bbec : Bbec.t) =
           inflow_min = low;
           inflow_max = high;
           residual;
-          entry = entry.(gid);
-          loop_depth = depths.(gid);
+          entry = s.s_entry.(gid);
+          loop_depth = s.s_loop_depth.(gid);
         })
   in
   let total_flow = Array.fold_left (fun acc f -> acc +. f.count) 0. flows in
@@ -138,7 +203,12 @@ let check ?(worst = 10) static (bbec : Bbec.t) =
   let offenders =
     Array.to_list flows
     |> List.filter (fun f -> f.residual > 0.)
-    |> List.sort (fun a b -> Float.compare b.residual a.residual)
+    |> List.sort (fun a b ->
+           (* Largest residual first; ties broken by block id so the
+              listing (and lint --json) is byte-stable across runs. *)
+           match Float.compare b.residual a.residual with
+           | 0 -> compare a.gid b.gid
+           | c -> c)
   in
   let rec take k = function
     | [] -> []
@@ -167,6 +237,8 @@ let check ?(worst = 10) static (bbec : Bbec.t) =
     worst = take worst offenders;
     by_depth;
   }
+
+let check ?worst static bbec = check_with ?worst (structure static) bbec
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -25,6 +25,34 @@
 
 open Hbbp_analyzer
 
+(** The CFG flow skeleton the check (and {!Repair}) operate on: entry
+    exemptions, static edges partitioned into guaranteed/conditional,
+    and loop depths.  Building it walks every instruction (the
+    address-taken scan) and runs natural-loop detection, so callers that
+    both check and repair should build it once and share it. *)
+type structure = {
+  s_blocks : int;  (** Total blocks — the {!Static} numbering size. *)
+  s_entry : bool array;  (** Externally enterable (exempt) per block. *)
+  s_out_guaranteed : int list array;
+      (** Successor gids along guaranteed edges, terminator order.  A
+          direct call contributes two entries (callee, return point); a
+          self-referential target may repeat. *)
+  s_out_conditional : int list array;
+      (** Successors along conditional edges (taken before
+          fall-through). *)
+  s_in_guaranteed : (int * int) list array;
+      (** Guaranteed predecessors as [(gid, multiplicity)], ascending
+          gid. *)
+  s_in_conditional : (int * int) list array;
+      (** Conditional predecessors as [(gid, multiplicity)]. *)
+  s_loop_depth : int array;
+  s_instrs : int array;
+      (** Instructions per block — lets {!Repair} reason about
+          instruction mass, not just execution mass. *)
+}
+
+val structure : Static.t -> structure
+
 type block_flow = {
   gid : int;  (** Global block id in the {!Static} numbering. *)
   count : float;
@@ -44,7 +72,8 @@ type report = {
   checked_blocks : int;
   entry_blocks : int;
   worst : block_flow list;
-      (** Largest residuals first, capped at [worst] (default 10). *)
+      (** Largest residuals first (ties broken by ascending gid so the
+          order is byte-stable), capped at [worst] (default 10). *)
   by_depth : (int * float) list;
       (** Residual mass per loop-nesting depth, ascending depth —
           localises conservation damage to loop structure. *)
@@ -53,5 +82,9 @@ type report = {
 (** [check static bbec] — evaluate the conservation bounds for every
     block.  Cost is linear in the number of static blocks and edges. *)
 val check : ?worst:int -> Static.t -> Bbec.t -> report
+
+(** [check_with s bbec] — same as {!check} against a prebuilt
+    {!structure}; [check static] = [check_with (structure static)]. *)
+val check_with : ?worst:int -> structure -> Bbec.t -> report
 
 val pp_report : Format.formatter -> report -> unit

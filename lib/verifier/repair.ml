@@ -1,0 +1,206 @@
+open Hbbp_analyzer
+
+type report = {
+  repaired : Bbec.t;
+  pre : Flow.report;
+  post : Flow.report;
+  iterations : int;
+  converged : bool;
+  adjusted_blocks : int;
+  moved_mass : float;
+}
+
+let confidence ~use_ebs ~ebs_raw ~lbr_weight n =
+  Array.init n (fun gid ->
+      let density =
+        if gid < Array.length use_ebs && use_ebs.(gid) then
+          if gid < Array.length ebs_raw then float_of_int ebs_raw.(gid)
+          else 0.
+        else if gid < Array.length lbr_weight then lbr_weight.(gid)
+        else 0.
+      in
+      sqrt (1. +. Float.max 0. density))
+
+let default_min_violation = 0.013
+
+let repair ?weights ?(max_sweeps = 200) ?(tolerance = 1e-9)
+    ?(min_violation = default_min_violation) (s : Flow.structure)
+    (bbec : Bbec.t) =
+  let n = s.Flow.s_blocks in
+  let pre = Flow.check_with s bbec in
+  if pre.Flow.conservation_error < min_violation then
+    (* Materiality floor: a conservation error this small is what
+       ordinary sampling noise produces on a healthy reconstruction.
+       Projecting onto the polytope would only chase that noise around
+       the CFG, so the profile passes through untouched. *)
+    {
+      repaired = bbec;
+      pre;
+      post = pre;
+      iterations = 0;
+      converged = true;
+      adjusted_blocks = 0;
+      moved_mass = 0.;
+    }
+  else
+  let inv_w =
+    match weights with
+    | None -> Array.make n 1.
+    | Some w ->
+        Array.init n (fun gid ->
+            let wi = if gid < Array.length w then w.(gid) else 1. in
+            1. /. Float.max 1e-6 wi)
+  in
+  let counts = Array.init n (fun gid -> Bbec.count bbec gid) in
+  let eps = tolerance *. Float.max 1. pre.Flow.total_flow in
+  (* The block whose bound is violated is the one its whole neighborhood
+     disagrees with, so it should move more readily than any single
+     predecessor of equal confidence.  The upper bound gets a stronger
+     boost: a count exceeding the sum of ALL its predecessors is almost
+     always the block's own sampling excess, and raising the (plural,
+     individually better-attested) predecessors to meet it spreads one
+     block's error across the neighborhood. *)
+  let lower_boost = 3.0 in
+  let upper_boost = 1.0 in
+  let inflow acc preds =
+    List.fold_left
+      (fun acc (p, m) -> acc +. (float_of_int m *. counts.(p)))
+      acc preds
+  in
+  let proj_denom acc preds =
+    (* sum of a_i^2 / w_i over the constraint's coefficient vector;
+       an edge with multiplicity m contributes coefficient m. *)
+    List.fold_left
+      (fun acc (p, m) -> acc +. (float_of_int (m * m) *. inv_w.(p)))
+      acc preds
+  in
+  (* One Gauss–Seidel sweep in ascending gid order.  Every violated
+     bound is restored exactly by the weighted projection: the block and
+     its predecessors split the discrepancy in proportion to 1/w, so
+     low-confidence coordinates absorb it.  Returns whether any count
+     moved — a clean sweep means the vector is already (tolerance-)
+     feasible and must be left untouched, which is what makes the whole
+     pass idempotent. *)
+  let sweep () =
+    let touched = ref false in
+    for b = 0 to n - 1 do
+      let g_in = s.Flow.s_in_guaranteed.(b) in
+      let lo = inflow 0. g_in in
+      let d = lo -. counts.(b) in
+      if d > eps then begin
+        touched := true;
+        let bw = lower_boost *. inv_w.(b) in
+        let nu = d /. proj_denom bw g_in in
+        counts.(b) <- counts.(b) +. (nu *. bw);
+        List.iter
+          (fun (p, m) ->
+            counts.(p) <-
+              Float.max 0.
+                (counts.(p) -. (nu *. float_of_int m *. inv_w.(p))))
+          g_in
+      end;
+      if not s.Flow.s_entry.(b) then begin
+        let c_in = s.Flow.s_in_conditional.(b) in
+        let hi = inflow (inflow 0. g_in) c_in in
+        let d = counts.(b) -. hi in
+        if d > eps then begin
+          touched := true;
+          let bw = upper_boost *. inv_w.(b) in
+          let nu = d /. proj_denom (proj_denom bw g_in) c_in in
+          counts.(b) <- Float.max 0. (counts.(b) -. (nu *. bw));
+          let raise_pred (p, m) =
+            counts.(p) <- counts.(p) +. (nu *. float_of_int m *. inv_w.(p))
+          in
+          List.iter raise_pred g_in;
+          List.iter raise_pred c_in
+        end
+      end
+    done;
+    !touched
+  in
+  let sweeps = ref 0 in
+  let converged = ref false in
+  (try
+     for _ = 1 to max_sweeps do
+       incr sweeps;
+       if not (sweep ()) then begin
+         converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (* The constraint system is homogeneous (every bound is a linear
+     inequality with zero constant), so scaling a feasible vector by any
+     positive factor keeps it feasible and leaves the conservation
+     error — a ratio of two linear functionals — untouched.  Scale the
+     projected vector back to the input's total *instruction* mass
+     (sum of instrs(b) * c(b)): the projections decide where the flow
+     goes, the rescale keeps how much work there is pinned to what the
+     sampling estimators calibrated, so instruction-mix totals don't
+     drift when repair moves flow between blocks of different length.
+
+     Only in the noise regime, though: a violation this side of
+     [gross_violation] means the input's total mass is still the
+     calibrated estimate and worth re-anchoring to.  Beyond it the
+     damage is structural — whole blocks carrying fabricated or lost
+     mass — so the input total is itself corrupt, and the projected
+     vector (corrupt blocks pulled back to what their neighborhoods
+     support) is the better mass estimate. *)
+  let gross_violation = 0.1 in
+  if
+    (!sweeps > 1 || not !converged)
+    && pre.Flow.conservation_error < gross_violation
+  then begin
+    let imass v =
+      let acc = ref 0. in
+      for gid = 0 to n - 1 do
+        acc := !acc +. (float_of_int s.Flow.s_instrs.(gid) *. v.(gid))
+      done;
+      !acc
+    in
+    let before = imass (Array.init n (fun gid -> Bbec.count bbec gid)) in
+    let after = imass counts in
+    if before > 0. && after > 0. && Float.abs (after -. before) > eps then begin
+      let lambda = before /. after in
+      for gid = 0 to n - 1 do
+        counts.(gid) <- counts.(gid) *. lambda
+      done
+    end
+  end;
+  let candidate = { Bbec.method_ = bbec.Bbec.method_; counts } in
+  let post = Flow.check_with s candidate in
+  let repaired, post =
+    (* Budget exhausted mid-flight can in principle leave the vector
+       between projections; never hand back something worse than the
+       input. *)
+    if (not !converged) && post.Flow.total_residual > pre.Flow.total_residual
+    then (bbec, pre)
+    else (candidate, post)
+  in
+  let adjusted_blocks = ref 0 in
+  let moved_mass = ref 0. in
+  Array.iteri
+    (fun gid c ->
+      let c0 = Bbec.count bbec gid in
+      if c <> c0 then begin
+        incr adjusted_blocks;
+        moved_mass := !moved_mass +. Float.abs (c -. c0)
+      end)
+    repaired.Bbec.counts;
+  {
+    repaired;
+    pre;
+    post;
+    iterations = !sweeps;
+    converged = !converged;
+    adjusted_blocks = !adjusted_blocks;
+    moved_mass = !moved_mass;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>count repair: conservation error %.4f -> %.4f (%d sweeps%s, %d \
+     blocks adjusted, %.0f executions moved)@]"
+    r.pre.Flow.conservation_error r.post.Flow.conservation_error r.iterations
+    (if r.converged then "" else ", not converged")
+    r.adjusted_blocks r.moved_mass

@@ -1,0 +1,105 @@
+(** Flow-conservation count repair: project a fused BBEC onto the
+    conservation polytope of the CFG.
+
+    {!Flow} only {e measures} how badly a reconstruction violates
+    Kirchhoff's law; this module {e fixes} the counts, the smoothing
+    step that turns a noisy sampled profile into a compiler-usable one
+    (Wicht et al.'s PGO correction applied to the HBBP setting).
+
+    {1 Model}
+
+    The feasible set is the polytope cut out by, for every block [b]
+    with count [c(b)]:
+
+    - [c(b) >= sum of guaranteed predecessor counts] (always), and
+    - [c(b) <= sum of all predecessor counts] unless [b] is externally
+      enterable ({!Flow.structure}'s entry exemptions: symbol entries,
+      image bases, address-taken constants, post-syscall resume
+      points), and
+    - [c(b) >= 0].
+
+    The zero vector satisfies every constraint, so the polytope is
+    never empty and the projection always exists.
+
+    {1 Solver}
+
+    Deterministic Gauss–Seidel sweeps of weighted halfspace projections
+    (POCS / Kaczmarz on the violated constraints): each violated bound
+    is restored exactly by spreading the discrepancy over the blocks in
+    the constraint, each moving {e inversely} to its confidence weight —
+    so low-confidence blocks (few samples behind their estimate) absorb
+    the correction and well-measured blocks barely move.  Blocks are
+    visited in ascending gid order and convergence is declared when a
+    sweep finds no violation above tolerance, which makes the pass
+    idempotent by construction: a repaired (or exactly conserving)
+    vector is returned unchanged, bit for bit.
+
+    After the sweeps converge, the vector is rescaled to the input's
+    total {e instruction} mass (sum of block length times count).  The
+    constraint system is homogeneous — every bound is a linear
+    inequality through the origin — so any positive rescale preserves
+    feasibility exactly and leaves the conservation error (a ratio of
+    linear functionals) untouched, while pinning the instruction-mix
+    totals to the mass the sampling estimators calibrated.
+
+    Two guards keep repair from doing harm on healthy input:
+
+    - {e Materiality floor}: when the input's conservation error is
+      already below [min_violation] (default
+      {!default_min_violation}), the violations are indistinguishable
+      from ordinary sampling noise and the input is returned untouched
+      ([iterations = 0], [converged = true]).
+    - {e Never worse}: if the sweep budget runs out before convergence
+      {e and} the result would have a larger total residual than the
+      input, the input is returned unchanged ([converged = false],
+      nothing adjusted). *)
+
+open Hbbp_analyzer
+
+type report = {
+  repaired : Bbec.t;
+      (** Same [method_] as the input; counts projected (or the input
+          counts verbatim when nothing was above tolerance). *)
+  pre : Flow.report;  (** Conservation check of the input. *)
+  post : Flow.report;  (** Conservation check of [repaired]. *)
+  iterations : int;  (** Gauss–Seidel sweeps performed. *)
+  converged : bool;
+      (** All violations below tolerance within the sweep budget. *)
+  adjusted_blocks : int;  (** Blocks whose count changed. *)
+  moved_mass : float;  (** Sum of absolute count changes. *)
+}
+
+(** [confidence ~use_ebs ~ebs_raw ~lbr_weight n] — per-block solver
+    weights from channel health: block [b]'s weight is
+    [sqrt (1. +. density)] where density is the raw EBS sample count or
+    the LBR weight mass behind the estimate, per the fusion provenance
+    [use_ebs].  Unsampled blocks get weight 1 (least trusted, absorb
+    corrections first); heavily sampled blocks approach immobility. *)
+val confidence :
+  use_ebs:bool array -> ebs_raw:int array -> lbr_weight:float array ->
+  int -> float array
+
+(** Conservation error below which repair declines to act (0.01). *)
+val default_min_violation : float
+
+(** [repair structure bbec] — project [bbec] onto the conservation
+    polytope of [structure].
+
+    @param weights per-block confidence (default: all 1.0, uniform).
+    @param max_sweeps Gauss–Seidel sweep budget (default 200).
+    @param tolerance per-constraint violation floor, relative to the
+      input's total flow (default 1e-9): violations below
+      [tolerance *. max 1. total_flow] are left alone.
+    @param min_violation materiality floor on the input's
+      conservation error (default {!default_min_violation}); below it
+      the input passes through untouched. *)
+val repair :
+  ?weights:float array ->
+  ?max_sweeps:int ->
+  ?tolerance:float ->
+  ?min_violation:float ->
+  Flow.structure ->
+  Bbec.t ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

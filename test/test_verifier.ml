@@ -373,6 +373,121 @@ let test_threshold_is_plumbed () =
   in
   checkb "loose threshold suppresses the flow verdict" false flow_flagged
 
+(* ------------------------------------------------------------------ *)
+(* Entry-exemption edge cases of Flow.structure                        *)
+
+(* A block that is simultaneously address-taken (an immediate names its
+   entry) AND the post-syscall resume point: both rules mark it, the
+   exemption holds, and the syscall contributes no guaranteed edge —
+   so any count on the block is within bounds. *)
+let test_entry_addr_taken_and_post_syscall () =
+  let funcs target =
+    [
+      func "main"
+        [
+          i MOV [ rax; imm target ];
+          i SYSCALL [];
+          label "resume";
+          i NOP [];
+          i RET_NEAR [];
+        ];
+    ]
+  in
+  let addr_of fs =
+    List.assoc "resume" (label_addresses ~name:"edge" ~base ~ring:Ring.User fs)
+  in
+  let resume = addr_of (funcs 0) in
+  (* Patching the immediate must not shift the layout, or the address
+     would name the wrong block. *)
+  checki "layout stable across imm patch" resume (addr_of (funcs resume));
+  let img = assemble ~name:"edge" ~base ~ring:Ring.User (funcs resume) in
+  let static = Hbbp_analyzer.Static.create_exn (Process.create [ img ]) in
+  let s = Flow.structure static in
+  let gid =
+    Option.get (Hbbp_analyzer.Static.find_starting static resume)
+  in
+  checkb "resume block is entry-exempt" true s.Flow.s_entry.(gid);
+  checkb "syscall guarantees no inflow" true (s.Flow.s_in_guaranteed.(gid) = []);
+  (* Extra inflow at the doubly-exempt block is legitimate: wild counts
+     there are not charged. *)
+  let counts = Array.make s.Flow.s_blocks 0. in
+  counts.(gid) <- 1_000_000.;
+  let r =
+    Flow.check_with s { Hbbp_analyzer.Bbec.method_ = Hbbp_analyzer.Bbec.Hbbp; counts }
+  in
+  checkb "no residual charged at the exempt block" true
+    (r.Flow.total_residual = 0.)
+
+(* An image whose base block is named by no symbol and targeted by no
+   branch — prologue padding.  The base must still be entry-exempt:
+   the loader can enter there even though nothing in the CFG roots
+   it. *)
+let test_image_base_exempt_without_symbol () =
+  let img =
+    assemble ~name:"padded" ~base ~ring:Ring.User
+      [
+        func "pad" [ i NOP []; i RET_NEAR [] ];
+        func "main" [ i MOV [ rax; imm 0 ]; i RET_NEAR [] ];
+      ]
+  in
+  let symbols =
+    List.filter
+      (fun (s : Symbol.t) -> not (String.equal s.Symbol.name "pad"))
+      img.Image.symbols
+  in
+  let img =
+    Image.make ~name:"padded" ~base ~code:img.Image.code ~symbols
+      ~ring:Ring.User
+  in
+  let static = Hbbp_analyzer.Static.create_exn (Process.create [ img ]) in
+  let s = Flow.structure static in
+  let gid = Option.get (Hbbp_analyzer.Static.find_starting static base) in
+  checkb "no symbol names the base block" true
+    (not
+       (List.exists (fun (sym : Symbol.t) -> sym.Symbol.addr = base) symbols));
+  checkb "image base is entry-exempt" true s.Flow.s_entry.(gid);
+  let counts = Array.make s.Flow.s_blocks 0. in
+  counts.(gid) <- 42.;
+  let r =
+    Flow.check_with s
+      { Hbbp_analyzer.Bbec.method_ = Hbbp_analyzer.Bbec.Hbbp; counts }
+  in
+  checkb "counts at the orphan base are not charged" true
+    (r.Flow.total_residual = 0.)
+
+(* The worst-offender list breaks residual ties by ascending block id,
+   so lint --json output is byte-stable run to run. *)
+let test_worst_offender_tie_order () =
+  let static = Lazy.force (lazy ((Lazy.force profile).Pipeline.static)) in
+  let s = Flow.structure static in
+  (* Two identical violations: zero two blocks fed by identical
+     guaranteed inflow.  Whatever the residuals, any equal residuals
+     must list in ascending gid order. *)
+  let p = Lazy.force profile in
+  let counts = Array.copy p.Pipeline.reference.Hbbp_analyzer.Bbec.counts in
+  Array.iteri (fun k _ -> if k mod 2 = 0 then counts.(k) <- 0.) counts;
+  let r =
+    Flow.check_with ~worst:50 s
+      { p.Pipeline.reference with Hbbp_analyzer.Bbec.counts = counts }
+  in
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        (a.Flow.residual > b.Flow.residual
+        || (a.Flow.residual = b.Flow.residual && a.Flow.gid < b.Flow.gid))
+        && ordered rest
+    | _ -> true
+  in
+  checkb "offenders sorted by residual desc then gid asc" true
+    (ordered r.Flow.worst);
+  checkb "ties exist in the fixture" true
+    (List.exists
+       (fun (a : Flow.block_flow) ->
+         List.exists
+           (fun (b : Flow.block_flow) ->
+             a.Flow.gid <> b.Flow.gid && a.Flow.residual = b.Flow.residual)
+           r.Flow.worst)
+       r.Flow.worst)
+
 let test_verify_metrics_exported () =
   let module Metrics = Hbbp_telemetry.Metrics in
   let module Trace = Hbbp_telemetry.Trace in
@@ -437,5 +552,14 @@ let () =
             test_threshold_is_plumbed;
           Alcotest.test_case "verify metrics + span exported" `Quick
             test_verify_metrics_exported;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "address-taken + post-syscall block exempt"
+            `Quick test_entry_addr_taken_and_post_syscall;
+          Alcotest.test_case "orphan image base exempt" `Quick
+            test_image_base_exempt_without_symbol;
+          Alcotest.test_case "worst-offender tie order byte-stable" `Slow
+            test_worst_offender_tie_order;
         ] );
     ]
